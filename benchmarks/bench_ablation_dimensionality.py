@@ -1,0 +1,23 @@
+"""Ablation (Section 6.1): the curse of dimensionality.
+
+Shape: at a fixed word budget, the number of affordable atomic-sketch
+instances halves with every extra dimension (2^d counters each) and the
+estimation error grows with the dimensionality.
+"""
+
+from repro.experiments.figures import ablation_dimensionality
+
+from benchmarks.conftest import run_figure
+
+
+def test_dimensionality_ablation(benchmark, figure_scale, record_figure, shape_checks):
+    result = run_figure(benchmark, ablation_dimensionality, figure_scale, seed=0)
+    record_figure(result)
+
+    instances = result.column("instances")
+    dimensions = result.column("dimension")
+    # Fewer affordable instances as the dimensionality grows.
+    assert all(earlier > later for earlier, later in zip(instances, instances[1:]))
+    # The one-dimensional configuration is the most accurate one.
+    errors = dict(zip(dimensions, result.column("mean_error")))
+    assert errors[1] <= min(errors[d] for d in dimensions if d > 1) + 0.05

@@ -1,0 +1,29 @@
+"""Ablation (Section 6.5): the effect of the maximum dyadic level.
+
+Shape: the adaptively chosen maxLevel minimises the self-join size, and its
+estimation error is at or near the best of the swept levels; the full
+dyadic sketch (maxLevel = domain height) pays for coarse levels it never
+needs on short-interval data.
+"""
+
+from repro.experiments.figures import ablation_maxlevel
+
+from benchmarks.conftest import run_figure
+
+
+def test_maxlevel_ablation(benchmark, figure_scale, record_figure, shape_checks):
+    result = run_figure(benchmark, ablation_maxlevel, figure_scale, seed=0)
+    record_figure(result)
+
+    rows = {row[0]: row for row in result.rows}
+    adaptive_rows = [row for row in result.rows if row[3]]
+    assert len(adaptive_rows) == 1
+    adaptive = adaptive_rows[0]
+    # The adaptive level has the smallest self-join size of the sweep.
+    assert adaptive[1] == min(row[1] for row in result.rows)
+    # Its error is within a small factor of the best observed error.
+    best_error = min(row[2] for row in result.rows)
+    assert adaptive[2] <= 2.5 * best_error + 0.05
+    # The full dyadic sketch (largest level) has a larger self-join size.
+    full_level = max(rows)
+    assert rows[full_level][1] > adaptive[1]

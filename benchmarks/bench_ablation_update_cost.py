@@ -1,0 +1,30 @@
+"""Ablation: update cost of dyadic vs standard (maxLevel = 0) sketches.
+
+Shape: the standard sketch's per-update work grows linearly with the object
+extent (hence with the domain size for sqrt(domain)-sized objects), the
+dyadic sketch's only logarithmically.
+"""
+
+from repro.experiments.figures import ablation_update_cost
+
+from benchmarks.conftest import run_figure
+
+
+def test_update_cost_ablation(benchmark, figure_scale, record_figure):
+    result = run_figure(benchmark, ablation_update_cost, figure_scale, seed=0)
+    record_figure(result)
+
+    dyadic_ids = result.column("dyadic_ids_per_update")
+    standard_ids = result.column("standard_ids_per_update")
+    domains = result.column("domain_size")
+
+    # The standard sketch's cover size tracks the object extent (~ sqrt(domain)
+    # here); the dyadic cover grows only logarithmically.  For small domains the
+    # standard sketch can be the cheaper one — that is exactly the Section 6.5
+    # trade-off — so the assertion is about *growth*, not absolute size.
+    standard_growth = standard_ids[-1] / standard_ids[0]
+    dyadic_growth = dyadic_ids[-1] / max(dyadic_ids[0], 1e-9)
+    domain_growth = domains[-1] / domains[0]
+    assert standard_growth > 0.25 * domain_growth ** 0.5   # grows with the extent
+    assert dyadic_growth < 3.0                              # stays logarithmic
+    assert standard_growth > 1.5 * dyadic_growth            # clearly faster growth

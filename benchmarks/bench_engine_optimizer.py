@@ -1,0 +1,23 @@
+"""Engine benchmark: sketch-driven join ordering quality.
+
+Shape: the plan chosen with sketch-based selectivity estimates costs no
+more than the worst enumerated plan and stays close to the best one.
+"""
+
+from repro.experiments.figures import engine_optimizer_experiment
+
+from benchmarks.conftest import run_figure
+
+
+def test_optimizer_plan_quality(benchmark, figure_scale, record_figure):
+    result = run_figure(benchmark, engine_optimizer_experiment, figure_scale, seed=0)
+    record_figure(result)
+
+    rows = {row[0].rsplit("(", 1)[1].rstrip(")"): row for row in result.rows}
+    chosen = rows["chosen"]
+    best = rows["best"]
+    worst = rows["worst"]
+    assert chosen[2] <= worst[2]
+    assert chosen[2] <= 4 * best[2] + 1000
+    # All orders compute the same result.
+    assert chosen[3] == best[3] == worst[3]

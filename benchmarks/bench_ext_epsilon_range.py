@@ -1,0 +1,23 @@
+"""Extensions (Sections 6.3 / 6.4): epsilon-join and range-query estimators.
+
+Shape: both estimators are unbiased; at the configured instance counts
+their estimates land in the right ballpark of the exact answers.
+"""
+
+import math
+
+from repro.experiments.figures import extension_epsilon_range
+
+from benchmarks.conftest import run_figure
+
+
+def test_epsilon_and_range_extensions(benchmark, figure_scale, record_figure, shape_checks):
+    result = run_figure(benchmark, extension_epsilon_range, figure_scale, seed=0)
+    record_figure(result)
+
+    assert len(result.rows) == 2
+    for query, truth, estimate, error in result.rows:
+        assert math.isfinite(estimate)
+        if shape_checks and truth > 0:
+            # Right ballpark: within a factor of ~2 of the exact answer.
+            assert error < 1.0, f"{query}: error {error}"

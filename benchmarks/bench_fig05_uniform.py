@@ -1,0 +1,32 @@
+"""Figure 5: relative error vs dataset size, uniform data (Zipf z = 0).
+
+Paper shape: SKETCH and GH perform similarly with errors well below EH;
+errors stay roughly flat as the dataset grows.
+"""
+
+import math
+
+from repro.experiments.figures import figure5
+
+from benchmarks.conftest import run_figure
+
+
+def test_figure5_uniform_join_error(benchmark, figure_scale, record_figure, shape_checks):
+    result = run_figure(benchmark, figure5, figure_scale, seed=0)
+    record_figure(result)
+
+    sketch = result.column("sketch_error")
+    eh = result.column("eh_error")
+    gh = result.column("gh_error")
+
+    assert all(math.isfinite(value) for value in sketch)
+    assert all(value >= 0 for value in sketch)
+    if shape_checks:
+        # Shape: the SKETCH error curve is roughly flat in the dataset size
+        # (no systematic blow-up as the input grows).
+        assert max(sketch) <= 5 * max(min(sketch), 1e-3) + 0.5
+        # Shape: for uniform data the grid techniques' best competitor (GH) and
+        # SKETCH are both clearly better than EH on average.
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(gh) <= mean(eh)
+        assert mean(sketch) <= 2.0 * mean(eh) + 0.05

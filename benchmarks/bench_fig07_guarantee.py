@@ -1,0 +1,21 @@
+"""Figure 7: actual relative error vs the guaranteed error bound (1-d joins).
+
+Paper shape: for a sketch sized by Theorem 1 (epsilon = 0.3, phi = 0.01)
+the measured relative error stays far below the guaranteed bound at every
+dataset size.
+"""
+
+from repro.experiments.figures import figure7
+
+from benchmarks.conftest import run_figure
+
+
+def test_figure7_error_stays_below_guarantee(benchmark, figure_scale, record_figure, shape_checks):
+    result = run_figure(benchmark, figure7, figure_scale, seed=0)
+    record_figure(result)
+
+    for size, true_error, bound in result.rows:
+        assert true_error < bound, f"size {size}: measured {true_error} >= bound {bound}"
+    # The paper observes the measured error to be *well* below the bound.
+    average = sum(result.column("true_error")) / len(result.rows)
+    assert average < 0.75 * result.rows[0][2]

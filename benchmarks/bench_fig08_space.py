@@ -1,0 +1,21 @@
+"""Figure 8: sketch space requirement vs dataset size for a fixed guarantee.
+
+Paper shape: the space stays roughly constant (around 63 K words in the
+paper) as the dataset grows, so the summary shrinks as a fraction of the
+dataset.
+"""
+
+from repro.experiments.figures import figure8
+
+from benchmarks.conftest import run_figure
+
+
+def test_figure8_space_roughly_constant(benchmark, figure_scale, record_figure):
+    result = run_figure(benchmark, figure8, figure_scale, seed=0)
+    record_figure(result)
+
+    kwords = result.column("sketch_kwords")
+    fractions = result.column("fraction_of_dataset")
+    assert max(kwords) <= 2.0 * min(kwords) + 1e-9
+    # As the dataset grows, the sketch becomes a smaller fraction of it.
+    assert fractions[-1] <= fractions[0]

@@ -1,0 +1,24 @@
+"""Figure 9: relative error vs allocated space, LANDC join LANDO (simulated).
+
+Paper shape: SKETCH improves steadily as it is given more space; EH can be
+good with little memory but behaves unpredictably as the grid is refined;
+GH mostly needs more space and trails SKETCH slightly.
+"""
+
+import math
+
+from repro.experiments.figures import figure9
+
+from benchmarks.conftest import run_figure
+
+
+def test_figure9_landc_lando(benchmark, figure_scale, record_figure, shape_checks):
+    result = run_figure(benchmark, figure9, figure_scale, seed=0)
+    record_figure(result)
+
+    sketch = result.column("sketch_error")
+    assert all(math.isfinite(value) and value >= 0 for value in sketch)
+    if shape_checks:
+        # Shape: more space helps SKETCH — the error at the largest budget must
+        # not exceed the error at the smallest budget.
+        assert sketch[-1] <= sketch[0] + 0.05

@@ -1,0 +1,21 @@
+"""Figure 10: relative error vs allocated space, LANDC join SOIL (simulated).
+
+Paper shape: as for Figure 9 — SKETCH declines steadily with space, EH is
+non-monotone, GH catches up only at larger budgets.
+"""
+
+import math
+
+from repro.experiments.figures import figure10
+
+from benchmarks.conftest import run_figure
+
+
+def test_figure10_landc_soil(benchmark, figure_scale, record_figure, shape_checks):
+    result = run_figure(benchmark, figure10, figure_scale, seed=0)
+    record_figure(result)
+
+    sketch = result.column("sketch_error")
+    assert all(math.isfinite(value) and value >= 0 for value in sketch)
+    if shape_checks:
+        assert sketch[-1] <= sketch[0] + 0.05

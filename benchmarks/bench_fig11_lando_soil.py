@@ -1,0 +1,20 @@
+"""Figure 11: relative error vs allocated space, LANDO join SOIL (simulated).
+
+Paper shape: as for Figures 9 and 10.
+"""
+
+import math
+
+from repro.experiments.figures import figure11
+
+from benchmarks.conftest import run_figure
+
+
+def test_figure11_lando_soil(benchmark, figure_scale, record_figure, shape_checks):
+    result = run_figure(benchmark, figure11, figure_scale, seed=0)
+    record_figure(result)
+
+    sketch = result.column("sketch_error")
+    assert all(math.isfinite(value) and value >= 0 for value in sketch)
+    if shape_checks:
+        assert sketch[-1] <= sketch[0] + 0.05

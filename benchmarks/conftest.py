@@ -1,0 +1,67 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every paper figure has one benchmark module.  A benchmark
+
+* regenerates the figure's data series through
+  :mod:`repro.experiments.figures` (timed once via ``benchmark.pedantic``),
+* prints the series and appends it to ``benchmarks/results/`` so the run
+  leaves a record of the paper-vs-measured comparison,
+* asserts the *qualitative shape* the paper reports (the absolute numbers
+  depend on the scaled-down defaults; see EXPERIMENTS.md).
+
+Select the experiment scale with ``--figure-scale {tiny,laptop,paper}``
+(default: laptop).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.reporting import FigureResult
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption("--figure-scale", action="store", default="laptop",
+                     choices=("tiny", "laptop", "paper"),
+                     help="experiment scale used by the figure benchmarks")
+
+
+@pytest.fixture(scope="session")
+def figure_scale(request):
+    return get_scale(request.config.getoption("--figure-scale"))
+
+
+@pytest.fixture(scope="session")
+def shape_checks(figure_scale) -> bool:
+    """Whether the paper-shape assertions should be enforced.
+
+    The ``tiny`` scale exists purely as a fast smoke test; its datasets are
+    far too small for the statistical shape claims, so those assertions are
+    only enforced at the ``laptop`` and ``paper`` scales.
+    """
+    return figure_scale.name != "tiny"
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Persist a FigureResult under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result: FigureResult) -> FigureResult:
+        text = result.to_text()
+        print("\n" + text)
+        path = RESULTS_DIR / f"{result.figure_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return result
+
+    return _record
+
+
+def run_figure(benchmark, generator, scale, seed: int = 0) -> FigureResult:
+    """Run a figure generator exactly once under the benchmark timer."""
+    return benchmark.pedantic(lambda: generator(scale, seed=seed), rounds=1, iterations=1)

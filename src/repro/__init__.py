@@ -1,0 +1,107 @@
+"""repro — sketch-based selectivity estimation for spatial data.
+
+A reproduction of *"Approximation Techniques for Spatial Data"*
+(Das, Gehrke, Riedewald; SIGMOD 2004).  The library provides:
+
+* AMS-style *spatial sketches* with provable probabilistic error guarantees
+  for spatial joins, epsilon-joins, containment joins and range queries
+  (:mod:`repro.core`),
+* the Geometric- and Euler-histogram baselines the paper compares against
+  (:mod:`repro.histograms`),
+* exact spatial query processors used as ground truth (:mod:`repro.exact`),
+* spatial indexes (:mod:`repro.index`), workload generators
+  (:mod:`repro.data`), a small spatial query engine (:mod:`repro.engine`)
+  and the experiment harness that regenerates the paper's figures
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    import numpy as np
+    from repro import Domain, RectangleJoinEstimator
+    from repro.data import synthetic
+    from repro.exact import rectangle_join_count
+
+    rng = np.random.default_rng(7)
+    domain = Domain.square(4096, dimension=2)
+    left = synthetic.generate_rectangles(5_000, domain, rng=rng)
+    right = synthetic.generate_rectangles(5_000, domain, rng=rng)
+
+    estimator = RectangleJoinEstimator(domain, num_instances=256, seed=11)
+    estimator.insert_left(left)
+    estimator.insert_right(right)
+    print(estimator.estimate_cardinality(), rectangle_join_count(left, right))
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    DimensionalityError,
+    DomainError,
+    EngineError,
+    EstimationError,
+    ReproError,
+    SketchConfigError,
+    WorkloadError,
+)
+from repro.geometry import BoxSet, Interval, PointSet, Rect
+from repro.core import (
+    BoostingPlan,
+    CommonEndpointJoinEstimator,
+    ContainmentJoinEstimator,
+    Domain,
+    DyadicDomain,
+    EndpointTransform,
+    EpsilonJoinEstimator,
+    EstimateResult,
+    ExtendedOverlapJoinEstimator,
+    IntervalJoinEstimator,
+    Letter,
+    Quantizer,
+    RangeQueryEstimator,
+    RectangleJoinEstimator,
+    SketchBank,
+    SpatialJoinEstimator,
+    choose_max_level,
+    dataset_self_join_size,
+    median_of_means,
+    plan_boosting,
+    self_join_size,
+)
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "DomainError",
+    "DimensionalityError",
+    "SketchConfigError",
+    "EstimationError",
+    "WorkloadError",
+    "EngineError",
+    # geometry
+    "Interval",
+    "Rect",
+    "BoxSet",
+    "PointSet",
+    # core
+    "Domain",
+    "DyadicDomain",
+    "EndpointTransform",
+    "Quantizer",
+    "Letter",
+    "SketchBank",
+    "BoostingPlan",
+    "EstimateResult",
+    "median_of_means",
+    "plan_boosting",
+    "self_join_size",
+    "dataset_self_join_size",
+    "choose_max_level",
+    "IntervalJoinEstimator",
+    "RectangleJoinEstimator",
+    "SpatialJoinEstimator",
+    "ExtendedOverlapJoinEstimator",
+    "CommonEndpointJoinEstimator",
+    "ContainmentJoinEstimator",
+    "EpsilonJoinEstimator",
+    "RangeQueryEstimator",
+]

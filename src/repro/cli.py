@@ -1,0 +1,94 @@
+"""Command-line interface.
+
+``repro-spatial`` (or ``python -m repro.cli``) regenerates the paper's
+figures and the ablation studies from the command line::
+
+    repro-spatial list
+    repro-spatial run figure5 --scale laptop
+    repro-spatial run figure9 figure10 figure11 --scale tiny --seed 3
+    repro-spatial all --scale laptop --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.figures import FIGURES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spatial",
+        description="Reproduce the experiments of 'Approximation Techniques for Spatial Data'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available experiments and scales")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+", choices=sorted(FIGURES),
+                     help="experiment identifiers (e.g. figure5)")
+    run.add_argument("--scale", default="laptop", choices=sorted(SCALES),
+                     help="experiment scale (default: laptop)")
+    run.add_argument("--seed", type=int, default=0, help="base random seed")
+    run.add_argument("--output", type=str, default=None,
+                     help="append the result tables to this file")
+
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--scale", default="laptop", choices=sorted(SCALES))
+    everything.add_argument("--seed", type=int, default=0)
+    everything.add_argument("--output", type=str, default=None)
+    return parser
+
+
+def _run_experiments(names: Sequence[str], scale_name: str, seed: int,
+                     output: str | None) -> int:
+    scale = get_scale(scale_name)
+    chunks: list[str] = []
+    for name in names:
+        generator = FIGURES[name]
+        start = time.perf_counter()
+        result = generator(scale, seed=seed)
+        elapsed = time.perf_counter() - start
+        text = result.to_text() + f"\n(completed in {elapsed:.1f} s)\n"
+        print(text)
+        chunks.append(text)
+    if output:
+        with open(output, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(chunks))
+            handle.write("\n")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by the ``repro-spatial`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:")
+        for name in sorted(FIGURES):
+            doc = (FIGURES[name].__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"  {name:28s} {summary}")
+        print("\nscales:")
+        for name, scale in sorted(SCALES.items()):
+            print(f"  {name:8s} runs={scale.runs} synthetic_sizes={scale.synthetic_sizes}")
+        return 0
+
+    if args.command == "run":
+        return _run_experiments(args.experiments, args.scale, args.seed, args.output)
+
+    if args.command == "all":
+        return _run_experiments(sorted(FIGURES), args.scale, args.seed, args.output)
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The paper's primary contribution: sketches for spatial data.
+
+Public entry points re-exported here:
+
+* :class:`~repro.core.dyadic.DyadicDomain` — dyadic decomposition of a domain.
+* :class:`~repro.core.atomic.SketchBank` — banks of atomic spatial sketches.
+* Join / query estimators:
+  :class:`~repro.core.join_interval.IntervalJoinEstimator`,
+  :class:`~repro.core.join_rect.RectangleJoinEstimator`,
+  :class:`~repro.core.join_hyperrect.SpatialJoinEstimator`,
+  :class:`~repro.core.join_extended.ExtendedOverlapJoinEstimator`,
+  :class:`~repro.core.join_extended.CommonEndpointJoinEstimator`,
+  :class:`~repro.core.join_containment.ContainmentJoinEstimator`,
+  :class:`~repro.core.epsilon_join.EpsilonJoinEstimator`,
+  :class:`~repro.core.range_query.RangeQueryEstimator`.
+* Boosting helpers in :mod:`repro.core.boosting` and space accounting in
+  :mod:`repro.core.space`.
+"""
+
+from repro.core.hashing import FourWiseFamilyBank
+from repro.core.dyadic import DyadicDomain
+from repro.core.domain import Domain, EndpointTransform, Quantizer
+from repro.core.atomic import Letter, SketchBank
+from repro.core.boosting import BoostingPlan, median_of_means, plan_boosting
+from repro.core.selfjoin import self_join_size, dataset_self_join_size
+from repro.core.join_interval import IntervalJoinEstimator
+from repro.core.join_rect import RectangleJoinEstimator
+from repro.core.join_hyperrect import SpatialJoinEstimator
+from repro.core.join_extended import (
+    CommonEndpointJoinEstimator,
+    ExtendedOverlapJoinEstimator,
+)
+from repro.core.join_containment import ContainmentJoinEstimator
+from repro.core.epsilon_join import EpsilonJoinEstimator
+from repro.core.range_query import RangeQueryEstimator
+from repro.core.adaptive import choose_max_level
+from repro.core.result import EstimateResult
+
+__all__ = [
+    "FourWiseFamilyBank",
+    "DyadicDomain",
+    "Domain",
+    "EndpointTransform",
+    "Quantizer",
+    "Letter",
+    "SketchBank",
+    "BoostingPlan",
+    "median_of_means",
+    "plan_boosting",
+    "self_join_size",
+    "dataset_self_join_size",
+    "IntervalJoinEstimator",
+    "RectangleJoinEstimator",
+    "SpatialJoinEstimator",
+    "ExtendedOverlapJoinEstimator",
+    "CommonEndpointJoinEstimator",
+    "ContainmentJoinEstimator",
+    "EpsilonJoinEstimator",
+    "RangeQueryEstimator",
+    "choose_max_level",
+    "EstimateResult",
+]

@@ -1,0 +1,399 @@
+"""Atomic spatial sketches (Sections 3.1 and 3.2).
+
+An *atomic sketch* is a single randomized linear projection of a spatial
+dataset.  For a d-dimensional dataset every atomic sketch instance keeps one
+counter per *word* ``w``, where a word assigns a :class:`Letter` to every
+dimension.  Inserting a hyper-rectangle ``r`` adds
+
+    prod_i  s(i, w[i], r(i))
+
+to the counter of word ``w``, where ``s(i, letter, [lo, hi])`` is the sum of
+the dimension-``i`` xi variables over the letter-specific dyadic cover:
+
+* ``INTERVAL``    — the dyadic cover of ``[lo, hi]``          (the paper's "I"),
+* ``ENDPOINTS``   — point covers of both ``lo`` and ``hi``    (the paper's "E"),
+* ``LOWER_POINT`` — point cover of ``lo`` only                (points / epsilon-join),
+* ``UPPER_POINT`` — point cover of ``hi`` only                (range queries, X_U),
+* ``LOWER_LEAF``  — the single level-0 variable at ``lo``     (Appendix B/C, X_L),
+* ``UPPER_LEAF``  — the single level-0 variable at ``hi``     (Appendix B/C, X_U).
+
+A :class:`SketchBank` holds ``num_instances`` independent atomic sketches
+(each with its own xi families per dimension) and updates all of them with
+vectorised NumPy operations.  The estimators in the sibling modules combine
+word counters of two banks built over *shared* xi families.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionalityError, SketchConfigError
+from repro.core.domain import Domain
+from repro.core.hashing import FourWiseFamilyBank
+from repro.geometry.boxset import BoxSet
+
+
+class Letter(str, Enum):
+    """Per-dimension sketching modes (see module docstring)."""
+
+    INTERVAL = "I"
+    ENDPOINTS = "E"
+    LOWER_POINT = "P"
+    UPPER_POINT = "U"
+    LOWER_LEAF = "l"
+    UPPER_LEAF = "u"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+Word = tuple[Letter, ...]
+
+
+#: Letter complement used by the join estimators: I <-> E, leaf lower <-> leaf upper.
+JOIN_COMPLEMENT: dict[Letter, Letter] = {
+    Letter.INTERVAL: Letter.ENDPOINTS,
+    Letter.ENDPOINTS: Letter.INTERVAL,
+    Letter.LOWER_LEAF: Letter.UPPER_LEAF,
+    Letter.UPPER_LEAF: Letter.LOWER_LEAF,
+    Letter.LOWER_POINT: Letter.INTERVAL,
+    Letter.UPPER_POINT: Letter.INTERVAL,
+}
+
+
+def complement_word(word: Word) -> Word:
+    """The word ``w-bar`` obtained by complementing every letter."""
+    return tuple(JOIN_COMPLEMENT[letter] for letter in word)
+
+
+def all_words(letters: Sequence[Letter], dimension: int) -> list[Word]:
+    """All ``len(letters)^dimension`` words over the given letters."""
+    words: list[Word] = [()]
+    for _ in range(dimension):
+        words = [w + (letter,) for w in words for letter in letters]
+    return words
+
+
+class SketchBank:
+    """A bank of ``num_instances`` atomic spatial sketches over one dataset.
+
+    Parameters
+    ----------
+    domain:
+        The d-dimensional data space (with optional maxLevel restrictions).
+    words:
+        The words whose counters are maintained.
+    num_instances:
+        Number of independent atomic sketches.
+    seed:
+        Seed for the xi families (ignored when ``xi_banks`` is given).
+    xi_banks:
+        Per-dimension :class:`FourWiseFamilyBank` objects to share with
+        another bank (the two inputs of a join must share their families).
+    """
+
+    #: Upper bound on ``num_instances * ids_per_chunk`` for one vectorised step.
+    _CHUNK_ELEMENT_BUDGET = 1 << 23
+
+    def __init__(self, domain: Domain, words: Sequence[Word], num_instances: int,
+                 *, seed=0, xi_banks: Sequence[FourWiseFamilyBank] | None = None) -> None:
+        if num_instances < 1:
+            raise SketchConfigError("a sketch bank needs at least one instance")
+        words = [tuple(w) for w in words]
+        if not words:
+            raise SketchConfigError("a sketch bank needs at least one word")
+        for word in words:
+            if len(word) != domain.dimension:
+                raise DimensionalityError(
+                    f"word {word} has {len(word)} letters but the domain is "
+                    f"{domain.dimension}-dimensional"
+                )
+            if not all(isinstance(letter, Letter) for letter in word):
+                raise SketchConfigError(f"word {word} contains non-Letter entries")
+        if len(set(words)) != len(words):
+            raise SketchConfigError("duplicate words in sketch bank configuration")
+
+        self._domain = domain
+        self._words: tuple[Word, ...] = tuple(words)
+        self._num_instances = int(num_instances)
+
+        if xi_banks is None:
+            rng = np.random.default_rng(seed)
+            xi_banks = []
+            for dim in range(domain.dimension):
+                universe = domain.dyadic(dim).num_nodes
+                xi_banks.append(FourWiseFamilyBank(num_instances, universe, rng))
+        else:
+            xi_banks = list(xi_banks)
+            if len(xi_banks) != domain.dimension:
+                raise SketchConfigError("one xi bank per dimension is required")
+            for dim, bank in enumerate(xi_banks):
+                if bank.num_families != num_instances:
+                    raise SketchConfigError("xi banks disagree with num_instances")
+                if bank.universe_size < domain.dyadic(dim).num_nodes:
+                    raise SketchConfigError(
+                        f"xi bank universe too small for dimension {dim}"
+                    )
+        self._xi: tuple[FourWiseFamilyBank, ...] = tuple(xi_banks)
+        self._counters: dict[Word, np.ndarray] = {
+            word: np.zeros(num_instances, dtype=np.float64) for word in self._words
+        }
+        self._updates = 0
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    @property
+    def dimension(self) -> int:
+        return self._domain.dimension
+
+    @property
+    def words(self) -> tuple[Word, ...]:
+        return self._words
+
+    @property
+    def num_instances(self) -> int:
+        return self._num_instances
+
+    @property
+    def xi_banks(self) -> tuple[FourWiseFamilyBank, ...]:
+        return self._xi
+
+    @property
+    def num_updates(self) -> int:
+        """Number of boxes inserted minus boxes deleted so far."""
+        return self._updates
+
+    def counter(self, word: Word) -> np.ndarray:
+        """A copy of the per-instance counter values for ``word``."""
+        return self._counters[tuple(word)].copy()
+
+    def counters(self) -> Mapping[Word, np.ndarray]:
+        """Copies of every counter, keyed by word."""
+        return {word: values.copy() for word, values in self._counters.items()}
+
+    def companion(self, words: Sequence[Word] | None = None) -> "SketchBank":
+        """A new empty bank sharing this bank's xi families.
+
+        The two inputs of a join must be sketched against the *same* xi
+        families; ``companion`` is how the second input's bank is created.
+        """
+        return SketchBank(
+            self._domain,
+            self._words if words is None else words,
+            self._num_instances,
+            xi_banks=self._xi,
+        )
+
+    # -- composition and persistence -------------------------------------------
+
+    def merge(self, other: "SketchBank") -> None:
+        """Add another bank's counters into this one.
+
+        Sketches are linear projections, so the merged bank summarises the
+        union (multiset sum) of the two inputs — the standard way to build a
+        sketch over partitioned or distributed data.  Both banks must have
+        been created over the *same* xi families (e.g. via :meth:`companion`
+        or from the same seed and domain).
+        """
+        if other.words != self._words:
+            raise SketchConfigError("cannot merge banks with different word sets")
+        if other.num_instances != self._num_instances:
+            raise SketchConfigError("cannot merge banks with different instance counts")
+        for mine, theirs in zip(self._xi, other._xi):
+            if mine is not theirs and not np.array_equal(mine.coefficients,
+                                                         theirs.coefficients):
+                raise SketchConfigError("cannot merge banks built over different xi families")
+        for word in self._words:
+            self._counters[word] += other._counters[word]
+        self._updates += other._updates
+
+    def state_dict(self) -> dict:
+        """A JSON-serialisable snapshot of the bank's counters and seeds.
+
+        Together with the domain configuration this is everything needed to
+        resume maintenance or answer estimates later / elsewhere.
+        """
+        return {
+            "num_instances": self._num_instances,
+            "updates": self._updates,
+            "words": ["".join(letter.value for letter in word) for word in self._words],
+            "counters": {
+                "".join(letter.value for letter in word): values.tolist()
+                for word, values in self._counters.items()
+            },
+            "xi_coefficients": [bank.coefficients.tolist() for bank in self._xi],
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        """Restore counters previously captured by :meth:`state_dict`.
+
+        The bank must have been constructed with the same configuration; the
+        xi seeds stored in the snapshot are checked against the bank's own to
+        guard against mixing incompatible sketches.
+        """
+        if int(state["num_instances"]) != self._num_instances:
+            raise SketchConfigError("snapshot was taken with a different instance count")
+        expected_words = ["".join(letter.value for letter in word) for word in self._words]
+        if list(state["words"]) != expected_words:
+            raise SketchConfigError("snapshot was taken with a different word set")
+        for dim, coefficients in enumerate(state["xi_coefficients"]):
+            if not np.array_equal(np.asarray(coefficients, dtype=np.uint64),
+                                  self._xi[dim].coefficients):
+                raise SketchConfigError(
+                    "snapshot was taken over different xi families (seed mismatch)"
+                )
+        for word, key in zip(self._words, expected_words):
+            values = np.asarray(state["counters"][key], dtype=np.float64)
+            if values.shape != (self._num_instances,):
+                raise SketchConfigError("snapshot counter shape mismatch")
+            self._counters[word] = values.copy()
+        self._updates = int(state["updates"])
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert(self, boxes: BoxSet, *, weight: float = 1.0,
+               letter_boxes: Mapping[Letter, BoxSet] | None = None) -> None:
+        """Add ``weight`` times the contribution of every box to all counters.
+
+        ``letter_boxes`` optionally overrides the coordinates used for
+        specific letters (the extended-overlap estimator sketches shrunk
+        coordinates for I/E letters but original coordinates for the leaf
+        letters of the same objects).
+        """
+        if boxes.dimension != self.dimension:
+            raise DimensionalityError(
+                f"boxes are {boxes.dimension}-dimensional, bank is {self.dimension}-dimensional"
+            )
+        count = len(boxes)
+        if count == 0:
+            return
+        sources: dict[Letter, BoxSet] = {}
+        for letter in self._letters_in_use():
+            override = None if letter_boxes is None else letter_boxes.get(letter)
+            source = boxes if override is None else override
+            if len(source) != count:
+                raise SketchConfigError("letter_boxes overrides must have the same cardinality")
+            self._domain.validate_boxes(source, what=f"boxes for letter {letter}")
+            sources[letter] = source
+
+        chunk = self._chunk_size()
+        for start in range(0, count, chunk):
+            stop = min(start + chunk, count)
+            self._insert_chunk(sources, start, stop, weight)
+        self._updates += int(round(weight)) * count if weight in (1.0, -1.0) else count
+
+    def delete(self, boxes: BoxSet, *,
+               letter_boxes: Mapping[Letter, BoxSet] | None = None) -> None:
+        """Remove previously inserted boxes (sketches are linear projections)."""
+        self.insert(boxes, weight=-1.0, letter_boxes=letter_boxes)
+
+    # -- query-side evaluation ------------------------------------------------------
+
+    def evaluate(self, word: Word, box: BoxSet) -> np.ndarray:
+        """Per-instance value of ``prod_i s(i, word[i], box(i))`` for one box.
+
+        Used to evaluate the *query side* of range queries, where the query
+        rectangle is known and does not need to be summarised in a counter.
+        """
+        word = tuple(word)
+        if len(word) != self.dimension:
+            raise DimensionalityError("word dimensionality mismatch")
+        if len(box) != 1:
+            raise SketchConfigError("evaluate expects exactly one box")
+        self._domain.validate_boxes(box, what="query box")
+        product = np.ones(self._num_instances, dtype=np.float64)
+        for dim, letter in enumerate(word):
+            sums = self._letter_sums(dim, letter, box.lows[:, dim], box.highs[:, dim])
+            product *= sums[:, 0]
+        return product
+
+    # -- internals ----------------------------------------------------------------
+
+    def _letters_in_use(self) -> set[Letter]:
+        return {letter for word in self._words for letter in word}
+
+    def _chunk_size(self) -> int:
+        # A conservative bound on cover ids per box and dimension.
+        worst_cover = 1
+        for dim in range(self.dimension):
+            dyadic = self._domain.dyadic(dim)
+            worst_cover = max(worst_cover, 2 * max(dyadic.max_level, 1) + 2)
+        per_box = worst_cover
+        chunk = max(1, self._CHUNK_ELEMENT_BUDGET // max(1, self._num_instances * per_box))
+        return chunk
+
+    def _insert_chunk(self, sources: Mapping[Letter, BoxSet], start: int, stop: int,
+                      weight: float) -> None:
+        sums: dict[tuple[int, Letter], np.ndarray] = {}
+        for word in self._words:
+            for dim, letter in enumerate(word):
+                key = (dim, letter)
+                if key in sums:
+                    continue
+                source = sources[letter]
+                sums[key] = self._letter_sums(
+                    dim, letter, source.lows[start:stop, dim], source.highs[start:stop, dim]
+                )
+        for word in self._words:
+            term = sums[(0, word[0])]
+            if self.dimension > 1:
+                term = term.copy()
+                for dim in range(1, self.dimension):
+                    term *= sums[(dim, word[dim])]
+            self._counters[word] += weight * term.sum(axis=1)
+
+    def _letter_sums(self, dim: int, letter: Letter, lows: np.ndarray,
+                     highs: np.ndarray) -> np.ndarray:
+        """``(num_instances, num_boxes)`` per-box xi sums for one letter/dimension."""
+        dyadic = self._domain.dyadic(dim)
+        xi = self._xi[dim]
+        n_boxes = len(lows)
+        if letter is Letter.INTERVAL:
+            ids, lengths = dyadic.covers(lows, highs)
+            return self._segment_sums(xi, ids, lengths, n_boxes)
+        if letter is Letter.ENDPOINTS:
+            low_sums = self._point_cover_sums(xi, dyadic, lows)
+            high_sums = self._point_cover_sums(xi, dyadic, highs)
+            return low_sums + high_sums
+        if letter is Letter.LOWER_POINT:
+            return self._point_cover_sums(xi, dyadic, lows)
+        if letter is Letter.UPPER_POINT:
+            return self._point_cover_sums(xi, dyadic, highs)
+        if letter is Letter.LOWER_LEAF:
+            leaves = dyadic.size - 1 + np.asarray(lows, dtype=np.int64)
+            return xi.signs(leaves).astype(np.float64)
+        if letter is Letter.UPPER_LEAF:
+            leaves = dyadic.size - 1 + np.asarray(highs, dtype=np.int64)
+            return xi.signs(leaves).astype(np.float64)
+        raise SketchConfigError(f"unknown letter {letter!r}")
+
+    @staticmethod
+    def _point_cover_sums(xi: FourWiseFamilyBank, dyadic, coordinates: np.ndarray) -> np.ndarray:
+        ids, lengths = dyadic.point_covers(coordinates)
+        per_point = int(lengths[0]) if len(lengths) else dyadic.max_level + 1
+        signs = xi.signs(ids)
+        shaped = signs.reshape(xi.num_families, len(coordinates), per_point)
+        return shaped.sum(axis=2, dtype=np.float64)
+
+    @staticmethod
+    def _segment_sums(xi: FourWiseFamilyBank, ids: np.ndarray, lengths: np.ndarray,
+                      n_boxes: int) -> np.ndarray:
+        signs = xi.signs(ids)
+        if n_boxes == 0:
+            return np.zeros((xi.num_families, 0), dtype=np.float64)
+        starts = np.zeros(n_boxes, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        return np.add.reduceat(signs, starts, axis=1, dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SketchBank(d={self.dimension}, words={len(self._words)}, "
+            f"instances={self._num_instances}, updates={self._updates})"
+        )

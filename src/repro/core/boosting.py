@@ -1,0 +1,135 @@
+"""Accuracy boosting via averaging and median selection (Section 2.3).
+
+Given ``k1 * k2`` i.i.d. instances of an unbiased estimator Z, the boosted
+estimate is the median of ``k2`` group means of ``k1`` instances each
+(Figure 1 of the paper).  Lemma 1 gives the sizing rule:
+
+    using 16 * Var[Z] / (eps^2 * E[Z]^2) * lg(1/phi) instances, the boosted
+    estimate is within relative error ``eps`` of E[Z] with probability at
+    least ``1 - phi``.
+
+which is achieved with ``k1 = 8 * Var[Z] / (eps^2 * E[Z]^2)`` and
+``k2 = 2 * lg(1/phi)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SketchConfigError
+
+
+@dataclass(frozen=True)
+class BoostingPlan:
+    """A concrete (k1, k2) boosting configuration."""
+
+    group_size: int       # k1: instances averaged per group
+    num_groups: int       # k2: groups whose means are median-selected
+    epsilon: float | None = None
+    phi: float | None = None
+
+    @property
+    def total_instances(self) -> int:
+        return self.group_size * self.num_groups
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1 or self.num_groups < 1:
+            raise SketchConfigError("boosting plan needs k1 >= 1 and k2 >= 1")
+
+
+def plan_boosting(epsilon: float, phi: float, variance_bound: float,
+                  expectation_lower_bound: float, *,
+                  max_instances: int | None = None) -> BoostingPlan:
+    """Size a sketch for a target relative error and confidence (Lemma 1).
+
+    Parameters
+    ----------
+    epsilon:
+        Target relative error.
+    phi:
+        Target failure probability (confidence is ``1 - phi``).
+    variance_bound:
+        An upper bound on Var[Z] — e.g. ``SJ(R) * SJ(S) / 2`` for the
+        interval and rectangle joins (Equation 8 / Lemma 6).
+    expectation_lower_bound:
+        A lower ("sanity") bound on E[Z]; the paper discusses obtaining it
+        from historic data or coarse auxiliary estimates.
+    max_instances:
+        Optional cap on the total number of instances (the plan is clipped,
+        sacrificing the guarantee, which mirrors fixed-space experiments).
+    """
+    if not 0 < epsilon:
+        raise SketchConfigError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < phi < 1:
+        raise SketchConfigError(f"phi must be in (0, 1), got {phi}")
+    if variance_bound < 0:
+        raise SketchConfigError("variance bound must be non-negative")
+    if expectation_lower_bound <= 0:
+        raise SketchConfigError("the expectation lower bound must be positive")
+
+    k1 = max(1, math.ceil(8.0 * variance_bound / (epsilon ** 2 * expectation_lower_bound ** 2)))
+    k2 = max(1, math.ceil(2.0 * math.log2(1.0 / phi)))
+    if max_instances is not None and k1 * k2 > max_instances:
+        k2 = min(k2, max_instances)
+        k1 = max(1, max_instances // k2)
+    return BoostingPlan(group_size=k1, num_groups=k2, epsilon=epsilon, phi=phi)
+
+
+def split_instances(total: int, *, num_groups: int | None = None) -> BoostingPlan:
+    """A reasonable (k1, k2) split for a given total instance budget.
+
+    Used by fixed-space experiments where the number of instances is imposed
+    by a word budget rather than by an (epsilon, phi) target.  The number of
+    groups defaults to a small odd number so the median is well defined and
+    most of the budget goes into averaging.
+    """
+    if total < 1:
+        raise SketchConfigError("at least one instance is required")
+    if num_groups is None:
+        if total >= 45:
+            num_groups = 9
+        elif total >= 15:
+            num_groups = 5
+        elif total >= 3:
+            num_groups = 3
+        else:
+            num_groups = 1
+    num_groups = min(num_groups, total)
+    group_size = total // num_groups
+    return BoostingPlan(group_size=group_size, num_groups=num_groups)
+
+
+def median_of_means(values: np.ndarray, plan: BoostingPlan | None = None,
+                    *, num_groups: int | None = None) -> tuple[float, np.ndarray]:
+    """Boost per-instance estimator values into a single estimate.
+
+    Parameters
+    ----------
+    values:
+        1-d array of per-instance estimator values.
+    plan:
+        Optional explicit boosting plan; instances beyond
+        ``plan.total_instances`` are ignored.
+    num_groups:
+        Used when ``plan`` is not given; defaults to :func:`split_instances`.
+
+    Returns
+    -------
+    ``(estimate, group_means)``.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise SketchConfigError("cannot boost an empty set of estimator values")
+    if plan is None:
+        plan = split_instances(values.size, num_groups=num_groups)
+    usable = plan.total_instances
+    if usable > values.size:
+        raise SketchConfigError(
+            f"boosting plan needs {usable} instances but only {values.size} are available"
+        )
+    grouped = values[:usable].reshape(plan.num_groups, plan.group_size)
+    group_means = grouped.mean(axis=1)
+    return float(np.median(group_means)), group_means

@@ -1,0 +1,248 @@
+"""Dyadic decomposition of a finite integer domain (Section 3.1).
+
+A domain ``N = {0, ..., n-1}`` with ``n = 2^h`` is partitioned, for every
+level ``0 <= level <= h``, into ``2^(h-level)`` aligned intervals of length
+``2^level``.  Level 0 intervals are the individual coordinates and the
+single level-``h`` interval covers the whole domain.
+
+Dyadic intervals are identified by *node ids* following the classic
+segment-tree numbering: the root (whole domain) has id 0; the children of
+node ``v`` are ``2v+1`` and ``2v+2``.  There are exactly ``2n - 1`` nodes.
+
+Three operations from the paper are provided:
+
+* :meth:`DyadicDomain.cover` — the dyadic cover ``D([a, b])`` of an interval
+  (Lemma 2: at most ``2 log2 n`` intervals),
+* :meth:`DyadicDomain.point_cover` — the dyadic point cover ``D([a])``
+  (Lemma 3: exactly ``log2 n + 1`` intervals, one per level),
+* the ``max_level`` restriction of Section 6.5, which disallows dyadic
+  intervals longer than ``2^max_level``.  ``max_level = 0`` degenerates to
+  the standard (non-dyadic) sketches of Equation (1).
+
+Lemma 4 (a point lies in an interval iff the interval cover and the point
+cover share exactly one dyadic interval) continues to hold under any
+``max_level`` restriction, because the restricted cover is still a disjoint
+partition of the interval and the restricted point cover still contains
+every allowed dyadic interval covering the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DomainError
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two that is >= ``value`` (and >= 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (int(value) - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class DyadicInterval:
+    """A dyadic interval: ``level`` and position ``index`` within the level."""
+
+    level: int
+    index: int
+
+    @property
+    def length(self) -> int:
+        return 1 << self.level
+
+    @property
+    def lo(self) -> int:
+        return self.index << self.level
+
+    @property
+    def hi(self) -> int:
+        return ((self.index + 1) << self.level) - 1
+
+    def contains_point(self, point: int) -> bool:
+        return self.lo <= point <= self.hi
+
+
+class DyadicDomain:
+    """Dyadic structure over a padded domain of size ``2^height``.
+
+    Parameters
+    ----------
+    size:
+        Requested domain size; it is padded up to the next power of two
+        (footnote 1 in the paper).
+    max_level:
+        Largest dyadic level that covers may use (Section 6.5).  ``None``
+        (the default) allows all levels up to the root.
+    """
+
+    __slots__ = ("_requested_size", "_size", "_height", "_max_level")
+
+    def __init__(self, size: int, *, max_level: int | None = None) -> None:
+        if size < 1:
+            raise DomainError(f"domain size must be positive, got {size}")
+        self._requested_size = int(size)
+        self._size = next_power_of_two(int(size))
+        self._height = self._size.bit_length() - 1
+        if max_level is None:
+            max_level = self._height
+        if not 0 <= max_level <= self._height:
+            raise DomainError(
+                f"max_level must be in [0, {self._height}], got {max_level}"
+            )
+        self._max_level = int(max_level)
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def requested_size(self) -> int:
+        """The size that was asked for (before power-of-two padding)."""
+        return self._requested_size
+
+    @property
+    def size(self) -> int:
+        """The padded domain size ``n = 2^height``."""
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """``log2`` of the padded domain size."""
+        return self._height
+
+    @property
+    def max_level(self) -> int:
+        return self._max_level
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of dyadic intervals over the padded domain."""
+        return 2 * self._size - 1
+
+    def with_max_level(self, max_level: int | None) -> "DyadicDomain":
+        """A copy of this domain with a different level restriction."""
+        return DyadicDomain(self._requested_size, max_level=max_level)
+
+    # -- node id conversions --------------------------------------------------
+
+    def node_id(self, level: int, index: int) -> int:
+        """Node id of the dyadic interval at ``(level, index)``."""
+        if not 0 <= level <= self._height:
+            raise DomainError(f"level {level} outside [0, {self._height}]")
+        num_at_level = self._size >> level
+        if not 0 <= index < num_at_level:
+            raise DomainError(f"index {index} outside [0, {num_at_level}) at level {level}")
+        # Nodes at depth d = height - level start at id 2^d - 1.
+        depth = self._height - level
+        return (1 << depth) - 1 + index
+
+    def interval_of(self, node: int) -> DyadicInterval:
+        """The dyadic interval corresponding to a node id."""
+        if not 0 <= node < self.num_nodes:
+            raise DomainError(f"node id {node} outside [0, {self.num_nodes})")
+        depth = (node + 1).bit_length() - 1
+        level = self._height - depth
+        index = node - ((1 << depth) - 1)
+        return DyadicInterval(level, index)
+
+    def leaf_id(self, coordinate: int) -> int:
+        """Node id of the level-0 dyadic interval at ``coordinate``."""
+        self._check_coordinate(coordinate)
+        return self._size - 1 + coordinate
+
+    # -- covers ---------------------------------------------------------------
+
+    def _check_coordinate(self, coordinate: int) -> None:
+        if not 0 <= coordinate < self._size:
+            raise DomainError(
+                f"coordinate {coordinate} outside padded domain [0, {self._size})"
+            )
+
+    def point_cover(self, coordinate: int) -> list[int]:
+        """Node ids of all allowed dyadic intervals containing ``coordinate``.
+
+        Without a level restriction this is the root-to-leaf path of length
+        ``height + 1`` (Lemma 3); with ``max_level = m`` it is the lowest
+        ``m + 1`` nodes of that path.
+        """
+        self._check_coordinate(coordinate)
+        node = self._size - 1 + int(coordinate)
+        cover = [node]
+        for _ in range(self._max_level):
+            node = (node - 1) >> 1
+            cover.append(node)
+        return cover
+
+    def cover(self, lo: int, hi: int) -> list[int]:
+        """Node ids of the canonical dyadic cover of ``[lo, hi]`` (Lemma 2).
+
+        The cover is the unique minimal set of disjoint, allowed dyadic
+        intervals whose union is ``[lo, hi]``.  Without a level restriction
+        it has at most ``2 log2 n`` elements; with ``max_level = m`` an
+        interval of length ``L`` needs at most ``L / 2^m + 2 m`` elements.
+        """
+        self._check_coordinate(lo)
+        self._check_coordinate(hi)
+        if lo > hi:
+            raise DomainError(f"cover requested for empty interval [{lo}, {hi}]")
+        cover: list[int] = []
+        pos = int(lo)
+        hi = int(hi)
+        while pos <= hi:
+            # Largest allowed level at which `pos` is aligned and the block fits.
+            level = self._max_level
+            remaining = hi - pos + 1
+            max_fit = remaining.bit_length() - 1
+            if max_fit < level:
+                level = max_fit
+            if pos:
+                alignment = (pos & -pos).bit_length() - 1
+                if alignment < level:
+                    level = alignment
+            cover.append(self.node_id(level, pos >> level))
+            pos += 1 << level
+        return cover
+
+    def covers(self, lows: np.ndarray, highs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vector form of :meth:`cover` for parallel low/high arrays.
+
+        Returns ``(ids, lengths)`` where ``ids`` is the concatenation of all
+        covers and ``lengths[i]`` is the size of the cover of box ``i``.
+        """
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        ids: list[int] = []
+        lengths = np.empty(len(lows), dtype=np.int64)
+        for i in range(len(lows)):
+            cov = self.cover(int(lows[i]), int(highs[i]))
+            ids.extend(cov)
+            lengths[i] = len(cov)
+        return np.asarray(ids, dtype=np.int64), lengths
+
+    def point_covers(self, coordinates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vector form of :meth:`point_cover`; every cover has the same length."""
+        coordinates = np.asarray(coordinates, dtype=np.int64)
+        if coordinates.size and (coordinates.min() < 0 or coordinates.max() >= self._size):
+            raise DomainError("coordinate outside padded domain")
+        per_point = self._max_level + 1
+        nodes = np.empty((len(coordinates), per_point), dtype=np.int64)
+        current = self._size - 1 + coordinates
+        nodes[:, 0] = current
+        for step in range(1, per_point):
+            current = (current - 1) >> 1
+            nodes[:, step] = current
+        lengths = np.full(len(coordinates), per_point, dtype=np.int64)
+        return nodes.reshape(-1), lengths
+
+    # -- debugging helpers -----------------------------------------------------
+
+    def describe_cover(self, lo: int, hi: int) -> list[DyadicInterval]:
+        """The cover of ``[lo, hi]`` as :class:`DyadicInterval` objects."""
+        return [self.interval_of(node) for node in self.cover(lo, hi)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DyadicDomain(size={self._size}, height={self._height}, "
+            f"max_level={self._max_level})"
+        )

@@ -1,0 +1,228 @@
+"""Shared machinery for the sketch-based join estimators.
+
+Every join estimator in this library follows the same pattern:
+
+1. maintain one :class:`~repro.core.atomic.SketchBank` per join input, built
+   over *shared* xi families,
+2. compute, per atomic-sketch instance, the estimator random variable Z as a
+   linear combination of products of word counters,
+3. boost the per-instance values into a final estimate via median-of-means
+   (Section 2.3).
+
+The linear combinations themselves are all generated from *per-dimension
+pair terms*: a pair term ``(letter_R, letter_S, coefficient, transformed)``
+states that in a single dimension the product of the letter_R counter of R
+and the letter_S counter of S contributes with the given coefficient to the
+per-dimension count, optionally on endpoint-transformed coordinates.  For d
+dimensions the estimator is the sum over all ways of picking one pair term
+per dimension, with the product of the coefficients (this is exactly how the
+paper's Z generalises from Theorem 1 to Theorem 3 and Appendices B/C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.atomic import Letter, SketchBank, Word
+from repro.core.boosting import BoostingPlan, median_of_means, split_instances
+from repro.core.domain import Domain, EndpointTransform
+from repro.core.result import EstimateResult
+from repro.errors import EstimationError, SketchConfigError
+from repro.geometry.boxset import BoxSet
+
+
+@dataclass(frozen=True)
+class PairTerm:
+    """A per-dimension contribution to the estimator (see module docstring)."""
+
+    left_letter: Letter
+    right_letter: Letter
+    coefficient: float
+    transformed: bool = False
+
+
+def expand_pair_terms(pair_terms: Sequence[PairTerm], dimension: int
+                      ) -> dict[tuple[Word, Word], float]:
+    """Accumulate coefficients of (left word, right word) products for d dims."""
+    combos: dict[tuple[Word, Word], float] = {}
+    for choice in itertools.product(pair_terms, repeat=dimension):
+        left_word = tuple(term.left_letter for term in choice)
+        right_word = tuple(term.right_letter for term in choice)
+        coefficient = 1.0
+        for term in choice:
+            coefficient *= term.coefficient
+        key = (left_word, right_word)
+        combos[key] = combos.get(key, 0.0) + coefficient
+    return combos
+
+
+class PairedSketchJoinEstimator:
+    """Base class for estimators over two spatial inputs R (left) and S (right).
+
+    Subclasses define the pair terms; this class owns sketch construction,
+    streaming updates (insert/delete), per-instance Z evaluation and
+    boosting.
+    """
+
+    def __init__(self, domain: Domain, pair_terms: Sequence[PairTerm],
+                 num_instances: int, *, seed=0,
+                 boosting: BoostingPlan | None = None,
+                 use_endpoint_transform: bool = False) -> None:
+        if num_instances < 1:
+            raise SketchConfigError("at least one atomic-sketch instance is required")
+        self._original_domain = domain
+        self._pair_terms = tuple(pair_terms)
+        if not self._pair_terms:
+            raise SketchConfigError("at least one pair term is required")
+        self._plan = boosting
+        self._num_instances = int(num_instances)
+        self._seed = seed
+
+        needs_transform = use_endpoint_transform or any(t.transformed for t in self._pair_terms)
+        self._transform = EndpointTransform(domain) if needs_transform else None
+        self._sketch_domain = (self._transform.expanded_domain
+                               if self._transform is not None else domain)
+
+        self._combos = expand_pair_terms(self._pair_terms, domain.dimension)
+        left_words = sorted({left for left, _ in self._combos}, key=str)
+        right_words = sorted({right for _, right in self._combos}, key=str)
+        self._left_bank = SketchBank(self._sketch_domain, left_words,
+                                     num_instances, seed=seed)
+        self._right_bank = self._left_bank.companion(right_words)
+        self._left_count = 0
+        self._right_count = 0
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def domain(self) -> Domain:
+        """The original (untransformed) data domain."""
+        return self._original_domain
+
+    @property
+    def dimension(self) -> int:
+        return self._original_domain.dimension
+
+    @property
+    def num_instances(self) -> int:
+        return self._num_instances
+
+    @property
+    def left_bank(self) -> SketchBank:
+        return self._left_bank
+
+    @property
+    def right_bank(self) -> SketchBank:
+        return self._right_bank
+
+    @property
+    def left_count(self) -> int:
+        """Current cardinality of the left input."""
+        return self._left_count
+
+    @property
+    def right_count(self) -> int:
+        """Current cardinality of the right input."""
+        return self._right_count
+
+    @property
+    def boosting_plan(self) -> BoostingPlan:
+        if self._plan is not None:
+            return self._plan
+        return split_instances(self._num_instances)
+
+    @property
+    def uses_endpoint_transform(self) -> bool:
+        return self._transform is not None
+
+    def storage_words(self) -> float:
+        """Words charged to each dataset under the accounting of DESIGN.md."""
+        from repro.core import space
+
+        counters = len(self._left_bank.words)
+        return space.sketch_words(self.dimension, self._num_instances,
+                                  counters_per_instance=counters)
+
+    # -- coordinate preparation (overridable) -----------------------------------------
+
+    def _prepare_left(self, boxes: BoxSet) -> tuple[BoxSet, Mapping[Letter, BoxSet] | None]:
+        """Coordinates actually sketched for the left input."""
+        if self._transform is None:
+            return boxes, None
+        return self._transform.transform_left(boxes), None
+
+    def _prepare_right(self, boxes: BoxSet) -> tuple[BoxSet, Mapping[Letter, BoxSet] | None]:
+        """Coordinates actually sketched for the right input."""
+        if self._transform is None:
+            return boxes, None
+        return self._transform.transform_right(boxes), None
+
+    # -- updates --------------------------------------------------------------------
+
+    def insert_left(self, boxes: BoxSet) -> None:
+        """Insert boxes into the left (R) input."""
+        prepared, overrides = self._prepare_left(boxes)
+        self._left_bank.insert(prepared, letter_boxes=overrides)
+        self._left_count += len(boxes)
+
+    def insert_right(self, boxes: BoxSet) -> None:
+        """Insert boxes into the right (S) input."""
+        prepared, overrides = self._prepare_right(boxes)
+        self._right_bank.insert(prepared, letter_boxes=overrides)
+        self._right_count += len(boxes)
+
+    def delete_left(self, boxes: BoxSet) -> None:
+        """Delete previously inserted boxes from the left input."""
+        prepared, overrides = self._prepare_left(boxes)
+        self._left_bank.insert(prepared, weight=-1.0, letter_boxes=overrides)
+        self._left_count -= len(boxes)
+
+    def delete_right(self, boxes: BoxSet) -> None:
+        """Delete previously inserted boxes from the right input."""
+        prepared, overrides = self._prepare_right(boxes)
+        self._right_bank.insert(prepared, weight=-1.0, letter_boxes=overrides)
+        self._right_count -= len(boxes)
+
+    # -- estimation ---------------------------------------------------------------------
+
+    def instance_values(self) -> np.ndarray:
+        """The per-instance estimator values Z (before boosting)."""
+        values = np.zeros(self._num_instances, dtype=np.float64)
+        for (left_word, right_word), coefficient in self._combos.items():
+            values += coefficient * (self._left_bank.counter(left_word)
+                                     * self._right_bank.counter(right_word))
+        return values
+
+    def estimate(self, *, plan: BoostingPlan | None = None) -> EstimateResult:
+        """Boosted estimate of the join cardinality."""
+        if self._left_count == 0 and self._right_count == 0 and \
+                self._left_bank.num_updates == 0 and self._right_bank.num_updates == 0:
+            raise EstimationError("estimate requested before any data was inserted")
+        values = self.instance_values()
+        plan = plan or self._plan
+        estimate, group_means = median_of_means(values, plan)
+        return EstimateResult(
+            estimate=estimate,
+            instance_values=values,
+            group_means=group_means,
+            left_count=self._left_count,
+            right_count=self._right_count,
+        )
+
+    def estimate_cardinality(self) -> float:
+        """Shorthand returning only the boosted cardinality estimate."""
+        return self.estimate().estimate
+
+    def estimate_selectivity(self) -> float:
+        """Shorthand returning only the boosted selectivity estimate."""
+        return self.estimate().selectivity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(d={self.dimension}, instances={self._num_instances}, "
+            f"|R|={self._left_count}, |S|={self._right_count})"
+        )

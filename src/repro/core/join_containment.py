@@ -1,0 +1,142 @@
+"""Containment joins (Appendix B.2).
+
+The containment join asks how many pairs ``(r, s)`` with ``r`` from the
+outer input and ``s`` from the inner input satisfy ``s`` contained in ``r``
+(closed containment, i.e. ``l(r_i) <= l(s_i)`` and ``u(s_i) <= u(r_i)`` in
+every dimension).
+
+Following Appendix B.2, the d-dimensional containment problem is translated
+into a 2d-dimensional point-in-hyper-rectangle problem: the outer rectangle
+``r`` becomes the 2d-dimensional box ``prod_i (r(i) x r(i))`` and the inner
+rectangle ``s`` becomes the 2d-dimensional point
+``(l(s_1), u(s_1), ..., l(s_d), u(s_d))``.  Then ``s`` is contained in ``r``
+iff the point lies inside the box, which is exactly the epsilon-join
+counting primitive (Section 6.3): ``Z = X_outer * Y_inner`` with an all-I
+word on the box side and an all-point word on the point side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.atomic import Letter, SketchBank
+from repro.core.boosting import BoostingPlan, median_of_means, split_instances
+from repro.core.domain import Domain
+from repro.core.result import EstimateResult
+from repro.errors import EstimationError, SketchConfigError
+from repro.geometry.boxset import BoxSet
+
+
+class ContainmentJoinEstimator:
+    """Estimates ``|{(r, s) : s contained in r}|`` for two hyper-rectangle sets."""
+
+    def __init__(self, domain: Domain, num_instances: int, *, seed=0,
+                 boosting: BoostingPlan | None = None) -> None:
+        if num_instances < 1:
+            raise SketchConfigError("at least one atomic-sketch instance is required")
+        self._domain = domain
+        self._plan = boosting
+        self._num_instances = int(num_instances)
+        # The doubled domain: dimension i of the data contributes dimensions
+        # 2i and 2i+1, both over the same coordinate range.
+        doubled_sizes = []
+        doubled_levels = []
+        for dyadic in domain.dyadics:
+            doubled_sizes.extend([dyadic.requested_size, dyadic.requested_size])
+            level = None if dyadic.max_level == dyadic.height else dyadic.max_level
+            doubled_levels.extend([level, level])
+        self._doubled = Domain(doubled_sizes, max_levels=doubled_levels)
+
+        outer_word = (Letter.INTERVAL,) * self._doubled.dimension
+        inner_word = (Letter.LOWER_POINT,) * self._doubled.dimension
+        self._outer_word = outer_word
+        self._inner_word = inner_word
+        self._outer_bank = SketchBank(self._doubled, [outer_word], num_instances, seed=seed)
+        self._inner_bank = self._outer_bank.companion([inner_word])
+        self._outer_count = 0
+        self._inner_count = 0
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    @property
+    def dimension(self) -> int:
+        return self._domain.dimension
+
+    @property
+    def num_instances(self) -> int:
+        return self._num_instances
+
+    @property
+    def outer_count(self) -> int:
+        return self._outer_count
+
+    @property
+    def inner_count(self) -> int:
+        return self._inner_count
+
+    # -- the dimension-doubling transformation -----------------------------------------
+
+    def _double_outer(self, boxes: BoxSet) -> BoxSet:
+        """``r -> prod_i (r(i) x r(i))`` as a 2d-dimensional box set."""
+        self._domain.validate_boxes(boxes, what="outer boxes")
+        lows = np.repeat(boxes.lows, 2, axis=1)
+        highs = np.repeat(boxes.highs, 2, axis=1)
+        return BoxSet(lows, highs, validate=False)
+
+    def _double_inner(self, boxes: BoxSet) -> BoxSet:
+        """``s -> (l(s_1), u(s_1), ..., l(s_d), u(s_d))`` as degenerate boxes."""
+        self._domain.validate_boxes(boxes, what="inner boxes")
+        n, d = boxes.lows.shape
+        coords = np.empty((n, 2 * d), dtype=np.int64)
+        coords[:, 0::2] = boxes.lows
+        coords[:, 1::2] = boxes.highs
+        return BoxSet(coords, coords.copy(), validate=False)
+
+    # -- updates --------------------------------------------------------------------------
+
+    def insert_outer(self, boxes: BoxSet) -> None:
+        """Insert containing-side rectangles."""
+        self._outer_bank.insert(self._double_outer(boxes))
+        self._outer_count += len(boxes)
+
+    def insert_inner(self, boxes: BoxSet) -> None:
+        """Insert contained-side rectangles."""
+        self._inner_bank.insert(self._double_inner(boxes))
+        self._inner_count += len(boxes)
+
+    def delete_outer(self, boxes: BoxSet) -> None:
+        self._outer_bank.insert(self._double_outer(boxes), weight=-1.0)
+        self._outer_count -= len(boxes)
+
+    def delete_inner(self, boxes: BoxSet) -> None:
+        self._inner_bank.insert(self._double_inner(boxes), weight=-1.0)
+        self._inner_count -= len(boxes)
+
+    # -- estimation -------------------------------------------------------------------------
+
+    def instance_values(self) -> np.ndarray:
+        return (self._outer_bank.counter(self._outer_word)
+                * self._inner_bank.counter(self._inner_word))
+
+    def estimate(self, *, plan: BoostingPlan | None = None) -> EstimateResult:
+        if self._outer_count == 0 and self._inner_count == 0:
+            raise EstimationError("estimate requested before any data was inserted")
+        values = self.instance_values()
+        estimate, group_means = median_of_means(values, plan or self._plan)
+        return EstimateResult(
+            estimate=estimate,
+            instance_values=values,
+            group_means=group_means,
+            left_count=self._outer_count,
+            right_count=self._inner_count,
+        )
+
+    def estimate_cardinality(self) -> float:
+        return self.estimate().estimate
+
+    def estimate_selectivity(self) -> float:
+        return self.estimate().selectivity

@@ -1,0 +1,155 @@
+"""Range-query selectivity estimation (Section 6.4, Lemma 9).
+
+A range query selects every hyper-rectangle of R that overlaps the query
+hyper-rectangle ``q``.  Because the query is known at estimation time, only
+the data set needs to be sketched.  Per dimension, an interval ``[a, b]`` of
+R overlaps the query range ``[u, v]`` iff
+
+    (b lies in [u, v])   XOR-free or   (v lies in [a, b]),
+
+two mutually exclusive conditions that together cover all overlap cases.
+Hence two atomic sketches per dimension suffice: ``X_I`` (interval cover)
+and ``X_U`` (upper-endpoint point cover), and per instance
+
+    Z = sum over words w in {I, U}^d of
+            prod_i q_i(w[i]) * X_w
+
+where ``q_i(U)`` is the xi sum over the dyadic cover of the query range in
+dimension ``i`` and ``q_i(I)`` is the xi sum over the point cover of the
+query's upper endpoint ``v_i``.
+
+Note on boundaries: the counting conditions use closed containment, so a
+data rectangle that merely *touches* the query rectangle is counted as
+selected.  This matches the common "window query" semantics; pass
+``strict=True`` to :meth:`RangeQueryEstimator.estimate` to apply the
+endpoint transformation and reproduce the strict Definition 1 semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.atomic import Letter, SketchBank, Word, all_words
+from repro.core.boosting import BoostingPlan, median_of_means
+from repro.core.domain import Domain, EndpointTransform
+from repro.core.result import EstimateResult
+from repro.errors import DimensionalityError, EstimationError, SketchConfigError
+from repro.geometry.boxset import BoxSet
+from repro.geometry.rectangle import Rect
+
+
+class RangeQueryEstimator:
+    """Estimates ``|Q(q, R)|``, the number of rectangles of R overlapping ``q``.
+
+    Parameters
+    ----------
+    domain:
+        The data space.
+    num_instances:
+        Number of independent atomic-sketch instances.
+    strict:
+        When True, the Section 5.2 endpoint transformation is applied so
+        that touching rectangles are *not* counted (Definition 1 semantics).
+        When False (default), closed-overlap semantics are used.
+    """
+
+    def __init__(self, domain: Domain, num_instances: int, *, seed=0, strict: bool = False,
+                 boosting: BoostingPlan | None = None) -> None:
+        if num_instances < 1:
+            raise SketchConfigError("at least one atomic-sketch instance is required")
+        self._original_domain = domain
+        self._plan = boosting
+        self._num_instances = int(num_instances)
+        self._strict = bool(strict)
+        self._transform = EndpointTransform(domain) if strict else None
+        self._sketch_domain = (self._transform.expanded_domain
+                               if self._transform is not None else domain)
+        self._words = all_words([Letter.INTERVAL, Letter.UPPER_POINT], domain.dimension)
+        self._bank = SketchBank(self._sketch_domain, self._words, num_instances, seed=seed)
+        self._count = 0
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def domain(self) -> Domain:
+        return self._original_domain
+
+    @property
+    def dimension(self) -> int:
+        return self._original_domain.dimension
+
+    @property
+    def num_instances(self) -> int:
+        return self._num_instances
+
+    @property
+    def count(self) -> int:
+        """Current cardinality of the summarised relation."""
+        return self._count
+
+    @property
+    def bank(self) -> SketchBank:
+        return self._bank
+
+    # -- updates -------------------------------------------------------------------------
+
+    def _prepare(self, boxes: BoxSet) -> BoxSet:
+        if self._transform is None:
+            return boxes
+        # Data rectangles play the role of the shrunk (S) side so that a data
+        # rectangle touching the query no longer overlaps it.
+        return self._transform.transform_right(boxes)
+
+    def insert(self, boxes: BoxSet) -> None:
+        self._bank.insert(self._prepare(boxes))
+        self._count += len(boxes)
+
+    def delete(self, boxes: BoxSet) -> None:
+        self._bank.insert(self._prepare(boxes), weight=-1.0)
+        self._count -= len(boxes)
+
+    # -- estimation -----------------------------------------------------------------------
+
+    def _query_box(self, query: Rect | BoxSet) -> BoxSet:
+        if isinstance(query, Rect):
+            query = BoxSet.from_rects([query])
+        if len(query) != 1:
+            raise SketchConfigError("a range query consists of exactly one rectangle")
+        if query.dimension != self.dimension:
+            raise DimensionalityError("query dimensionality does not match the domain")
+        if self._transform is not None:
+            query = self._transform.transform_query(query)
+        return query
+
+    def instance_values(self, query: Rect | BoxSet) -> np.ndarray:
+        query_box = self._query_box(query)
+        values = np.zeros(self._num_instances, dtype=np.float64)
+        for word in self._words:
+            query_word: Word = tuple(
+                Letter.INTERVAL if letter is Letter.UPPER_POINT else Letter.UPPER_POINT
+                for letter in word
+            )
+            values += self._bank.counter(word) * self._bank.evaluate(query_word, query_box)
+        return values
+
+    def estimate(self, query: Rect | BoxSet, *, plan: BoostingPlan | None = None
+                 ) -> EstimateResult:
+        """Boosted estimate of the number of rectangles selected by ``query``."""
+        if self._count == 0 and self._bank.num_updates == 0:
+            raise EstimationError("estimate requested before any data was inserted")
+        values = self.instance_values(query)
+        estimate, group_means = median_of_means(values, plan or self._plan)
+        return EstimateResult(
+            estimate=estimate,
+            instance_values=values,
+            group_means=group_means,
+            left_count=self._count,
+            right_count=1,
+        )
+
+    def estimate_cardinality(self, query: Rect | BoxSet) -> float:
+        return self.estimate(query).estimate
+
+    def estimate_selectivity(self, query: Rect | BoxSet) -> float:
+        """Estimated fraction of rectangles selected by ``query``."""
+        return self.estimate(query).selectivity

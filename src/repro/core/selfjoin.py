@@ -1,0 +1,134 @@
+"""Self-join sizes ``SJ(X_w)`` of atomic sketches.
+
+The variance bounds of Sections 4.1.4, 4.2.1 and 6 are expressed in terms
+of the self-join sizes of the atomic sketches:
+
+    SJ(X_w) = E[X_w^2] = sum over dyadic cells (delta_1, ..., delta_d) of
+              f_w(delta_1, ..., delta_d)^2
+
+where ``f_w`` counts (with multiplicity) how often a dyadic cell appears in
+the letter-specific covers of the dataset's objects.  Together with
+``SJ(R) = sum_w SJ(X_w)``, these quantities size the sketches for a target
+(epsilon, phi) guarantee (Theorems 1-3).
+
+Two ways of obtaining them are provided:
+
+* :func:`self_join_size` — exact computation from the dataset (used by the
+  Figure 7/8 experiments and by tests),
+* :func:`estimate_self_join` — the AMS estimate ``mean(X_w^2)`` computed from
+  an existing :class:`~repro.core.atomic.SketchBank`, usable when the data
+  is only seen as a stream.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.atomic import Letter, SketchBank, Word, all_words
+from repro.core.domain import Domain
+from repro.errors import DimensionalityError
+from repro.geometry.boxset import BoxSet
+
+
+def _letter_cover_ids(domain: Domain, dim: int, letter: Letter, lows: np.ndarray,
+                      highs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flat cover ids and per-box lengths for one dimension and letter."""
+    dyadic = domain.dyadic(dim)
+    if letter is Letter.INTERVAL:
+        return dyadic.covers(lows, highs)
+    if letter is Letter.ENDPOINTS:
+        low_ids, low_len = dyadic.point_covers(lows)
+        high_ids, high_len = dyadic.point_covers(highs)
+        per_point = int(low_len[0]) if len(low_len) else dyadic.max_level + 1
+        low_ids = low_ids.reshape(len(lows), per_point)
+        high_ids = high_ids.reshape(len(highs), per_point)
+        combined = np.concatenate([low_ids, high_ids], axis=1)
+        return combined.reshape(-1), np.full(len(lows), 2 * per_point, dtype=np.int64)
+    if letter is Letter.LOWER_POINT:
+        return dyadic.point_covers(lows)
+    if letter is Letter.UPPER_POINT:
+        return dyadic.point_covers(highs)
+    if letter is Letter.LOWER_LEAF:
+        ids = dyadic.size - 1 + np.asarray(lows, dtype=np.int64)
+        return ids, np.ones(len(lows), dtype=np.int64)
+    if letter is Letter.UPPER_LEAF:
+        ids = dyadic.size - 1 + np.asarray(highs, dtype=np.int64)
+        return ids, np.ones(len(highs), dtype=np.int64)
+    raise ValueError(f"unknown letter {letter!r}")
+
+
+def self_join_size(boxes: BoxSet, domain: Domain, word: Word) -> float:
+    """Exact ``SJ(X_w)`` of the atomic sketch for ``word`` over ``boxes``.
+
+    The computation enumerates, per box, the cross product of the per-
+    dimension cover id lists (with multiplicity) and counts how often each
+    dyadic cell is hit across the whole dataset.
+    """
+    word = tuple(word)
+    if len(word) != domain.dimension:
+        raise DimensionalityError("word dimensionality does not match the domain")
+    if boxes.dimension != domain.dimension:
+        raise DimensionalityError("boxes dimensionality does not match the domain")
+    if len(boxes) == 0:
+        return 0.0
+
+    per_dim_ids: list[np.ndarray] = []
+    per_dim_lengths: list[np.ndarray] = []
+    for dim, letter in enumerate(word):
+        ids, lengths = _letter_cover_ids(domain, dim, letter, boxes.lows[:, dim],
+                                         boxes.highs[:, dim])
+        per_dim_ids.append(ids)
+        per_dim_lengths.append(lengths)
+
+    # Encode dyadic-cell tuples as a single integer key per cell.
+    strides = []
+    stride = 1
+    for dim in reversed(range(domain.dimension)):
+        strides.append(stride)
+        stride *= domain.dyadic(dim).num_nodes
+    strides = list(reversed(strides))
+
+    keys_parts: list[np.ndarray] = []
+    offsets = [np.concatenate([[0], np.cumsum(lengths)]) for lengths in per_dim_lengths]
+    for box in range(len(boxes)):
+        cell_keys = np.zeros(1, dtype=np.int64)
+        for dim in range(domain.dimension):
+            ids = per_dim_ids[dim][offsets[dim][box]:offsets[dim][box + 1]]
+            cell_keys = (cell_keys[:, None] + ids[None, :] * strides[dim]).reshape(-1)
+        keys_parts.append(cell_keys)
+    keys = np.concatenate(keys_parts)
+    _, counts = np.unique(keys, return_counts=True)
+    return float(np.sum(counts.astype(np.float64) ** 2))
+
+
+def dataset_self_join_size(boxes: BoxSet, domain: Domain,
+                           words: Sequence[Word] | None = None) -> float:
+    """``SJ(R) = sum_w SJ(X_w)`` over the standard join words ``{I, E}^d``.
+
+    A different word set can be supplied for the extended estimators.
+    """
+    if words is None:
+        words = all_words([Letter.INTERVAL, Letter.ENDPOINTS], domain.dimension)
+    return float(sum(self_join_size(boxes, domain, word) for word in words))
+
+
+def estimate_self_join(bank: SketchBank, word: Word) -> float:
+    """AMS estimate of ``SJ(X_w)`` from an existing sketch bank.
+
+    ``X_w^2`` is an unbiased estimator of the self-join size (Section 2.2),
+    so averaging it over the bank's instances yields an estimate that can be
+    used for sizing without a second pass over the data.
+    """
+    values = bank.counter(word)
+    return float(np.mean(values ** 2))
+
+
+def estimate_dataset_self_join(bank: SketchBank,
+                               words: Sequence[Word] | None = None) -> float:
+    """Sketch-based estimate of ``SJ(R)`` (sum over the bank's join words)."""
+    if words is None:
+        words = [w for w in bank.words
+                 if all(letter in (Letter.INTERVAL, Letter.ENDPOINTS) for letter in w)]
+    return float(sum(estimate_self_join(bank, word) for word in words))

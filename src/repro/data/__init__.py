@@ -1,0 +1,41 @@
+"""Workload generators.
+
+* :mod:`repro.data.zipf` — bounded Zipf samplers.
+* :mod:`repro.data.synthetic` — the synthetic interval / rectangle / point
+  workloads of Section 7.1 (uniform and Zipf-skewed placements, object
+  sizes of order sqrt(domain)).
+* :mod:`repro.data.reallife` — simulated stand-ins for the LANDO / LANDC /
+  SOIL real-life datasets of Section 7.3 (clustered, map-like rectangle
+  sets with shared boundary coordinates).
+* :mod:`repro.data.streams` — insert/delete update streams for the
+  streaming-maintenance experiments.
+"""
+
+from repro.data.zipf import zipf_probabilities, zipf_sample
+from repro.data.synthetic import (
+    generate_intervals,
+    generate_points,
+    generate_rectangles,
+)
+from repro.data.reallife import (
+    REAL_LIFE_SPECS,
+    RealLifeSpec,
+    generate_real_life_dataset,
+    load_real_life_pair,
+)
+from repro.data.streams import UpdateKind, UpdateOperation, UpdateStream
+
+__all__ = [
+    "zipf_probabilities",
+    "zipf_sample",
+    "generate_intervals",
+    "generate_rectangles",
+    "generate_points",
+    "REAL_LIFE_SPECS",
+    "RealLifeSpec",
+    "generate_real_life_dataset",
+    "load_real_life_pair",
+    "UpdateKind",
+    "UpdateOperation",
+    "UpdateStream",
+]

@@ -1,0 +1,41 @@
+"""Bounded Zipf distributions.
+
+Section 7.1 generates interval positions "according to a Zipfian
+distribution with Zipf parameter z".  ``z = 0`` is the uniform
+distribution; larger z concentrates mass on a few popular values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def zipf_probabilities(num_values: int, skew: float) -> np.ndarray:
+    """Probability vector of a bounded Zipf(z) distribution over ``num_values`` ranks."""
+    if num_values < 1:
+        raise WorkloadError("the Zipf distribution needs at least one value")
+    if skew < 0:
+        raise WorkloadError("the Zipf skew parameter must be non-negative")
+    ranks = np.arange(1, num_values + 1, dtype=np.float64)
+    weights = ranks ** (-float(skew))
+    return weights / weights.sum()
+
+
+def zipf_sample(num_samples: int, num_values: int, skew: float,
+                rng: np.random.Generator, *, shuffle_ranks: bool = False) -> np.ndarray:
+    """Draw ``num_samples`` values in ``[0, num_values)`` from a bounded Zipf(z).
+
+    With ``shuffle_ranks`` the popularity ranking is randomly permuted over
+    the value range, so the popular values are not always the smallest
+    coordinates (useful for spatial placements).
+    """
+    if num_samples < 0:
+        raise WorkloadError("cannot draw a negative number of samples")
+    probabilities = zipf_probabilities(num_values, skew)
+    values = rng.choice(num_values, size=num_samples, p=probabilities)
+    if shuffle_ranks:
+        permutation = rng.permutation(num_values)
+        values = permutation[values]
+    return values.astype(np.int64)

@@ -1,0 +1,55 @@
+"""Logical query descriptions consumed by the optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.rectangle import Rect
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """A (possibly multi-way) spatial overlap join over named relations.
+
+    The join graph is implicit: every pair of adjacent relations in the
+    chosen join order is joined with the overlap predicate.  ``closed``
+    selects extended-overlap semantics.
+    """
+
+    relations: tuple[str, ...]
+    closed: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.relations) < 2:
+            raise ValueError("a join query needs at least two relations")
+        if len(set(self.relations)) != len(self.relations):
+            raise ValueError("a relation may appear only once in a join query")
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A selection of the objects of one relation overlapping a query window."""
+
+    relation: str
+    window: Rect
+    closed: bool = True
+
+
+@dataclass
+class PlannedJoin:
+    """One binary join step of a physical plan."""
+
+    left: str
+    right: str
+    operator: str
+    estimated_cardinality: float
+    estimated_cost: float
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of executing a plan: per-step results plus totals."""
+
+    steps: list = field(default_factory=list)
+    total_comparisons: int = 0
+    final_cardinality: int = 0

@@ -1,0 +1,140 @@
+"""Per-relation-pair synopses maintained under inserts and deletes.
+
+The :class:`SynopsisManager` is the glue between the engine and the
+estimation techniques of :mod:`repro.core` / :mod:`repro.histograms`:
+
+* ``join_sketch(left, right)`` lazily creates a
+  :class:`~repro.core.join_hyperrect.SpatialJoinEstimator` for a relation
+  pair, back-fills it with the relations' current contents and from then on
+  keeps it up to date by listening to relation mutations.
+* ``range_sketch(relation)`` does the same with a
+  :class:`~repro.core.range_query.RangeQueryEstimator`.
+* ``histogram(relation, kind, level)`` maintains a GH or EH baseline.
+
+Estimated selectivities are what the optimizer consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.core.domain import Domain
+from repro.core.join_hyperrect import SpatialJoinEstimator
+from repro.core.range_query import RangeQueryEstimator
+from repro.engine.relation import SpatialRelation
+from repro.errors import EngineError
+from repro.geometry.boxset import BoxSet
+from repro.histograms.euler import EulerHistogram
+from repro.histograms.geometric import GeometricHistogram
+
+
+class _JoinSketchListener:
+    """Routes relation mutations into the left/right side of a join sketch."""
+
+    def __init__(self, estimator: SpatialJoinEstimator, left: SpatialRelation,
+                 right: SpatialRelation) -> None:
+        self._estimator = estimator
+        self._left = left
+        self._right = right
+
+    def on_insert(self, relation: SpatialRelation, boxes: BoxSet) -> None:
+        if relation is self._left:
+            self._estimator.insert_left(boxes)
+        if relation is self._right:
+            self._estimator.insert_right(boxes)
+
+    def on_delete(self, relation: SpatialRelation, boxes: BoxSet) -> None:
+        if relation is self._left:
+            self._estimator.delete_left(boxes)
+        if relation is self._right:
+            self._estimator.delete_right(boxes)
+
+
+class _SingleRelationListener:
+    """Routes relation mutations into a single-input synopsis."""
+
+    def __init__(self, synopsis, relation: SpatialRelation) -> None:
+        self._synopsis = synopsis
+        self._relation = relation
+
+    def on_insert(self, relation: SpatialRelation, boxes: BoxSet) -> None:
+        if relation is self._relation:
+            self._synopsis.insert(boxes)
+
+    def on_delete(self, relation: SpatialRelation, boxes: BoxSet) -> None:
+        if relation is self._relation:
+            self._synopsis.delete(boxes)
+
+
+class SynopsisManager:
+    """Creates and maintains synopses for relations of one catalog/domain."""
+
+    def __init__(self, domain: Domain, *, num_instances: int = 256, seed: int = 0,
+                 max_level: int | None = None) -> None:
+        self._domain = domain if max_level is None else domain.with_max_level(max_level)
+        self._num_instances = int(num_instances)
+        self._seed = int(seed)
+        self._join_sketches: dict[tuple[str, str], SpatialJoinEstimator] = {}
+        self._range_sketches: dict[str, RangeQueryEstimator] = {}
+        self._histograms: dict[tuple[str, str, int], object] = {}
+
+    # -- join sketches -----------------------------------------------------------------
+
+    def join_sketch(self, left: SpatialRelation, right: SpatialRelation
+                    ) -> SpatialJoinEstimator:
+        """The (lazily created) join sketch for an ordered relation pair."""
+        if left.name == right.name:
+            raise EngineError("a join sketch needs two distinct relations")
+        key = (left.name, right.name)
+        if key not in self._join_sketches:
+            pair_seed = self._seed + abs(hash(key)) % 100_000
+            estimator = SpatialJoinEstimator(self._domain, self._num_instances,
+                                             seed=pair_seed)
+            if len(left):
+                estimator.insert_left(left.boxes())
+            if len(right):
+                estimator.insert_right(right.boxes())
+            listener = _JoinSketchListener(estimator, left, right)
+            left.add_listener(listener)
+            right.add_listener(listener)
+            self._join_sketches[key] = estimator
+        return self._join_sketches[key]
+
+    def estimated_join_cardinality(self, left: SpatialRelation,
+                                   right: SpatialRelation) -> float:
+        """Convenience wrapper around ``join_sketch(...).estimate()``."""
+        if len(left) == 0 or len(right) == 0:
+            return 0.0
+        return max(0.0, self.join_sketch(left, right).estimate().estimate)
+
+    # -- range sketches ------------------------------------------------------------------
+
+    def range_sketch(self, relation: SpatialRelation) -> RangeQueryEstimator:
+        if relation.name not in self._range_sketches:
+            estimator = RangeQueryEstimator(self._domain, self._num_instances,
+                                            seed=self._seed + len(self._range_sketches))
+            if len(relation):
+                estimator.insert(relation.boxes())
+            relation.add_listener(_SingleRelationListener(estimator, relation))
+            self._range_sketches[relation.name] = estimator
+        return self._range_sketches[relation.name]
+
+    # -- histogram baselines -----------------------------------------------------------------
+
+    def histogram(self, relation: SpatialRelation,
+                  kind: Literal["geometric", "euler"] = "geometric", *,
+                  level: int = 5):
+        """A maintained GH or EH summary of the relation."""
+        key = (relation.name, kind, level)
+        if key not in self._histograms:
+            if kind == "geometric":
+                summary = GeometricHistogram(self._domain, level)
+            elif kind == "euler":
+                summary = EulerHistogram(self._domain, level)
+            else:
+                raise EngineError(f"unknown histogram kind {kind!r}")
+            if len(relation):
+                summary.insert(relation.boxes())
+            relation.add_listener(_SingleRelationListener(summary, relation))
+            self._histograms[key] = summary
+        return self._histograms[key]

@@ -1,0 +1,44 @@
+"""Exception types raised by the :mod:`repro` library.
+
+Keeping a small, explicit exception hierarchy lets callers distinguish
+user errors (bad parameters, malformed data) from internal invariant
+violations without having to parse message strings.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class DomainError(ReproError):
+    """A coordinate or domain specification is invalid.
+
+    Raised for negative domain sizes, coordinates outside the declared
+    domain, or intervals whose lower endpoint exceeds the upper endpoint.
+    """
+
+
+class DimensionalityError(ReproError):
+    """Data of the wrong dimensionality was passed to an operator."""
+
+
+class SketchConfigError(ReproError):
+    """A sketch was configured inconsistently.
+
+    Examples: zero instances, a boosting split that does not divide the
+    instance count, or mixing sketches built over different xi families.
+    """
+
+
+class EstimationError(ReproError):
+    """An estimate could not be produced (e.g. empty sketch, no instances)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""
+
+
+class EngineError(ReproError):
+    """The mini query engine was asked to do something inconsistent."""

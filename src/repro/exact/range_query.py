@@ -1,0 +1,54 @@
+"""Exact range-query evaluation (Section 6.4 ground truth)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionalityError
+from repro.geometry.boxset import BoxSet
+from repro.geometry.rectangle import Rect
+
+
+def _query_bounds(query: Rect | BoxSet) -> tuple[np.ndarray, np.ndarray]:
+    if isinstance(query, Rect):
+        return (np.asarray(query.lows, dtype=np.int64),
+                np.asarray(query.highs, dtype=np.int64))
+    if len(query) != 1:
+        raise DimensionalityError("a range query consists of exactly one rectangle")
+    return query.lows[0], query.highs[0]
+
+
+def range_query_mask(data: BoxSet, query: Rect | BoxSet, *, closed: bool = True) -> np.ndarray:
+    """Boolean mask of the data rectangles selected by the query."""
+    q_lo, q_hi = _query_bounds(query)
+    if data.dimension != len(q_lo):
+        raise DimensionalityError("query dimensionality does not match the data")
+    if closed:
+        per_dim = (data.lows <= q_hi) & (q_lo <= data.highs)
+    else:
+        per_dim = (data.lows < q_hi) & (q_lo < data.highs)
+    return np.all(per_dim, axis=1)
+
+
+def range_query_count(data: BoxSet, query: Rect | BoxSet, *, closed: bool = True) -> int:
+    """Number of data rectangles overlapping the query rectangle."""
+    if len(data) == 0:
+        return 0
+    return int(np.count_nonzero(range_query_mask(data, query, closed=closed)))
+
+
+def range_query_select(data: BoxSet, query: Rect | BoxSet, *, closed: bool = True) -> BoxSet:
+    """The data rectangles selected by the query, as a new BoxSet."""
+    if len(data) == 0:
+        return data
+    mask = range_query_mask(data, query, closed=closed)
+    if not np.any(mask):
+        return BoxSet.empty(data.dimension)
+    return data[mask]
+
+
+def range_query_selectivity(data: BoxSet, query: Rect | BoxSet, *, closed: bool = True) -> float:
+    """Fraction of data rectangles selected by the query."""
+    if len(data) == 0:
+        return 0.0
+    return range_query_count(data, query, closed=closed) / len(data)

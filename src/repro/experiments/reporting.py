@@ -1,0 +1,69 @@
+"""Result containers and plain-text rendering of the figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: an identifier, the data series and free-form notes."""
+
+    figure_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+    expected_shape: str = ""
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but the figure has {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        return format_table(self.title, self.columns, self.rows,
+                            notes=self.notes, expected_shape=self.expected_shape)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4f}" if abs(value) < 10 else f"{value:.2f}"
+    return str(value)
+
+
+def format_table(title: str, columns: Sequence[str], rows: Sequence[Sequence], *,
+                 notes: str = "", expected_shape: str = "") -> str:
+    """Render a result table as readable monospaced text."""
+    header = [str(c) for c in columns]
+    body = [[_format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = [title, "-" * len(title), line(header), line(["-" * w for w in widths])]
+    parts.extend(line(row) for row in body)
+    if expected_shape:
+        parts.append("")
+        parts.append(f"expected shape: {expected_shape}")
+    if notes:
+        parts.append(f"notes: {notes}")
+    return "\n".join(parts)

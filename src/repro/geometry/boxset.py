@@ -1,0 +1,267 @@
+"""Array-backed collections of hyper-rectangles and points.
+
+Sketch construction, exact join counting, histograms and workload
+generators all operate on :class:`BoxSet` (a set of axis-aligned boxes
+stored as two ``(n, d)`` integer arrays) or :class:`PointSet`.  Keeping
+the data in NumPy arrays is what makes sketch construction with hundreds
+of independent atomic-sketch instances feasible in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionalityError, DomainError
+from repro.geometry.interval import Interval
+from repro.geometry.rectangle import Rect
+
+
+class BoxSet:
+    """An immutable collection of ``n`` axis-aligned boxes in ``d`` dimensions.
+
+    Coordinates are stored as ``int64``; ``lows[i, k] <= highs[i, k]`` holds
+    for every box ``i`` and dimension ``k``.
+    """
+
+    __slots__ = ("_lows", "_highs")
+
+    def __init__(self, lows: np.ndarray, highs: np.ndarray, *, validate: bool = True) -> None:
+        lows = np.atleast_2d(np.asarray(lows, dtype=np.int64))
+        highs = np.atleast_2d(np.asarray(highs, dtype=np.int64))
+        if lows.shape != highs.shape:
+            raise DimensionalityError(
+                f"lows shape {lows.shape} does not match highs shape {highs.shape}"
+            )
+        if lows.ndim != 2:
+            raise DimensionalityError("BoxSet expects 2-d arrays of shape (n, d)")
+        if validate and lows.size and np.any(lows > highs):
+            bad = int(np.argmax(np.any(lows > highs, axis=1)))
+            raise DomainError(f"box {bad} has a lower endpoint above its upper endpoint")
+        self._lows = lows
+        self._highs = highs
+        self._lows.setflags(write=False)
+        self._highs.setflags(write=False)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_rects(cls, rects: Iterable[Rect]) -> "BoxSet":
+        rects = list(rects)
+        if not rects:
+            raise DomainError("cannot build a BoxSet from an empty rectangle list")
+        dim = rects[0].dimension
+        if any(r.dimension != dim for r in rects):
+            raise DimensionalityError("all rectangles must have the same dimensionality")
+        lows = np.array([r.lows for r in rects], dtype=np.int64)
+        highs = np.array([r.highs for r in rects], dtype=np.int64)
+        return cls(lows, highs)
+
+    @classmethod
+    def from_intervals(cls, intervals: Iterable[tuple[int, int] | Interval]) -> "BoxSet":
+        """Build a 1-d BoxSet from ``(lo, hi)`` pairs or Interval objects."""
+        pairs = [(iv.lo, iv.hi) if isinstance(iv, Interval) else (int(iv[0]), int(iv[1]))
+                 for iv in intervals]
+        if not pairs:
+            raise DomainError("cannot build a BoxSet from an empty interval list")
+        arr = np.array(pairs, dtype=np.int64)
+        return cls(arr[:, :1], arr[:, 1:])
+
+    @classmethod
+    def empty(cls, dimension: int) -> "BoxSet":
+        """An empty box set of the given dimensionality."""
+        if dimension < 1:
+            raise DimensionalityError("dimension must be at least 1")
+        zero = np.zeros((0, dimension), dtype=np.int64)
+        return cls(zero, zero.copy())
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def lows(self) -> np.ndarray:
+        return self._lows
+
+    @property
+    def highs(self) -> np.ndarray:
+        return self._highs
+
+    @property
+    def dimension(self) -> int:
+        return self._lows.shape[1]
+
+    def __len__(self) -> int:
+        return self._lows.shape[0]
+
+    def __iter__(self) -> Iterator[Rect]:
+        for i in range(len(self)):
+            yield self.rect(i)
+
+    def rect(self, index: int) -> Rect:
+        """The ``index``-th box as a :class:`Rect`."""
+        return Rect.from_bounds(self._lows[index], self._highs[index])
+
+    def __getitem__(self, index) -> "BoxSet":
+        """Row-subset the collection (always returns a BoxSet)."""
+        lows = self._lows[index]
+        highs = self._highs[index]
+        if lows.ndim == 1:
+            lows = lows[None, :]
+            highs = highs[None, :]
+        return BoxSet(lows, highs, validate=False)
+
+    def side_lengths(self) -> np.ndarray:
+        """``(n, d)`` array of interval lengths (number of coordinates)."""
+        return self._highs - self._lows + 1
+
+    def bounding_box(self) -> Rect:
+        if len(self) == 0:
+            raise DomainError("an empty BoxSet has no bounding box")
+        return Rect.from_bounds(self._lows.min(axis=0), self._highs.max(axis=0))
+
+    def max_coordinate(self) -> int:
+        """Largest coordinate used in any dimension (0 for an empty set)."""
+        if len(self) == 0:
+            return 0
+        return int(self._highs.max())
+
+    def min_coordinate(self) -> int:
+        if len(self) == 0:
+            return 0
+        return int(self._lows.min())
+
+    # -- transformations ---------------------------------------------------
+
+    def concat(self, other: "BoxSet") -> "BoxSet":
+        if other.dimension != self.dimension:
+            raise DimensionalityError("cannot concatenate BoxSets of different dimensionality")
+        return BoxSet(
+            np.concatenate([self._lows, other._lows]),
+            np.concatenate([self._highs, other._highs]),
+            validate=False,
+        )
+
+    def translated(self, offsets: Sequence[int]) -> "BoxSet":
+        off = np.asarray(offsets, dtype=np.int64)
+        if off.shape != (self.dimension,):
+            raise DimensionalityError("offset dimensionality mismatch")
+        return BoxSet(self._lows + off, self._highs + off, validate=False)
+
+    def scaled(self, factor: int) -> "BoxSet":
+        """Multiply every coordinate by ``factor`` (used by the endpoint transform)."""
+        if factor <= 0:
+            raise DomainError("scale factor must be positive")
+        return BoxSet(self._lows * factor, self._highs * factor, validate=False)
+
+    def expanded(self, radius: int) -> "BoxSet":
+        """Grow every box by ``radius`` on each side (epsilon-join helper)."""
+        if radius < 0:
+            raise DomainError("expansion radius must be non-negative")
+        return BoxSet(self._lows - radius, self._highs + radius, validate=False)
+
+    def clipped(self, lo: int, hi: int) -> "BoxSet":
+        """Clip every box to ``[lo, hi]`` in every dimension.
+
+        Boxes entirely outside the clipping window are dropped.
+        """
+        lows = np.clip(self._lows, lo, hi)
+        highs = np.clip(self._highs, lo, hi)
+        keep = np.all(self._lows <= hi, axis=1) & np.all(self._highs >= lo, axis=1)
+        return BoxSet(lows[keep], highs[keep], validate=False)
+
+    def shrunk_for_endpoint_transform(self) -> "BoxSet":
+        """Apply the Section 5.2 shrink: coordinates scaled by 3, then
+        lower endpoints moved to ``3*lo + 1`` and upper endpoints to ``3*hi - 1``.
+
+        The resulting boxes never share an endpoint coordinate with any box
+        whose coordinates were merely scaled by 3.
+        """
+        return BoxSet(self._lows * 3 + 1, self._highs * 3 - 1, validate=False)
+
+    def projected(self, dimensions: Sequence[int]) -> "BoxSet":
+        dims = list(dimensions)
+        return BoxSet(self._lows[:, dims], self._highs[:, dims], validate=False)
+
+    def sample(self, size: int, rng: np.random.Generator) -> "BoxSet":
+        """A uniform random subset of ``size`` boxes (without replacement)."""
+        if size > len(self):
+            raise DomainError(f"cannot sample {size} boxes from a set of {len(self)}")
+        idx = rng.choice(len(self), size=size, replace=False)
+        return self[idx]
+
+    def to_rects(self) -> list[Rect]:
+        return [self.rect(i) for i in range(len(self))]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BoxSet(n={len(self)}, d={self.dimension})"
+
+
+class PointSet:
+    """A collection of ``n`` points in ``d`` dimensions (``int64`` coordinates)."""
+
+    __slots__ = ("_coords",)
+
+    def __init__(self, coords: np.ndarray) -> None:
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.int64))
+        if coords.ndim != 2:
+            raise DimensionalityError("PointSet expects a 2-d array of shape (n, d)")
+        self._coords = coords
+        self._coords.setflags(write=False)
+
+    @property
+    def coords(self) -> np.ndarray:
+        return self._coords
+
+    @property
+    def dimension(self) -> int:
+        return self._coords.shape[1]
+
+    def __len__(self) -> int:
+        return self._coords.shape[0]
+
+    def __getitem__(self, index) -> "PointSet":
+        sub = self._coords[index]
+        if sub.ndim == 1:
+            sub = sub[None, :]
+        return PointSet(sub)
+
+    def point(self, index: int) -> tuple[int, ...]:
+        return tuple(int(c) for c in self._coords[index])
+
+    def max_coordinate(self) -> int:
+        if len(self) == 0:
+            return 0
+        return int(self._coords.max())
+
+    def to_boxes(self) -> BoxSet:
+        """Degenerate boxes (``lo == hi``) covering each point."""
+        return BoxSet(self._coords.copy(), self._coords.copy(), validate=False)
+
+    def expanded_boxes(self, radius: int, *, clip_lo: int | None = None,
+                       clip_hi: int | None = None) -> BoxSet:
+        """L-infinity balls of the given radius around each point.
+
+        This is the ``B'`` construction of Section 6.3: each point becomes a
+        hyper-cube of side length ``2 * radius``.  Optional clipping keeps the
+        cubes inside the data domain (safe because all query points lie in the
+        domain as well).
+        """
+        if radius < 0:
+            raise DomainError("radius must be non-negative")
+        lows = self._coords - radius
+        highs = self._coords + radius
+        if clip_lo is not None:
+            lows = np.maximum(lows, clip_lo)
+            highs = np.maximum(highs, clip_lo)
+        if clip_hi is not None:
+            lows = np.minimum(lows, clip_hi)
+            highs = np.minimum(highs, clip_hi)
+        return BoxSet(lows, highs, validate=False)
+
+    def concat(self, other: "PointSet") -> "PointSet":
+        if other.dimension != self.dimension:
+            raise DimensionalityError("cannot concatenate PointSets of different dimensionality")
+        return PointSet(np.concatenate([self._coords, other._coords]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PointSet(n={len(self)}, d={self.dimension})"

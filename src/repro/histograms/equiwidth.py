@@ -1,0 +1,67 @@
+"""A plain equi-width count histogram.
+
+This is the simplest fixed-partitioning summary the paper mentions in the
+introduction ("histograms that use a fixed partitioning of the space
+(e.g., equi-width): these can be constructed in a single pass and can be
+maintained incrementally, but they cannot adapt to skewed or changing data
+distributions").  It stores only a per-cell count of object centres plus
+the global average extents and serves as a floor baseline in the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.domain import Domain
+from repro.geometry.boxset import BoxSet
+from repro.histograms.base import GridHistogram
+
+
+class EquiWidthHistogram(GridHistogram):
+    """Count-only grid histogram with global average object extents."""
+
+    def __init__(self, domain: Domain, level: int) -> None:
+        super().__init__(domain, level)
+        cells = self._cells_per_dim
+        self._centre_count = np.zeros((cells, cells), dtype=np.float64)
+        self._total_width = 0.0
+        self._total_height = 0.0
+
+    def insert(self, boxes: BoxSet, *, weight: float = 1.0) -> None:
+        self._check(boxes)
+        centres = (boxes.lows + boxes.highs) / 2.0
+        cols = np.clip((centres[:, 0] / self._cell_extent[0]).astype(np.int64),
+                       0, self._cells_per_dim - 1)
+        rows = np.clip((centres[:, 1] / self._cell_extent[1]).astype(np.int64),
+                       0, self._cells_per_dim - 1)
+        np.add.at(self._centre_count, (cols, rows), weight)
+        widths = boxes.highs[:, 0] - boxes.lows[:, 0] + 1.0
+        heights = boxes.highs[:, 1] - boxes.lows[:, 1] + 1.0
+        self._total_width += weight * float(widths.sum())
+        self._total_height += weight * float(heights.sum())
+        self._count += int(np.sign(weight)) * len(boxes)
+
+    def delete(self, boxes: BoxSet) -> None:
+        self.insert(boxes, weight=-1.0)
+
+    def estimate_join(self, other: "EquiWidthHistogram") -> float:
+        """Per-cell count products scaled by a global overlap probability."""
+        self._compatible(other)
+        if self.count == 0 or other.count == 0:
+            return 0.0
+        mean_w = self._total_width / self.count + other._total_width / other.count
+        mean_h = self._total_height / self.count + other._total_height / other.count
+        probability_x = min(1.0, mean_w / self._cell_extent[0])
+        probability_y = min(1.0, mean_h / self._cell_extent[1])
+        pair_counts = float((self._centre_count * other._centre_count).sum())
+        return max(0.0, pair_counts * probability_x * probability_y)
+
+    def estimate_join_selectivity(self, other: "EquiWidthHistogram") -> float:
+        if self.count == 0 or other.count == 0:
+            return 0.0
+        return self.estimate_join(other) / (self.count * other.count)
+
+    def storage_words(self) -> float:
+        """One count per cell plus two global accumulators."""
+        return float(self._cells_per_dim ** 2 + 2)

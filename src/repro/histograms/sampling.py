@@ -1,0 +1,102 @@
+"""Sampling-based join selectivity estimation (Section 8 related work).
+
+A classic alternative to histograms and sketches: keep a uniform reservoir
+sample of each input and estimate the join selectivity as the selectivity
+of the sample join, scaled to the full cardinalities.  The paper points out
+its main weakness — samples are difficult to maintain under deletions —
+which this implementation exhibits faithfully: deleting an object that is
+in the sample shrinks the sample (it cannot be replaced without access to
+the full dataset).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SketchConfigError
+from repro.exact.rectangle_join import brute_force_join_count
+from repro.geometry.boxset import BoxSet
+from repro.histograms.base import SelectivityEstimator
+
+
+class ReservoirSampleEstimator(SelectivityEstimator):
+    """Uniform reservoir sample of a stream of hyper-rectangles."""
+
+    def __init__(self, sample_size: int, dimension: int = 2, *, seed: int = 0) -> None:
+        if sample_size < 1:
+            raise SketchConfigError("the sample size must be positive")
+        self._sample_size = int(sample_size)
+        self._dimension = int(dimension)
+        self._rng = np.random.default_rng(seed)
+        self._sample_lows: list[np.ndarray] = []
+        self._sample_highs: list[np.ndarray] = []
+        self._seen = 0
+        self._count = 0
+
+    # -- maintenance --------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sample(self) -> BoxSet:
+        if not self._sample_lows:
+            return BoxSet.empty(self._dimension)
+        return BoxSet(np.array(self._sample_lows), np.array(self._sample_highs),
+                      validate=False)
+
+    def insert(self, boxes: BoxSet) -> None:
+        for index in range(len(boxes)):
+            self._seen += 1
+            self._count += 1
+            lo = boxes.lows[index].copy()
+            hi = boxes.highs[index].copy()
+            if len(self._sample_lows) < self._sample_size:
+                self._sample_lows.append(lo)
+                self._sample_highs.append(hi)
+            else:
+                slot = int(self._rng.integers(0, self._seen))
+                if slot < self._sample_size:
+                    self._sample_lows[slot] = lo
+                    self._sample_highs[slot] = hi
+
+    def delete(self, boxes: BoxSet) -> None:
+        """Best-effort deletion: sampled copies are dropped, others only decrement.
+
+        This mirrors the maintenance weakness discussed in Section 8 — the
+        sample degrades because evicted slots cannot be refilled.
+        """
+        for index in range(len(boxes)):
+            self._count -= 1
+            target_lo = boxes.lows[index]
+            target_hi = boxes.highs[index]
+            for slot in range(len(self._sample_lows)):
+                if (np.array_equal(self._sample_lows[slot], target_lo)
+                        and np.array_equal(self._sample_highs[slot], target_hi)):
+                    del self._sample_lows[slot]
+                    del self._sample_highs[slot]
+                    break
+
+    # -- estimation ------------------------------------------------------------------
+
+    def estimate_join(self, other: "ReservoirSampleEstimator") -> float:
+        """Join size of the samples scaled to the full cardinalities."""
+        if not isinstance(other, ReservoirSampleEstimator):
+            raise SketchConfigError("can only join against another sample estimator")
+        mine = self.sample
+        theirs = other.sample
+        if len(mine) == 0 or len(theirs) == 0 or self._count == 0 or other._count == 0:
+            return 0.0
+        sample_join = brute_force_join_count(mine, theirs)
+        scale = (self._count / len(mine)) * (other._count / len(theirs))
+        return sample_join * scale
+
+    def estimate_join_selectivity(self, other: "ReservoirSampleEstimator") -> float:
+        if self._count == 0 or other._count == 0:
+            return 0.0
+        return self.estimate_join(other) / (self._count * other._count)
+
+    def storage_words(self) -> float:
+        """``2 d`` coordinates per sampled object."""
+        return float(2 * self._dimension * self._sample_size)

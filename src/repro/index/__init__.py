@@ -1,0 +1,14 @@
+"""Spatial index substrates.
+
+These indexes back the exact operators of the mini query engine and provide
+alternative exact join strategies:
+
+* :class:`~repro.index.grid.GridIndex` — a uniform grid (cell -> object ids),
+* :class:`~repro.index.rtree.RTree` — an R-tree with STR bulk loading and
+  quadratic-split insertion.
+"""
+
+from repro.index.grid import GridIndex
+from repro.index.rtree import RTree, RTreeNode
+
+__all__ = ["GridIndex", "RTree", "RTreeNode"]

@@ -1,0 +1,323 @@
+"""A small R-tree.
+
+Features:
+
+* STR (Sort-Tile-Recursive) bulk loading,
+* insertion with quadratic-split node overflow handling,
+* box-overlap range queries,
+* a dual-tree spatial join (count or pair enumeration).
+
+This is the index substrate the mini query engine's index-nested-loop and
+tree-join operators use; the cost model of Section 8's related work
+(R-tree based join processing) is exercised by the engine benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import DimensionalityError, SketchConfigError
+from repro.geometry.boxset import BoxSet
+from repro.geometry.rectangle import Rect
+
+
+@dataclass(eq=False)
+class RTreeNode:
+    """A node of the R-tree; leaves store object ids, internal nodes store children.
+
+    ``eq=False`` keeps identity comparison: nodes are mutable tree elements and
+    are removed from their parents by identity, never by value.
+    """
+
+    lows: np.ndarray
+    highs: np.ndarray
+    is_leaf: bool
+    entries: list = field(default_factory=list)   # ids (leaf) or RTreeNode (internal)
+
+    def mbr_area(self) -> float:
+        return float(np.prod(self.highs - self.lows + 1))
+
+    def overlaps(self, q_lo: np.ndarray, q_hi: np.ndarray, *, closed: bool) -> bool:
+        if closed:
+            return bool(np.all(self.lows <= q_hi) and np.all(q_lo <= self.highs))
+        return bool(np.all(self.lows < q_hi) and np.all(q_lo < self.highs))
+
+    def extend(self, lo: np.ndarray, hi: np.ndarray) -> None:
+        self.lows = np.minimum(self.lows, lo)
+        self.highs = np.maximum(self.highs, hi)
+
+
+class RTree:
+    """An R-tree over a BoxSet (ids refer to rows of the original BoxSet)."""
+
+    def __init__(self, boxes: BoxSet | None = None, *, dimension: int | None = None,
+                 max_entries: int = 16) -> None:
+        if max_entries < 4:
+            raise SketchConfigError("max_entries must be at least 4")
+        if boxes is None and dimension is None:
+            raise SketchConfigError("either an initial BoxSet or a dimension is required")
+        self._max_entries = int(max_entries)
+        self._min_entries = max(2, self._max_entries // 3)
+        if boxes is not None and len(boxes) > 0:
+            self._dimension = boxes.dimension
+            self._lows = boxes.lows.copy()
+            self._highs = boxes.highs.copy()
+            self._root = self._bulk_load(np.arange(len(boxes)))
+        else:
+            self._dimension = int(dimension if dimension is not None else boxes.dimension)
+            self._lows = np.zeros((0, self._dimension), dtype=np.int64)
+            self._highs = np.zeros((0, self._dimension), dtype=np.int64)
+            self._root = RTreeNode(
+                lows=np.full(self._dimension, np.iinfo(np.int64).max // 2, dtype=np.int64),
+                highs=np.full(self._dimension, np.iinfo(np.int64).min // 2, dtype=np.int64),
+                is_leaf=True,
+            )
+
+    # -- properties ------------------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    @property
+    def size(self) -> int:
+        return self._lows.shape[0]
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.entries[0]
+            height += 1
+        return height
+
+    def box(self, object_id: int) -> Rect:
+        return Rect.from_bounds(self._lows[object_id], self._highs[object_id])
+
+    # -- STR bulk loading ------------------------------------------------------------------
+
+    def _leaf_for(self, ids: np.ndarray) -> RTreeNode:
+        return RTreeNode(
+            lows=self._lows[ids].min(axis=0),
+            highs=self._highs[ids].max(axis=0),
+            is_leaf=True,
+            entries=[int(i) for i in ids],
+        )
+
+    def _parent_for(self, children: list[RTreeNode]) -> RTreeNode:
+        lows = np.min([child.lows for child in children], axis=0)
+        highs = np.max([child.highs for child in children], axis=0)
+        return RTreeNode(lows=lows, highs=highs, is_leaf=False, entries=list(children))
+
+    def _bulk_load(self, ids: np.ndarray) -> RTreeNode:
+        """Sort-Tile-Recursive packing of the given object ids."""
+        centres = (self._lows[ids] + self._highs[ids]) / 2.0
+        leaves = [self._leaf_for(chunk) for chunk in
+                  self._str_partition(ids, centres, self._max_entries)]
+        level: list[RTreeNode] = leaves
+        while len(level) > 1:
+            centres = np.array([(node.lows + node.highs) / 2.0 for node in level])
+            order_ids = np.arange(len(level))
+            groups = self._str_partition(order_ids, centres, self._max_entries)
+            level = [self._parent_for([level[int(i)] for i in group]) for group in groups]
+        return level[0]
+
+    def _str_partition(self, ids: np.ndarray, centres: np.ndarray,
+                       capacity: int) -> list[np.ndarray]:
+        """Partition ids into groups of at most ``capacity`` using STR tiling."""
+        count = len(ids)
+        if count <= capacity:
+            return [ids]
+        num_leaves = int(np.ceil(count / capacity))
+        num_slices = int(np.ceil(np.sqrt(num_leaves)))
+        slice_size = int(np.ceil(count / num_slices))
+        order_x = np.argsort(centres[:, 0], kind="stable")
+        groups: list[np.ndarray] = []
+        for start in range(0, count, slice_size):
+            stop = min(start + slice_size, count)
+            slice_ids = order_x[start:stop]
+            other_axis = 1 if centres.shape[1] > 1 else 0
+            order_y = slice_ids[np.argsort(centres[slice_ids, other_axis], kind="stable")]
+            for leaf_start in range(0, len(order_y), capacity):
+                leaf_stop = min(leaf_start + capacity, len(order_y))
+                groups.append(ids[order_y[leaf_start:leaf_stop]])
+        return groups
+
+    # -- insertion --------------------------------------------------------------------------
+
+    def insert(self, box: Rect | BoxSet) -> int:
+        """Insert a single box; returns the id assigned to it."""
+        if isinstance(box, Rect):
+            box = BoxSet.from_rects([box])
+        if len(box) != 1:
+            raise SketchConfigError("insert expects exactly one box")
+        if box.dimension != self._dimension:
+            raise DimensionalityError("box dimensionality does not match the tree")
+        object_id = self.size
+        self._lows = np.vstack([self._lows, box.lows])
+        self._highs = np.vstack([self._highs, box.highs])
+        lo, hi = self._lows[object_id], self._highs[object_id]
+        split = self._insert_into(self._root, object_id, lo, hi)
+        if split is not None:
+            left, right = split
+            self._root = self._parent_for([left, right])
+        return object_id
+
+    def _insert_into(self, node: RTreeNode, object_id: int, lo: np.ndarray,
+                     hi: np.ndarray) -> tuple[RTreeNode, RTreeNode] | None:
+        node.extend(lo, hi)
+        if node.is_leaf:
+            node.entries.append(object_id)
+            if len(node.entries) > self._max_entries:
+                return self._split(node)
+            return None
+        child = self._choose_child(node, lo, hi)
+        split = self._insert_into(child, object_id, lo, hi)
+        if split is not None:
+            left, right = split
+            node.entries.remove(child)
+            node.entries.extend([left, right])
+            if len(node.entries) > self._max_entries:
+                return self._split(node)
+        return None
+
+    def _choose_child(self, node: RTreeNode, lo: np.ndarray, hi: np.ndarray) -> RTreeNode:
+        """Least-enlargement child selection."""
+        best = None
+        best_enlargement = None
+        for child in node.entries:
+            new_lo = np.minimum(child.lows, lo)
+            new_hi = np.maximum(child.highs, hi)
+            enlargement = float(np.prod(new_hi - new_lo + 1)) - child.mbr_area()
+            if best_enlargement is None or enlargement < best_enlargement:
+                best = child
+                best_enlargement = enlargement
+        assert best is not None
+        return best
+
+    def _entry_bounds(self, node: RTreeNode, entry) -> tuple[np.ndarray, np.ndarray]:
+        if node.is_leaf:
+            return self._lows[entry], self._highs[entry]
+        return entry.lows, entry.highs
+
+    def _split(self, node: RTreeNode) -> tuple[RTreeNode, RTreeNode]:
+        """Quadratic split of an overflowing node."""
+        entries = list(node.entries)
+        bounds = [self._entry_bounds(node, entry) for entry in entries]
+
+        # Pick the pair of seeds with the largest dead space.
+        worst = (-1.0, 0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                lo = np.minimum(bounds[i][0], bounds[j][0])
+                hi = np.maximum(bounds[i][1], bounds[j][1])
+                waste = float(np.prod(hi - lo + 1)) \
+                    - float(np.prod(bounds[i][1] - bounds[i][0] + 1)) \
+                    - float(np.prod(bounds[j][1] - bounds[j][0] + 1))
+                if waste > worst[0]:
+                    worst = (waste, i, j)
+        seed_a, seed_b = worst[1], worst[2]
+
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        box_a = [bounds[seed_a][0].copy(), bounds[seed_a][1].copy()]
+        box_b = [bounds[seed_b][0].copy(), bounds[seed_b][1].copy()]
+        remaining = [k for k in range(len(entries)) if k not in (seed_a, seed_b)]
+        for k in remaining:
+            lo, hi = bounds[k]
+            if len(group_a) + (len(remaining)) <= self._min_entries:
+                target, target_box = group_a, box_a
+            elif len(group_b) + (len(remaining)) <= self._min_entries:
+                target, target_box = group_b, box_b
+            else:
+                grow_a = float(np.prod(np.maximum(box_a[1], hi) - np.minimum(box_a[0], lo) + 1))
+                grow_b = float(np.prod(np.maximum(box_b[1], hi) - np.minimum(box_b[0], lo) + 1))
+                if grow_a <= grow_b:
+                    target, target_box = group_a, box_a
+                else:
+                    target, target_box = group_b, box_b
+            target.append(entries[k])
+            target_box[0] = np.minimum(target_box[0], lo)
+            target_box[1] = np.maximum(target_box[1], hi)
+
+        def build(group, box) -> RTreeNode:
+            return RTreeNode(lows=box[0], highs=box[1], is_leaf=node.is_leaf,
+                             entries=group)
+
+        return build(group_a, box_a), build(group_b, box_b)
+
+    # -- queries ---------------------------------------------------------------------------------
+
+    def query(self, query: Rect | BoxSet, *, closed: bool = False) -> list[int]:
+        """Ids of indexed boxes overlapping the query box."""
+        if isinstance(query, Rect):
+            query = BoxSet.from_rects([query])
+        if query.dimension != self._dimension:
+            raise DimensionalityError("query dimensionality does not match the tree")
+        q_lo, q_hi = query.lows[0], query.highs[0]
+        results: list[int] = []
+        if self.size == 0:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.overlaps(q_lo, q_hi, closed=closed):
+                continue
+            if node.is_leaf:
+                for object_id in node.entries:
+                    lo, hi = self._lows[object_id], self._highs[object_id]
+                    if closed:
+                        hit = bool(np.all(lo <= q_hi) and np.all(q_lo <= hi))
+                    else:
+                        hit = bool(np.all(lo < q_hi) and np.all(q_lo < hi))
+                    if hit:
+                        results.append(object_id)
+            else:
+                stack.extend(node.entries)
+        return results
+
+    def join(self, other: "RTree", *, closed: bool = False) -> Iterator[tuple[int, int]]:
+        """Dual-tree spatial join: yields overlapping (self_id, other_id) pairs."""
+        if other.dimension != self._dimension:
+            raise DimensionalityError("trees have different dimensionality")
+        if self.size == 0 or other.size == 0:
+            return
+        stack = [(self._root, other._root)]
+        while stack:
+            left, right = stack.pop()
+            if not _nodes_overlap(left, right, closed=closed):
+                continue
+            if left.is_leaf and right.is_leaf:
+                for a in left.entries:
+                    a_lo, a_hi = self._lows[a], self._highs[a]
+                    for b in right.entries:
+                        b_lo, b_hi = other._lows[b], other._highs[b]
+                        if closed:
+                            hit = bool(np.all(a_lo <= b_hi) and np.all(b_lo <= a_hi))
+                        else:
+                            hit = bool(np.all(a_lo < b_hi) and np.all(b_lo < a_hi))
+                        if hit:
+                            yield (a, b)
+            elif left.is_leaf:
+                stack.extend((left, child) for child in right.entries)
+            elif right.is_leaf:
+                stack.extend((child, right) for child in left.entries)
+            else:
+                stack.extend((lc, rc) for lc in left.entries for rc in right.entries)
+
+    def join_count(self, other: "RTree", *, closed: bool = False) -> int:
+        """Number of overlapping pairs between the two trees."""
+        return sum(1 for _ in self.join(other, closed=closed))
+
+
+def _nodes_overlap(left: RTreeNode, right: RTreeNode, *, closed: bool) -> bool:
+    if closed:
+        return bool(np.all(left.lows <= right.highs) and np.all(right.lows <= left.highs))
+    return bool(np.all(left.lows < right.highs) and np.all(right.lows < left.highs))

@@ -1,0 +1,117 @@
+"""Tests for the four-wise independent sign families."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import MERSENNE_PRIME, FourWiseFamilyBank
+from repro.errors import SketchConfigError
+
+
+class TestConstruction:
+    def test_requires_positive_families(self):
+        with pytest.raises(SketchConfigError):
+            FourWiseFamilyBank(0, 16, seed=1)
+
+    def test_requires_positive_universe(self):
+        with pytest.raises(SketchConfigError):
+            FourWiseFamilyBank(4, 0, seed=1)
+
+    def test_universe_limit(self):
+        with pytest.raises(SketchConfigError):
+            FourWiseFamilyBank(1, int(MERSENNE_PRIME) + 1, seed=1)
+
+    def test_seed_words(self):
+        bank = FourWiseFamilyBank(8, 64, seed=0)
+        assert bank.seed_words() == 32
+
+
+class TestDeterminism:
+    def test_same_seed_gives_identical_families(self):
+        ids = np.arange(64)
+        first = FourWiseFamilyBank(6, 64, seed=42).signs(ids)
+        second = FourWiseFamilyBank(6, 64, seed=42).signs(ids)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_give_different_families(self):
+        ids = np.arange(64)
+        first = FourWiseFamilyBank(6, 64, seed=1).signs(ids)
+        second = FourWiseFamilyBank(6, 64, seed=2).signs(ids)
+        assert not np.array_equal(first, second)
+
+    def test_table_and_direct_evaluation_agree(self):
+        # The lazily built table must yield exactly the same signs as direct
+        # polynomial evaluation.
+        bank_direct = FourWiseFamilyBank(5, 512, seed=7)
+        bank_table = FourWiseFamilyBank(5, 512, seed=7)
+        small_ids = np.arange(10)
+        direct = bank_direct.signs(small_ids)
+        # Force the table path by requesting many ids first.
+        bank_table.signs(np.arange(512))
+        bank_table.signs(np.arange(512))
+        via_table = bank_table.signs(small_ids)
+        assert np.array_equal(direct, via_table)
+
+
+class TestValues:
+    def test_signs_are_plus_minus_one(self):
+        bank = FourWiseFamilyBank(10, 256, seed=3)
+        signs = bank.signs(np.arange(256))
+        assert set(np.unique(signs)) <= {-1, 1}
+
+    def test_shape(self):
+        bank = FourWiseFamilyBank(7, 100, seed=3)
+        assert bank.signs(np.arange(30)).shape == (7, 30)
+
+    def test_family_subset(self):
+        bank = FourWiseFamilyBank(6, 64, seed=5)
+        full = bank.signs(np.arange(64))
+        subset = bank.signs(np.arange(64), families=np.array([1, 3]))
+        assert np.array_equal(subset, full[[1, 3]])
+
+    def test_signs_for_family(self):
+        bank = FourWiseFamilyBank(6, 64, seed=5)
+        full = bank.signs(np.arange(64))
+        assert np.array_equal(bank.signs_for_family(2, np.arange(64)), full[2])
+
+    def test_out_of_range_ids_rejected(self):
+        bank = FourWiseFamilyBank(2, 16, seed=0)
+        with pytest.raises(SketchConfigError):
+            bank.signs(np.array([16]))
+        with pytest.raises(SketchConfigError):
+            bank.signs(np.array([-1]))
+
+
+class TestStatisticalProperties:
+    def test_signs_are_roughly_balanced(self):
+        bank = FourWiseFamilyBank(200, 1024, seed=11)
+        signs = bank.signs(np.arange(1024)).astype(np.float64)
+        # Mean over all families and ids should be close to zero.
+        assert abs(signs.mean()) < 0.02
+
+    def test_pairwise_products_are_roughly_unbiased(self):
+        # E[xi_a * xi_b] should be ~0 for a != b; averaging the product over
+        # many independent families estimates that expectation.
+        bank = FourWiseFamilyBank(4000, 64, seed=13)
+        ids = np.array([3, 57])
+        signs = bank.signs(ids).astype(np.float64)
+        correlation = float(np.mean(signs[:, 0] * signs[:, 1]))
+        assert abs(correlation) < 0.06
+
+    def test_fourwise_products_are_roughly_unbiased(self):
+        bank = FourWiseFamilyBank(4000, 64, seed=17)
+        ids = np.array([1, 9, 33, 60])
+        signs = bank.signs(ids).astype(np.float64)
+        product = np.prod(signs, axis=1)
+        assert abs(float(product.mean())) < 0.06
+
+    def test_second_moment_estimation(self):
+        # The defining property: for a frequency vector f, E[(sum f_i xi_i)^2]
+        # equals sum f_i^2.
+        rng = np.random.default_rng(0)
+        frequencies = rng.integers(0, 5, size=128).astype(np.float64)
+        truth = float(np.sum(frequencies ** 2))
+        bank = FourWiseFamilyBank(6000, 128, seed=23)
+        signs = bank.signs(np.arange(128)).astype(np.float64)
+        sketches = signs @ frequencies
+        estimate = float(np.mean(sketches ** 2))
+        assert estimate == pytest.approx(truth, rel=0.1)

@@ -1,0 +1,280 @@
+"""Tests for the spatial-join estimators (Sections 4, 6.1, Appendices B/C).
+
+Two layers of checks:
+
+* *Exact expectation* — using the closed-form expectation helper from
+  ``tests.helpers`` the estimator's E[Z] is computed without sampling and
+  compared with the true join cardinality.  This verifies covers,
+  combination coefficients and endpoint handling exactly.
+* *Statistical behaviour* — with many instances the boosted estimate must
+  land near the truth; insert/delete streams must behave like the final
+  dataset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.boosting import BoostingPlan
+from repro.core.domain import Domain
+from repro.core.join_extended import CommonEndpointJoinEstimator, ExtendedOverlapJoinEstimator
+from repro.core.join_hyperrect import SpatialJoinEstimator
+from repro.core.join_interval import IntervalJoinEstimator
+from repro.core.join_rect import RectangleJoinEstimator
+from repro.errors import DimensionalityError, EstimationError, SketchConfigError
+from repro.exact.interval_join import interval_join_count
+from repro.exact.rectangle_join import brute_force_join_count
+from repro.geometry.boxset import BoxSet
+
+from tests.conftest import random_boxes
+from tests.helpers import expected_estimator_value
+
+
+def snapped_boxes(rng, count, domain_size, dimension, pitch=8):
+    """Boxes whose coordinates snap to a coarse grid (many shared endpoints)."""
+    boxes = random_boxes(rng, count, domain_size, dimension)
+    lows = (boxes.lows // pitch) * pitch
+    highs = np.maximum(((boxes.highs // pitch) + 1) * pitch - 1, lows + 1)
+    highs = np.minimum(highs, domain_size - 1)
+    return BoxSet(lows, highs)
+
+
+class TestExactExpectation1D:
+    """E[Z] equals the true join cardinality (no sampling involved)."""
+
+    @pytest.mark.parametrize("policy", ["transform", "explicit"])
+    def test_random_intervals(self, rng, policy):
+        domain = Domain(64)
+        for _ in range(5):
+            left = random_boxes(rng, 15, 64, 1)
+            right = random_boxes(rng, 15, 64, 1)
+            estimator = IntervalJoinEstimator(domain, num_instances=1, seed=0,
+                                              endpoint_policy=policy)
+            truth = interval_join_count(left, right)
+            assert expected_estimator_value(estimator, left, right) == pytest.approx(truth)
+
+    @pytest.mark.parametrize("policy", ["transform", "explicit"])
+    def test_shared_endpoints(self, rng, policy):
+        domain = Domain(64)
+        for _ in range(5):
+            left = snapped_boxes(rng, 12, 64, 1)
+            right = snapped_boxes(rng, 12, 64, 1)
+            estimator = IntervalJoinEstimator(domain, num_instances=1, seed=0,
+                                              endpoint_policy=policy)
+            truth = interval_join_count(left, right)
+            assert expected_estimator_value(estimator, left, right) == pytest.approx(truth)
+
+    def test_assume_distinct_correct_without_shared_endpoints(self):
+        domain = Domain(64)
+        left = BoxSet.from_intervals([(0, 10), (20, 30), (40, 50)])
+        right = BoxSet.from_intervals([(5, 15), (25, 45), (55, 60)])
+        estimator = IntervalJoinEstimator(domain, num_instances=1, seed=0,
+                                          endpoint_policy="assume_distinct")
+        truth = interval_join_count(left, right)
+        assert expected_estimator_value(estimator, left, right) == pytest.approx(truth)
+
+    def test_assume_distinct_biased_with_shared_endpoints(self):
+        domain = Domain(64)
+        left = BoxSet.from_intervals([(0, 10)])
+        right = BoxSet.from_intervals([(10, 20)])  # touches at 10: not a join pair
+        estimator = IntervalJoinEstimator(domain, num_instances=1, seed=0,
+                                          endpoint_policy="assume_distinct")
+        assert expected_estimator_value(estimator, left, right) > 0.5
+
+    @pytest.mark.parametrize("max_level", [0, 2, None])
+    def test_max_level_does_not_change_expectation(self, rng, max_level):
+        domain = Domain(64, max_levels=max_level)
+        left = random_boxes(rng, 10, 64, 1)
+        right = random_boxes(rng, 10, 64, 1)
+        estimator = IntervalJoinEstimator(domain, num_instances=1, seed=0)
+        truth = interval_join_count(left, right)
+        assert expected_estimator_value(estimator, left, right) == pytest.approx(truth)
+
+
+class TestExactExpectation2D:
+    @pytest.mark.parametrize("policy", ["transform", "explicit"])
+    def test_random_rectangles(self, rng, policy):
+        domain = Domain.square(32, dimension=2)
+        for _ in range(4):
+            left = random_boxes(rng, 10, 32, 2)
+            right = random_boxes(rng, 10, 32, 2)
+            estimator = RectangleJoinEstimator(domain, num_instances=1, seed=0,
+                                               endpoint_policy=policy)
+            truth = brute_force_join_count(left, right)
+            assert expected_estimator_value(estimator, left, right) == pytest.approx(truth)
+
+    def test_shared_endpoints_2d(self, rng):
+        domain = Domain.square(32, dimension=2)
+        left = snapped_boxes(rng, 8, 32, 2, pitch=4)
+        right = snapped_boxes(rng, 8, 32, 2, pitch=4)
+        estimator = RectangleJoinEstimator(domain, num_instances=1, seed=0,
+                                           endpoint_policy="transform")
+        truth = brute_force_join_count(left, right)
+        assert expected_estimator_value(estimator, left, right) == pytest.approx(truth)
+
+
+class TestExactExpectation3D:
+    def test_three_dimensional_join(self, rng):
+        domain = Domain.square(16, dimension=3)
+        left = random_boxes(rng, 8, 16, 3)
+        right = random_boxes(rng, 8, 16, 3)
+        estimator = SpatialJoinEstimator(domain, num_instances=1, seed=0)
+        truth = brute_force_join_count(left, right)
+        assert expected_estimator_value(estimator, left, right) == pytest.approx(truth)
+
+
+class TestExtendedOverlap:
+    def test_expectation_counts_touching_pairs(self, rng):
+        domain = Domain(64)
+        for _ in range(5):
+            left = snapped_boxes(rng, 10, 64, 1)
+            right = snapped_boxes(rng, 10, 64, 1)
+            estimator = ExtendedOverlapJoinEstimator(domain, num_instances=1, seed=0)
+            truth = interval_join_count(left, right, closed=True)
+            assert expected_estimator_value(estimator, left, right) == pytest.approx(truth)
+
+    def test_expectation_counts_touching_pairs_2d(self, rng):
+        domain = Domain.square(32, dimension=2)
+        left = snapped_boxes(rng, 8, 32, 2, pitch=4)
+        right = snapped_boxes(rng, 8, 32, 2, pitch=4)
+        estimator = ExtendedOverlapJoinEstimator(domain, num_instances=1, seed=0)
+        truth = brute_force_join_count(left, right, closed=True)
+        assert expected_estimator_value(estimator, left, right) == pytest.approx(truth)
+
+    def test_statistical_estimate(self, rng):
+        domain = Domain(128)
+        left = snapped_boxes(rng, 60, 128, 1)
+        right = snapped_boxes(rng, 60, 128, 1)
+        truth = interval_join_count(left, right, closed=True)
+        estimator = ExtendedOverlapJoinEstimator(domain.with_max_level(4), 3000, seed=2)
+        estimator.insert_left(left)
+        estimator.insert_right(right)
+        values = estimator.instance_values()
+        standard_error = values.std() / np.sqrt(values.size)
+        assert abs(values.mean() - truth) < 5 * standard_error + 1e-9
+
+
+class TestCommonEndpointEstimator:
+    def test_is_explicit_policy(self, domain_1d):
+        estimator = CommonEndpointJoinEstimator(domain_1d, num_instances=4, seed=0)
+        assert estimator.endpoint_policy == "explicit"
+        assert not estimator.uses_endpoint_transform
+
+
+class TestStatisticalBehaviour:
+    def test_unbiased_instance_values_1d(self, rng):
+        domain = Domain(256)
+        left = random_boxes(rng, 60, 256, 1)
+        right = random_boxes(rng, 60, 256, 1)
+        truth = interval_join_count(left, right)
+        estimator = IntervalJoinEstimator(domain, num_instances=4000, seed=3)
+        estimator.insert_left(left)
+        estimator.insert_right(right)
+        values = estimator.instance_values()
+        standard_error = values.std() / np.sqrt(values.size)
+        assert abs(values.mean() - truth) < 5 * standard_error + 1e-9
+
+    def test_boosted_estimate_is_reasonable(self, rng):
+        domain = Domain(1024, max_levels=5)
+        left = random_boxes(rng, 300, 1024, 1, max_extent=64)
+        right = random_boxes(rng, 300, 1024, 1, max_extent=64)
+        truth = interval_join_count(left, right)
+        estimator = IntervalJoinEstimator(domain, num_instances=1500, seed=5)
+        estimator.insert_left(left)
+        estimator.insert_right(right)
+        result = estimator.estimate()
+        assert result.relative_error(truth) < 0.5
+
+    def test_deletes_reconcile_with_final_state(self, rng):
+        domain = Domain(256)
+        keep = random_boxes(rng, 40, 256, 1)
+        transient = random_boxes(rng, 25, 256, 1)
+        right = random_boxes(rng, 40, 256, 1)
+
+        streaming = IntervalJoinEstimator(domain, num_instances=64, seed=7)
+        streaming.insert_left(keep)
+        streaming.insert_left(transient)
+        streaming.insert_right(right)
+        streaming.delete_left(transient)
+
+        rebuilt = IntervalJoinEstimator(domain, num_instances=64, seed=7)
+        rebuilt.insert_left(keep)
+        rebuilt.insert_right(right)
+
+        assert np.allclose(streaming.instance_values(), rebuilt.instance_values())
+        assert streaming.left_count == rebuilt.left_count == 40
+
+    def test_same_seed_is_deterministic(self, rng):
+        domain = Domain(256)
+        left = random_boxes(rng, 30, 256, 1)
+        right = random_boxes(rng, 30, 256, 1)
+        results = []
+        for _ in range(2):
+            estimator = IntervalJoinEstimator(domain, num_instances=32, seed=11)
+            estimator.insert_left(left)
+            estimator.insert_right(right)
+            results.append(estimator.estimate().estimate)
+        assert results[0] == results[1]
+
+
+class TestEstimatorConfiguration:
+    def test_selectivity_uses_counts(self, rng, domain_1d):
+        left = random_boxes(rng, 20, 256, 1)
+        right = random_boxes(rng, 30, 256, 1)
+        estimator = IntervalJoinEstimator(domain_1d, num_instances=32, seed=1)
+        estimator.insert_left(left)
+        estimator.insert_right(right)
+        result = estimator.estimate()
+        assert result.selectivity == pytest.approx(result.estimate / 600)
+
+    def test_estimate_before_insert_raises(self, domain_1d):
+        estimator = IntervalJoinEstimator(domain_1d, num_instances=8, seed=1)
+        with pytest.raises(EstimationError):
+            estimator.estimate()
+
+    def test_invalid_policy(self, domain_1d):
+        with pytest.raises(SketchConfigError):
+            IntervalJoinEstimator(domain_1d, num_instances=8, endpoint_policy="bogus")
+
+    def test_rectangle_estimator_requires_2d(self, domain_1d):
+        with pytest.raises(DimensionalityError):
+            RectangleJoinEstimator(domain_1d, num_instances=8)
+
+    def test_interval_estimator_requires_1d(self, domain_2d):
+        with pytest.raises(DimensionalityError):
+            IntervalJoinEstimator(domain_2d, num_instances=8)
+
+    def test_interval_estimator_accepts_plain_size(self):
+        estimator = IntervalJoinEstimator(512, num_instances=4)
+        assert estimator.domain.dimension == 1
+
+    def test_interval_convenience_updates(self, domain_1d):
+        estimator = IntervalJoinEstimator(domain_1d, num_instances=16, seed=3)
+        estimator.insert_left_intervals([(0, 10), (30, 60)])
+        estimator.insert_right_intervals([(5, 15)])
+        assert estimator.left_count == 2
+        assert estimator.right_count == 1
+        estimator.delete_left_intervals([(0, 10)])
+        assert estimator.left_count == 1
+
+    def test_from_guarantee_sizes_by_theorem(self, domain_1d):
+        estimator = SpatialJoinEstimator.from_guarantee(
+            domain_1d, epsilon=0.5, phi=0.25, self_join_left=100.0,
+            self_join_right=100.0, result_lower_bound=50.0)
+        # k1 = ceil(8 * 0.5 * 1e4 / (0.25 * 2500)) = 64, k2 = 4.
+        assert estimator.num_instances == 64 * 4
+
+    def test_from_budget_uses_space_accounting(self, domain_2d):
+        estimator = SpatialJoinEstimator.from_budget(domain_2d, budget_words=800)
+        assert estimator.num_instances == 100
+
+    def test_storage_words(self, domain_2d):
+        estimator = SpatialJoinEstimator(domain_2d, num_instances=10)
+        assert estimator.storage_words() == 80.0
+
+    def test_explicit_boosting_plan_is_used(self, rng, domain_1d):
+        plan = BoostingPlan(group_size=4, num_groups=3)
+        estimator = IntervalJoinEstimator(domain_1d, num_instances=12, seed=1, boosting=plan)
+        estimator.insert_left(random_boxes(rng, 10, 256, 1))
+        estimator.insert_right(random_boxes(rng, 10, 256, 1))
+        result = estimator.estimate()
+        assert len(result.group_means) == 3

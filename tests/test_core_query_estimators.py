@@ -1,0 +1,216 @@
+"""Tests for the epsilon-join, containment-join and range-query estimators
+(Sections 6.3, 6.4 and Appendix B.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain
+from repro.core.epsilon_join import EpsilonJoinEstimator
+from repro.core.join_containment import ContainmentJoinEstimator
+from repro.core.range_query import RangeQueryEstimator
+from repro.errors import DomainError, EstimationError, SketchConfigError
+from repro.exact.containment import containment_join_count
+from repro.exact.epsilon_join import epsilon_join_count
+from repro.exact.range_query import range_query_count
+from repro.geometry.boxset import BoxSet, PointSet
+from repro.geometry.rectangle import Rect
+
+from tests.conftest import random_boxes
+
+
+def random_points(rng, count, domain_size, dimension):
+    return PointSet(rng.integers(0, domain_size, size=(count, dimension)))
+
+
+class TestEpsilonJoinEstimator:
+    def test_unbiased_instance_values(self, rng):
+        domain = Domain.square(64, dimension=2)
+        left = random_points(rng, 40, 64, 2)
+        right = random_points(rng, 40, 64, 2)
+        epsilon = 5
+        truth = epsilon_join_count(left, right, epsilon)
+        estimator = EpsilonJoinEstimator(domain, epsilon, num_instances=5000, seed=1)
+        estimator.insert_left(left)
+        estimator.insert_right(right)
+        values = estimator.instance_values()
+        standard_error = values.std() / np.sqrt(values.size)
+        assert abs(values.mean() - truth) < 5 * standard_error + 1e-9
+
+    def test_one_dimensional_case(self, rng):
+        domain = Domain(128)
+        left = random_points(rng, 50, 128, 1)
+        right = random_points(rng, 50, 128, 1)
+        truth = epsilon_join_count(left, right, 3)
+        estimator = EpsilonJoinEstimator(domain, 3, num_instances=4000, seed=3)
+        estimator.insert_left(left)
+        estimator.insert_right(right)
+        values = estimator.instance_values()
+        standard_error = values.std() / np.sqrt(values.size)
+        assert abs(values.mean() - truth) < 5 * standard_error + 1e-9
+
+    def test_deletes_reconcile(self, rng):
+        domain = Domain.square(64, dimension=2)
+        keep = random_points(rng, 20, 64, 2)
+        transient = random_points(rng, 15, 64, 2)
+        right = random_points(rng, 20, 64, 2)
+        streaming = EpsilonJoinEstimator(domain, 4, num_instances=64, seed=5)
+        streaming.insert_left(keep)
+        streaming.insert_left(transient)
+        streaming.delete_left(transient)
+        streaming.insert_right(right)
+        rebuilt = EpsilonJoinEstimator(domain, 4, num_instances=64, seed=5)
+        rebuilt.insert_left(keep)
+        rebuilt.insert_right(right)
+        assert np.allclose(streaming.instance_values(), rebuilt.instance_values())
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(DomainError):
+            EpsilonJoinEstimator(Domain.square(64, 2), -1, num_instances=4)
+
+    def test_estimate_before_insert_raises(self):
+        estimator = EpsilonJoinEstimator(Domain.square(64, 2), 3, num_instances=4)
+        with pytest.raises(EstimationError):
+            estimator.estimate()
+
+    def test_selectivity(self, rng):
+        domain = Domain.square(64, dimension=2)
+        left = random_points(rng, 30, 64, 2)
+        right = random_points(rng, 40, 64, 2)
+        estimator = EpsilonJoinEstimator(domain, 6, num_instances=256, seed=7)
+        estimator.insert_left(left)
+        estimator.insert_right(right)
+        result = estimator.estimate()
+        assert result.selectivity == pytest.approx(result.estimate / 1200)
+
+
+class TestContainmentJoinEstimator:
+    def test_unbiased_instance_values(self, rng):
+        domain = Domain(64)
+        outer = random_boxes(rng, 25, 64, 1, max_extent=30)
+        inner = random_boxes(rng, 25, 64, 1, max_extent=6)
+        truth = containment_join_count(outer, inner)
+        estimator = ContainmentJoinEstimator(domain, num_instances=5000, seed=1)
+        estimator.insert_outer(outer)
+        estimator.insert_inner(inner)
+        values = estimator.instance_values()
+        standard_error = values.std() / np.sqrt(values.size)
+        assert abs(values.mean() - truth) < 5 * standard_error + 1e-9
+
+    def test_two_dimensional(self, rng):
+        domain = Domain.square(32, dimension=2)
+        outer = random_boxes(rng, 15, 32, 2, max_extent=20)
+        inner = random_boxes(rng, 15, 32, 2, max_extent=4)
+        truth = containment_join_count(outer, inner)
+        estimator = ContainmentJoinEstimator(domain, num_instances=6000, seed=3)
+        estimator.insert_outer(outer)
+        estimator.insert_inner(inner)
+        values = estimator.instance_values()
+        standard_error = values.std() / np.sqrt(values.size)
+        assert abs(values.mean() - truth) < 5 * standard_error + 1e-9
+
+    def test_deletes_reconcile(self, rng):
+        domain = Domain(64)
+        outer = random_boxes(rng, 10, 64, 1)
+        inner = random_boxes(rng, 10, 64, 1, max_extent=5)
+        transient = random_boxes(rng, 5, 64, 1, max_extent=5)
+        streaming = ContainmentJoinEstimator(domain, num_instances=32, seed=5)
+        streaming.insert_outer(outer)
+        streaming.insert_inner(inner)
+        streaming.insert_inner(transient)
+        streaming.delete_inner(transient)
+        rebuilt = ContainmentJoinEstimator(domain, num_instances=32, seed=5)
+        rebuilt.insert_outer(outer)
+        rebuilt.insert_inner(inner)
+        assert np.allclose(streaming.instance_values(), rebuilt.instance_values())
+
+    def test_counts_and_selectivity(self, rng):
+        domain = Domain(64)
+        estimator = ContainmentJoinEstimator(domain, num_instances=16, seed=1)
+        estimator.insert_outer(random_boxes(rng, 12, 64, 1))
+        estimator.insert_inner(random_boxes(rng, 8, 64, 1))
+        assert estimator.outer_count == 12
+        assert estimator.inner_count == 8
+        result = estimator.estimate()
+        assert result.selectivity == pytest.approx(result.estimate / 96)
+
+    def test_estimate_before_insert_raises(self):
+        estimator = ContainmentJoinEstimator(Domain(64), num_instances=4)
+        with pytest.raises(EstimationError):
+            estimator.estimate()
+
+
+class TestRangeQueryEstimator:
+    def test_unbiased_instance_values_1d(self, rng):
+        domain = Domain(128)
+        data = random_boxes(rng, 60, 128, 1)
+        query = Rect.interval(30, 90)
+        truth = range_query_count(data, query)
+        estimator = RangeQueryEstimator(domain, num_instances=5000, seed=1)
+        estimator.insert(data)
+        values = estimator.instance_values(query)
+        standard_error = values.std() / np.sqrt(values.size)
+        assert abs(values.mean() - truth) < 5 * standard_error + 1e-9
+
+    def test_unbiased_instance_values_2d(self, rng):
+        domain = Domain.square(64, dimension=2)
+        data = random_boxes(rng, 40, 64, 2)
+        query = Rect.from_bounds((10, 10), (50, 40))
+        truth = range_query_count(data, query)
+        estimator = RangeQueryEstimator(domain, num_instances=6000, seed=3)
+        estimator.insert(data)
+        values = estimator.instance_values(query)
+        standard_error = values.std() / np.sqrt(values.size)
+        assert abs(values.mean() - truth) < 5 * standard_error + 1e-9
+
+    def test_strict_mode_excludes_touching(self, rng):
+        domain = Domain(64)
+        data = BoxSet.from_intervals([(0, 10), (10, 20), (40, 50)])
+        query = Rect.interval(20, 30)
+        strict_truth = range_query_count(data, query, closed=False)
+        closed_truth = range_query_count(data, query, closed=True)
+        assert strict_truth == 0 and closed_truth == 1
+
+        strict = RangeQueryEstimator(domain, num_instances=4000, seed=5, strict=True)
+        strict.insert(data)
+        closed = RangeQueryEstimator(domain, num_instances=4000, seed=5, strict=False)
+        closed.insert(data)
+        strict_values = strict.instance_values(query)
+        closed_values = closed.instance_values(query)
+        strict_se = strict_values.std() / np.sqrt(strict_values.size)
+        closed_se = closed_values.std() / np.sqrt(closed_values.size)
+        assert abs(strict_values.mean() - strict_truth) < 5 * strict_se + 1e-9
+        assert abs(closed_values.mean() - closed_truth) < 5 * closed_se + 1e-9
+
+    def test_deletes_reconcile(self, rng):
+        domain = Domain(128)
+        keep = random_boxes(rng, 30, 128, 1)
+        transient = random_boxes(rng, 20, 128, 1)
+        streaming = RangeQueryEstimator(domain, num_instances=64, seed=7)
+        streaming.insert(keep)
+        streaming.insert(transient)
+        streaming.delete(transient)
+        rebuilt = RangeQueryEstimator(domain, num_instances=64, seed=7)
+        rebuilt.insert(keep)
+        query = Rect.interval(10, 100)
+        assert np.allclose(streaming.instance_values(query), rebuilt.instance_values(query))
+        assert streaming.count == 30
+
+    def test_selectivity(self, rng):
+        domain = Domain(128)
+        data = random_boxes(rng, 50, 128, 1)
+        estimator = RangeQueryEstimator(domain, num_instances=128, seed=9)
+        estimator.insert(data)
+        result = estimator.estimate(Rect.interval(0, 127))
+        assert result.selectivity == pytest.approx(result.estimate / 50)
+
+    def test_query_validation(self, rng):
+        domain = Domain(128)
+        estimator = RangeQueryEstimator(domain, num_instances=8, seed=1)
+        estimator.insert(random_boxes(rng, 10, 128, 1))
+        with pytest.raises(Exception):
+            estimator.estimate(Rect.from_bounds((0, 0), (5, 5)))
+
+    def test_estimate_before_insert_raises(self):
+        estimator = RangeQueryEstimator(Domain(64), num_instances=4)
+        with pytest.raises(EstimationError):
+            estimator.estimate(Rect.interval(0, 10))

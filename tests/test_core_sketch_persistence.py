@@ -1,0 +1,113 @@
+"""Tests for sketch merging (distributed construction) and persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.atomic import Letter, SketchBank, all_words
+from repro.core.domain import Domain
+from repro.errors import SketchConfigError
+
+from tests.conftest import random_boxes
+
+
+IE_1D = [(Letter.INTERVAL,), (Letter.ENDPOINTS,)]
+
+
+class TestMerge:
+    def test_merge_equals_union_insert(self, rng, domain_1d):
+        part_a = random_boxes(rng, 20, 256, 1)
+        part_b = random_boxes(rng, 15, 256, 1)
+
+        whole = SketchBank(domain_1d, IE_1D, num_instances=16, seed=5)
+        whole.insert(part_a.concat(part_b))
+
+        first = SketchBank(domain_1d, IE_1D, num_instances=16, seed=5)
+        second = first.companion()
+        first.insert(part_a)
+        second.insert(part_b)
+        first.merge(second)
+
+        for word in IE_1D:
+            assert np.allclose(first.counter(word), whole.counter(word))
+
+    def test_merge_two_dimensional(self, rng, domain_2d):
+        words = all_words([Letter.INTERVAL, Letter.ENDPOINTS], 2)
+        part_a = random_boxes(rng, 10, 256, 2)
+        part_b = random_boxes(rng, 12, 256, 2)
+        whole = SketchBank(domain_2d, words, num_instances=8, seed=3)
+        whole.insert(part_a.concat(part_b))
+        first = SketchBank(domain_2d, words, num_instances=8, seed=3)
+        second = first.companion()
+        first.insert(part_a)
+        second.insert(part_b)
+        first.merge(second)
+        for word in words:
+            assert np.allclose(first.counter(word), whole.counter(word))
+
+    def test_merge_rejects_different_seeds(self, domain_1d):
+        first = SketchBank(domain_1d, IE_1D, num_instances=8, seed=1)
+        second = SketchBank(domain_1d, IE_1D, num_instances=8, seed=2)
+        with pytest.raises(SketchConfigError):
+            first.merge(second)
+
+    def test_merge_rejects_different_words(self, domain_1d):
+        first = SketchBank(domain_1d, IE_1D, num_instances=8, seed=1)
+        second = first.companion(words=[(Letter.INTERVAL,)])
+        with pytest.raises(SketchConfigError):
+            first.merge(second)
+
+    def test_merge_rejects_different_instance_counts(self, domain_1d):
+        first = SketchBank(domain_1d, IE_1D, num_instances=8, seed=1)
+        second = SketchBank(domain_1d, IE_1D, num_instances=4, seed=1)
+        with pytest.raises(SketchConfigError):
+            first.merge(second)
+
+
+class TestPersistence:
+    def test_state_dict_round_trip(self, rng, domain_1d):
+        boxes = random_boxes(rng, 25, 256, 1)
+        original = SketchBank(domain_1d, IE_1D, num_instances=12, seed=7)
+        original.insert(boxes)
+        snapshot = original.state_dict()
+
+        restored = SketchBank(domain_1d, IE_1D, num_instances=12, seed=7)
+        restored.load_state_dict(snapshot)
+        for word in IE_1D:
+            assert np.allclose(restored.counter(word), original.counter(word))
+        assert restored.num_updates == original.num_updates
+
+    def test_state_dict_is_json_serialisable(self, rng, domain_1d):
+        bank = SketchBank(domain_1d, IE_1D, num_instances=4, seed=7)
+        bank.insert(random_boxes(rng, 5, 256, 1))
+        text = json.dumps(bank.state_dict())
+        assert "counters" in json.loads(text)
+
+    def test_restored_bank_supports_further_updates(self, rng, domain_1d):
+        initial = random_boxes(rng, 20, 256, 1)
+        later = random_boxes(rng, 10, 256, 1)
+
+        original = SketchBank(domain_1d, IE_1D, num_instances=8, seed=9)
+        original.insert(initial)
+        snapshot = original.state_dict()
+        original.insert(later)
+
+        restored = SketchBank(domain_1d, IE_1D, num_instances=8, seed=9)
+        restored.load_state_dict(snapshot)
+        restored.insert(later)
+        for word in IE_1D:
+            assert np.allclose(restored.counter(word), original.counter(word))
+
+    def test_seed_mismatch_rejected(self, rng, domain_1d):
+        bank = SketchBank(domain_1d, IE_1D, num_instances=8, seed=9)
+        bank.insert(random_boxes(rng, 5, 256, 1))
+        other = SketchBank(domain_1d, IE_1D, num_instances=8, seed=10)
+        with pytest.raises(SketchConfigError):
+            other.load_state_dict(bank.state_dict())
+
+    def test_instance_count_mismatch_rejected(self, rng, domain_1d):
+        bank = SketchBank(domain_1d, IE_1D, num_instances=8, seed=9)
+        other = SketchBank(domain_1d, IE_1D, num_instances=4, seed=9)
+        with pytest.raises(SketchConfigError):
+            other.load_state_dict(bank.state_dict())

@@ -1,0 +1,65 @@
+"""Tests for the Fenwick tree substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.exact.fenwick import FenwickTree
+
+
+class TestFenwickTree:
+    def test_size_must_be_positive(self):
+        with pytest.raises(DomainError):
+            FenwickTree(0)
+
+    def test_empty_tree_prefix_sums_are_zero(self):
+        tree = FenwickTree(8)
+        assert tree.prefix_sum(-1) == 0
+        assert tree.prefix_sum(7) == 0
+        assert tree.total() == 0
+
+    def test_single_update(self):
+        tree = FenwickTree(10)
+        tree.add(3)
+        assert tree.prefix_sum(2) == 0
+        assert tree.prefix_sum(3) == 1
+        assert tree.prefix_sum(9) == 1
+
+    def test_position_out_of_range(self):
+        tree = FenwickTree(4)
+        with pytest.raises(DomainError):
+            tree.add(4)
+        with pytest.raises(DomainError):
+            tree.add(-1)
+
+    def test_negative_delta_removes(self):
+        tree = FenwickTree(4)
+        tree.add(2, 5)
+        tree.add(2, -3)
+        assert tree.prefix_sum(3) == 2
+
+    def test_range_sum(self):
+        tree = FenwickTree(10)
+        for position in (1, 3, 3, 7):
+            tree.add(position)
+        assert tree.range_sum(0, 2) == 1
+        assert tree.range_sum(3, 3) == 2
+        assert tree.range_sum(4, 9) == 1
+        assert tree.range_sum(5, 4) == 0
+
+    def test_prefix_sum_clamps_large_positions(self):
+        tree = FenwickTree(4)
+        tree.add(3)
+        assert tree.prefix_sum(100) == 1
+
+    def test_matches_naive_counts(self, rng):
+        size = 64
+        tree = FenwickTree(size)
+        reference = np.zeros(size, dtype=np.int64)
+        positions = rng.integers(0, size, size=300)
+        deltas = rng.integers(-2, 3, size=300)
+        for position, delta in zip(positions, deltas):
+            tree.add(int(position), int(delta))
+            reference[position] += delta
+        for query in rng.integers(0, size, size=50):
+            assert tree.prefix_sum(int(query)) == int(reference[: query + 1].sum())

@@ -1,0 +1,208 @@
+"""Tests for the exact join counters (ground-truth algorithms)."""
+
+import numpy as np
+import pytest
+
+from repro.exact.containment import containment_join_count
+from repro.exact.epsilon_join import epsilon_join_count, epsilon_join_selectivity
+from repro.exact.interval_join import (
+    interval_join_count,
+    interval_join_pairs,
+    interval_self_join_count,
+)
+from repro.exact.range_query import (
+    range_query_count,
+    range_query_select,
+    range_query_selectivity,
+)
+from repro.exact.rectangle_join import (
+    brute_force_join_count,
+    join_selectivity,
+    plane_sweep_join_count,
+    rectangle_join_count,
+)
+from repro.geometry.boxset import BoxSet, PointSet
+from repro.geometry.predicates import overlap_matrix, pairwise_linf_distances
+from repro.geometry.rectangle import Rect
+
+from tests.conftest import random_boxes
+
+
+class TestIntervalJoin:
+    def test_simple_overlap(self):
+        left = BoxSet.from_intervals([(0, 10)])
+        right = BoxSet.from_intervals([(5, 15), (20, 30)])
+        assert interval_join_count(left, right) == 1
+
+    def test_touching_only_counts_when_closed(self):
+        left = BoxSet.from_intervals([(0, 10)])
+        right = BoxSet.from_intervals([(10, 20)])
+        assert interval_join_count(left, right) == 0
+        assert interval_join_count(left, right, closed=True) == 1
+
+    def test_degenerate_intervals_ignored_for_strict(self):
+        left = BoxSet.from_intervals([(5, 5)])
+        right = BoxSet.from_intervals([(0, 10)])
+        assert interval_join_count(left, right) == 0
+        assert interval_join_count(left, right, closed=True) == 1
+
+    def test_empty_inputs(self):
+        left = BoxSet.from_intervals([(0, 10)])
+        assert interval_join_count(left, BoxSet.empty(1)) == 0
+        assert interval_join_count(BoxSet.empty(1), left) == 0
+
+    def test_matches_matrix_oracle(self, rng):
+        for _ in range(10):
+            left = random_boxes(rng, 40, 100, 1)
+            right = random_boxes(rng, 35, 100, 1)
+            expected = int(overlap_matrix(left, right).sum())
+            assert interval_join_count(left, right) == expected
+
+    def test_closed_matches_matrix_oracle(self, rng):
+        left = random_boxes(rng, 50, 60, 1, allow_degenerate=True)
+        right = random_boxes(rng, 50, 60, 1, allow_degenerate=True)
+        expected = int(overlap_matrix(left, right, closed=True).sum())
+        assert interval_join_count(left, right, closed=True) == expected
+
+    def test_pairs_iterator_consistent_with_count(self, rng):
+        left = random_boxes(rng, 25, 80, 1)
+        right = random_boxes(rng, 25, 80, 1)
+        pairs = list(interval_join_pairs(left, right))
+        assert len(pairs) == interval_join_count(left, right)
+
+    def test_self_join(self, rng):
+        data = random_boxes(rng, 30, 100, 1)
+        assert interval_self_join_count(data) == interval_join_count(data, data)
+
+
+class TestRectangleJoin:
+    def test_brute_force_simple(self):
+        left = BoxSet(np.array([[0, 0]]), np.array([[10, 10]]))
+        right = BoxSet(np.array([[5, 5], [20, 20]]), np.array([[15, 15], [30, 30]]))
+        assert brute_force_join_count(left, right) == 1
+
+    def test_plane_sweep_matches_brute_force(self, rng):
+        for trial in range(8):
+            left = random_boxes(rng, 60, 200, 2)
+            right = random_boxes(rng, 70, 200, 2)
+            assert plane_sweep_join_count(left, right) == \
+                brute_force_join_count(left, right), f"trial {trial}"
+
+    def test_plane_sweep_matches_brute_force_closed(self, rng):
+        for _ in range(5):
+            left = random_boxes(rng, 40, 50, 2, allow_degenerate=True)
+            right = random_boxes(rng, 40, 50, 2, allow_degenerate=True)
+            assert plane_sweep_join_count(left, right, closed=True) == \
+                brute_force_join_count(left, right, closed=True)
+
+    def test_plane_sweep_with_shared_coordinates(self, rng):
+        # Snap coordinates to a coarse grid so ties are frequent.
+        left = random_boxes(rng, 80, 64, 2)
+        right = random_boxes(rng, 80, 64, 2)
+        left = BoxSet((left.lows // 8) * 8, np.maximum((left.highs // 8) * 8, (left.lows // 8) * 8 + 1))
+        right = BoxSet((right.lows // 8) * 8, np.maximum((right.highs // 8) * 8, (right.lows // 8) * 8 + 1))
+        assert plane_sweep_join_count(left, right) == brute_force_join_count(left, right)
+
+    def test_dispatcher_consistency(self, rng):
+        left = random_boxes(rng, 30, 100, 2)
+        right = random_boxes(rng, 30, 100, 2)
+        assert rectangle_join_count(left, right) == brute_force_join_count(left, right)
+
+    def test_dispatcher_one_dimension(self, rng):
+        left = random_boxes(rng, 30, 100, 1)
+        right = random_boxes(rng, 30, 100, 1)
+        assert rectangle_join_count(left, right) == interval_join_count(left, right)
+
+    def test_dispatcher_three_dimensions(self, rng):
+        left = random_boxes(rng, 25, 40, 3)
+        right = random_boxes(rng, 25, 40, 3)
+        expected = int(overlap_matrix(left, right).sum())
+        assert rectangle_join_count(left, right) == expected
+
+    def test_join_selectivity(self, rng):
+        left = random_boxes(rng, 20, 60, 2)
+        right = random_boxes(rng, 25, 60, 2)
+        expected = rectangle_join_count(left, right) / (20 * 25)
+        assert join_selectivity(left, right) == pytest.approx(expected)
+
+    def test_empty_inputs(self):
+        left = BoxSet(np.array([[0, 0]]), np.array([[5, 5]]))
+        assert rectangle_join_count(left, BoxSet.empty(2)) == 0
+        assert plane_sweep_join_count(BoxSet.empty(2), left) == 0
+
+
+class TestContainmentJoin:
+    def test_simple(self):
+        outer = BoxSet(np.array([[0, 0]]), np.array([[10, 10]]))
+        inner = BoxSet(np.array([[2, 2], [8, 8]]), np.array([[5, 5], [12, 12]]))
+        assert containment_join_count(outer, inner) == 1
+
+    def test_boundary_containment_counts(self):
+        outer = BoxSet(np.array([[0, 0]]), np.array([[10, 10]]))
+        inner = BoxSet(np.array([[0, 0]]), np.array([[10, 10]]))
+        assert containment_join_count(outer, inner) == 1
+
+    def test_matches_matrix_oracle(self, rng):
+        from repro.geometry.predicates import containment_matrix
+
+        outer = random_boxes(rng, 40, 80, 2)
+        inner = random_boxes(rng, 40, 80, 2, max_extent=10)
+        expected = int(containment_matrix(outer, inner).sum())
+        assert containment_join_count(outer, inner) == expected
+
+
+class TestEpsilonJoin:
+    def test_simple(self):
+        left = PointSet(np.array([[0, 0]]))
+        right = PointSet(np.array([[3, 3], [10, 10]]))
+        assert epsilon_join_count(left, right, 3) == 1
+        assert epsilon_join_count(left, right, 2) == 0
+
+    def test_epsilon_zero_counts_exact_matches(self):
+        left = PointSet(np.array([[5, 5], [5, 5]]))
+        right = PointSet(np.array([[5, 5], [6, 6]]))
+        assert epsilon_join_count(left, right, 0) == 2
+
+    def test_matches_matrix_oracle(self, rng):
+        left = PointSet(rng.integers(0, 100, size=(60, 2)))
+        right = PointSet(rng.integers(0, 100, size=(70, 2)))
+        for epsilon in (1, 5, 17):
+            expected = int((pairwise_linf_distances(left, right) <= epsilon).sum())
+            assert epsilon_join_count(left, right, epsilon) == expected
+
+    def test_three_dimensional(self, rng):
+        left = PointSet(rng.integers(0, 30, size=(40, 3)))
+        right = PointSet(rng.integers(0, 30, size=(40, 3)))
+        expected = int((pairwise_linf_distances(left, right) <= 4).sum())
+        assert epsilon_join_count(left, right, 4) == expected
+
+    def test_selectivity(self, rng):
+        left = PointSet(rng.integers(0, 50, size=(20, 2)))
+        right = PointSet(rng.integers(0, 50, size=(30, 2)))
+        count = epsilon_join_count(left, right, 5)
+        assert epsilon_join_selectivity(left, right, 5) == pytest.approx(count / 600)
+
+
+class TestRangeQuery:
+    def test_count_and_select(self, rng):
+        data = random_boxes(rng, 50, 100, 2)
+        query = Rect.from_bounds((20, 20), (60, 60))
+        count = range_query_count(data, query)
+        selected = range_query_select(data, query)
+        assert len(selected) == count
+        expected = sum(1 for rect in data if rect.overlaps_plus(query))
+        assert count == expected
+
+    def test_strict_semantics(self):
+        data = BoxSet(np.array([[0, 0]]), np.array([[10, 10]]))
+        query = Rect.from_bounds((10, 0), (20, 10))
+        assert range_query_count(data, query, closed=True) == 1
+        assert range_query_count(data, query, closed=False) == 0
+
+    def test_selectivity(self, rng):
+        data = random_boxes(rng, 40, 100, 2)
+        query = Rect.from_bounds((0, 0), (99, 99))
+        assert range_query_selectivity(data, query) == pytest.approx(1.0)
+
+    def test_empty_data(self):
+        assert range_query_count(BoxSet.empty(2), Rect.from_bounds((0, 0), (5, 5))) == 0

@@ -1,0 +1,160 @@
+"""Tests for repro.geometry.boxset."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionalityError, DomainError
+from repro.geometry.boxset import BoxSet, PointSet
+from repro.geometry.rectangle import Rect
+
+
+@pytest.fixture
+def boxes() -> BoxSet:
+    return BoxSet(
+        np.array([[0, 0], [5, 5], [10, 2]]),
+        np.array([[4, 4], [9, 9], [15, 6]]),
+    )
+
+
+class TestBoxSetConstruction:
+    def test_shapes_must_match(self):
+        with pytest.raises(DimensionalityError):
+            BoxSet(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_lower_above_upper_rejected(self):
+        with pytest.raises(DomainError):
+            BoxSet(np.array([[5]]), np.array([[3]]))
+
+    def test_from_rects_round_trip(self, boxes):
+        rebuilt = BoxSet.from_rects(boxes.to_rects())
+        assert np.array_equal(rebuilt.lows, boxes.lows)
+        assert np.array_equal(rebuilt.highs, boxes.highs)
+
+    def test_from_intervals(self):
+        result = BoxSet.from_intervals([(0, 5), (3, 9)])
+        assert result.dimension == 1
+        assert len(result) == 2
+
+    def test_from_rects_dimension_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            BoxSet.from_rects([Rect.interval(0, 1), Rect.from_bounds((0, 0), (1, 1))])
+
+    def test_empty(self):
+        empty = BoxSet.empty(3)
+        assert len(empty) == 0
+        assert empty.dimension == 3
+
+    def test_arrays_are_read_only(self, boxes):
+        with pytest.raises(ValueError):
+            boxes.lows[0, 0] = 99
+
+
+class TestBoxSetAccessors:
+    def test_len_and_dimension(self, boxes):
+        assert len(boxes) == 3
+        assert boxes.dimension == 2
+
+    def test_rect_access(self, boxes):
+        assert boxes.rect(1) == Rect.from_bounds((5, 5), (9, 9))
+
+    def test_getitem_single_row_keeps_2d_shape(self, boxes):
+        single = boxes[1]
+        assert isinstance(single, BoxSet)
+        assert len(single) == 1
+
+    def test_getitem_mask(self, boxes):
+        subset = boxes[np.array([True, False, True])]
+        assert len(subset) == 2
+
+    def test_side_lengths(self, boxes):
+        assert np.array_equal(boxes.side_lengths()[0], np.array([5, 5]))
+
+    def test_bounding_box(self, boxes):
+        assert boxes.bounding_box() == Rect.from_bounds((0, 0), (15, 9))
+
+    def test_min_max_coordinates(self, boxes):
+        assert boxes.min_coordinate() == 0
+        assert boxes.max_coordinate() == 15
+
+    def test_iteration_yields_rects(self, boxes):
+        assert all(isinstance(rect, Rect) for rect in boxes)
+
+
+class TestBoxSetTransformations:
+    def test_concat(self, boxes):
+        combined = boxes.concat(boxes)
+        assert len(combined) == 6
+
+    def test_concat_dimension_mismatch(self, boxes):
+        with pytest.raises(DimensionalityError):
+            boxes.concat(BoxSet.empty(3))
+
+    def test_translated(self, boxes):
+        moved = boxes.translated((10, 20))
+        assert np.array_equal(moved.lows[0], np.array([10, 20]))
+
+    def test_scaled(self, boxes):
+        scaled = boxes.scaled(3)
+        assert np.array_equal(scaled.highs[0], np.array([12, 12]))
+
+    def test_scaled_rejects_nonpositive(self, boxes):
+        with pytest.raises(DomainError):
+            boxes.scaled(0)
+
+    def test_expanded(self, boxes):
+        grown = boxes.expanded(2)
+        assert np.array_equal(grown.lows[0], np.array([-2, -2]))
+        assert np.array_equal(grown.highs[0], np.array([6, 6]))
+
+    def test_clipped_drops_outside_boxes(self):
+        data = BoxSet(np.array([[0, 0], [50, 50]]), np.array([[5, 5], [60, 60]]))
+        clipped = data.clipped(0, 20)
+        assert len(clipped) == 1
+
+    def test_shrunk_for_endpoint_transform(self):
+        data = BoxSet(np.array([[2]]), np.array([[7]]))
+        shrunk = data.shrunk_for_endpoint_transform()
+        assert shrunk.lows[0, 0] == 7
+        assert shrunk.highs[0, 0] == 20
+
+    def test_projected(self, boxes):
+        projected = boxes.projected([1])
+        assert projected.dimension == 1
+        assert np.array_equal(projected.highs[:, 0], boxes.highs[:, 1])
+
+    def test_sample(self, boxes, rng):
+        sampled = boxes.sample(2, rng)
+        assert len(sampled) == 2
+
+    def test_sample_too_large(self, boxes, rng):
+        with pytest.raises(DomainError):
+            boxes.sample(10, rng)
+
+
+class TestPointSet:
+    def test_basic_properties(self):
+        points = PointSet(np.array([[1, 2], [3, 4]]))
+        assert len(points) == 2
+        assert points.dimension == 2
+        assert points.point(1) == (3, 4)
+
+    def test_to_boxes_is_degenerate(self):
+        points = PointSet(np.array([[1, 2]]))
+        boxes = points.to_boxes()
+        assert np.array_equal(boxes.lows, boxes.highs)
+
+    def test_expanded_boxes(self):
+        points = PointSet(np.array([[10, 10]]))
+        cubes = points.expanded_boxes(3)
+        assert np.array_equal(cubes.lows[0], np.array([7, 7]))
+        assert np.array_equal(cubes.highs[0], np.array([13, 13]))
+
+    def test_expanded_boxes_clipping(self):
+        points = PointSet(np.array([[1, 1]]))
+        cubes = points.expanded_boxes(5, clip_lo=0, clip_hi=20)
+        assert np.array_equal(cubes.lows[0], np.array([0, 0]))
+
+    def test_concat(self):
+        a = PointSet(np.array([[1, 1]]))
+        b = PointSet(np.array([[2, 2]]))
+        assert len(a.concat(b)) == 2

@@ -1,0 +1,65 @@
+"""Tests for the uniform grid index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchConfigError
+from repro.exact.rectangle_join import brute_force_join_count
+from repro.geometry.boxset import BoxSet
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+
+from tests.conftest import random_boxes
+
+
+class TestGridIndex:
+    def test_empty_input_rejected(self):
+        with pytest.raises(SketchConfigError):
+            GridIndex(BoxSet.empty(2))
+
+    def test_invalid_cells_rejected(self, rng):
+        with pytest.raises(SketchConfigError):
+            GridIndex(random_boxes(rng, 5, 100, 2), cells_per_dim=0)
+
+    def test_candidates_superset_of_matches(self, rng):
+        data = random_boxes(rng, 100, 200, 2)
+        index = GridIndex(data, cells_per_dim=16)
+        query = Rect.from_bounds((50, 50), (120, 90))
+        candidates = set(index.candidates(query).tolist())
+        matches = set(index.query(query).tolist())
+        assert matches <= candidates
+
+    def test_query_matches_brute_force(self, rng):
+        data = random_boxes(rng, 150, 200, 2)
+        index = GridIndex(data, cells_per_dim=8)
+        for _ in range(20):
+            lo = rng.integers(0, 150, size=2)
+            hi = lo + rng.integers(1, 60, size=2)
+            query = Rect.from_bounds(lo, hi)
+            expected = {i for i in range(len(data)) if data.rect(i).overlaps(query)}
+            assert set(index.query(query).tolist()) == expected
+
+    def test_query_closed_semantics(self, rng):
+        data = BoxSet(np.array([[0, 0]]), np.array([[10, 10]]))
+        index = GridIndex(data, cells_per_dim=4)
+        touching = Rect.from_bounds((10, 0), (20, 10))
+        assert index.query(touching).size == 0
+        assert index.query(touching, closed=True).size == 1
+
+    def test_join_count_matches_brute_force(self, rng):
+        left = random_boxes(rng, 80, 150, 2)
+        right = random_boxes(rng, 60, 150, 2)
+        index = GridIndex(right, cells_per_dim=8)
+        assert index.join_count(left) == brute_force_join_count(left, right)
+
+    def test_one_dimensional_data(self, rng):
+        data = random_boxes(rng, 50, 100, 1)
+        index = GridIndex(data, cells_per_dim=8)
+        query = Rect.interval(20, 60)
+        expected = {i for i in range(len(data)) if data.rect(i).overlaps(query)}
+        assert set(index.query(query).tolist()) == expected
+
+    def test_num_occupied_cells(self, rng):
+        data = random_boxes(rng, 30, 100, 2)
+        index = GridIndex(data, cells_per_dim=4)
+        assert 1 <= index.num_occupied_cells <= 16

@@ -1,0 +1,121 @@
+"""Tests for the R-tree index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchConfigError
+from repro.exact.rectangle_join import brute_force_join_count
+from repro.geometry.boxset import BoxSet
+from repro.geometry.rectangle import Rect
+from repro.index.rtree import RTree
+
+from tests.conftest import random_boxes
+
+
+class TestConstruction:
+    def test_requires_boxes_or_dimension(self):
+        with pytest.raises(SketchConfigError):
+            RTree()
+
+    def test_empty_tree(self):
+        tree = RTree(dimension=2)
+        assert len(tree) == 0
+        assert tree.query(Rect.from_bounds((0, 0), (10, 10))) == []
+
+    def test_max_entries_validation(self, rng):
+        with pytest.raises(SketchConfigError):
+            RTree(random_boxes(rng, 10, 50, 2), max_entries=2)
+
+    def test_bulk_load_sizes(self, rng):
+        data = random_boxes(rng, 200, 500, 2)
+        tree = RTree(data, max_entries=8)
+        assert len(tree) == 200
+        assert tree.height >= 2
+
+    def test_box_accessor(self, rng):
+        data = random_boxes(rng, 10, 50, 2)
+        tree = RTree(data)
+        assert tree.box(3) == data.rect(3)
+
+
+class TestQueries:
+    def test_query_matches_brute_force(self, rng):
+        data = random_boxes(rng, 250, 300, 2)
+        tree = RTree(data, max_entries=8)
+        for _ in range(25):
+            lo = rng.integers(0, 250, size=2)
+            hi = lo + rng.integers(1, 80, size=2)
+            query = Rect.from_bounds(lo, hi)
+            expected = {i for i in range(len(data)) if data.rect(i).overlaps(query)}
+            assert set(tree.query(query)) == expected
+
+    def test_query_closed_semantics(self):
+        data = BoxSet(np.array([[0, 0]]), np.array([[10, 10]]))
+        tree = RTree(data)
+        touching = Rect.from_bounds((10, 3), (20, 8))
+        assert tree.query(touching) == []
+        assert tree.query(touching, closed=True) == [0]
+
+    def test_one_dimensional_tree(self, rng):
+        data = random_boxes(rng, 100, 200, 1)
+        tree = RTree(data, max_entries=6)
+        query = Rect.interval(50, 120)
+        expected = {i for i in range(len(data)) if data.rect(i).overlaps(query)}
+        assert set(tree.query(query)) == expected
+
+
+class TestInsertion:
+    def test_insert_into_empty_tree(self):
+        tree = RTree(dimension=2)
+        first = tree.insert(Rect.from_bounds((0, 0), (5, 5)))
+        second = tree.insert(Rect.from_bounds((10, 10), (15, 15)))
+        assert (first, second) == (0, 1)
+        assert set(tree.query(Rect.from_bounds((0, 0), (20, 20)))) == {0, 1}
+
+    def test_inserted_items_are_retrievable(self, rng):
+        tree = RTree(dimension=2, max_entries=4)
+        data = random_boxes(rng, 120, 150, 2)
+        for i in range(len(data)):
+            tree.insert(data.rect(i))
+        assert len(tree) == 120
+        for _ in range(15):
+            lo = rng.integers(0, 120, size=2)
+            hi = lo + rng.integers(1, 50, size=2)
+            query = Rect.from_bounds(lo, hi)
+            expected = {i for i in range(len(data)) if data.rect(i).overlaps(query)}
+            assert set(tree.query(query)) == expected
+
+    def test_mixed_bulk_load_and_insert(self, rng):
+        initial = random_boxes(rng, 60, 100, 2)
+        tree = RTree(initial, max_entries=6)
+        extra = random_boxes(rng, 40, 100, 2)
+        for i in range(len(extra)):
+            tree.insert(extra.rect(i))
+        combined = initial.concat(extra)
+        query = Rect.from_bounds((20, 20), (70, 70))
+        expected = {i for i in range(len(combined)) if combined.rect(i).overlaps(query)}
+        assert set(tree.query(query)) == expected
+
+
+class TestJoin:
+    def test_join_count_matches_brute_force(self, rng):
+        left = random_boxes(rng, 90, 150, 2)
+        right = random_boxes(rng, 70, 150, 2)
+        left_tree = RTree(left, max_entries=8)
+        right_tree = RTree(right, max_entries=8)
+        assert left_tree.join_count(right_tree) == brute_force_join_count(left, right)
+
+    def test_join_pairs_are_correct(self, rng):
+        left = random_boxes(rng, 30, 60, 2)
+        right = random_boxes(rng, 30, 60, 2)
+        left_tree = RTree(left)
+        right_tree = RTree(right)
+        pairs = set(left_tree.join(right_tree))
+        expected = {(i, j) for i in range(len(left)) for j in range(len(right))
+                    if left.rect(i).overlaps(right.rect(j))}
+        assert pairs == expected
+
+    def test_join_with_empty_tree(self, rng):
+        left = RTree(random_boxes(rng, 10, 50, 2))
+        right = RTree(dimension=2)
+        assert left.join_count(right) == 0

@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.atomic import Letter
+from repro.core.domain import Domain, EndpointTransform
+from repro.core.dyadic import DyadicDomain
+from repro.core.boosting import BoostingPlan, median_of_means
+from repro.core.join_interval import IntervalJoinEstimator
+from repro.core.selfjoin import self_join_size
+from repro.exact.fenwick import FenwickTree
+from repro.exact.interval_join import interval_join_count
+from repro.exact.rectangle_join import brute_force_join_count, plane_sweep_join_count
+from repro.geometry.boxset import BoxSet
+from repro.geometry.interval import Interval
+from repro.geometry.relationships import classify_intervals
+
+from tests.helpers import cover_counts, expected_estimator_value
+
+
+# -- strategies -------------------------------------------------------------------
+
+def interval_strategy(domain_size: int):
+    return st.tuples(
+        st.integers(min_value=0, max_value=domain_size - 2),
+        st.integers(min_value=1, max_value=domain_size // 2),
+    ).map(lambda pair: (pair[0], min(pair[0] + pair[1], domain_size - 1)))
+
+
+def interval_set_strategy(domain_size: int, max_count: int = 12):
+    return st.lists(interval_strategy(domain_size), min_size=1, max_size=max_count)
+
+
+def box_set_strategy(domain_size: int, dimension: int, max_count: int = 10):
+    box = st.tuples(*[interval_strategy(domain_size) for _ in range(dimension)])
+    return st.lists(box, min_size=1, max_size=max_count)
+
+
+def to_boxset_1d(pairs) -> BoxSet:
+    return BoxSet.from_intervals(pairs)
+
+
+def to_boxset(boxes) -> BoxSet:
+    lows = np.array([[rng[0] for rng in box] for box in boxes])
+    highs = np.array([[rng[1] for rng in box] for box in boxes])
+    return BoxSet(lows, highs)
+
+
+# -- dyadic decomposition -----------------------------------------------------------
+
+class TestDyadicProperties:
+    @given(st.integers(min_value=2, max_value=9),
+           st.integers(min_value=0, max_value=500),
+           st.integers(min_value=0, max_value=500),
+           st.integers(min_value=-1, max_value=9))
+    @settings(max_examples=150, deadline=None)
+    def test_cover_partitions_interval(self, height, raw_lo, raw_hi, max_level):
+        size = 2 ** height
+        lo, hi = sorted((raw_lo % size, raw_hi % size))
+        level = None if max_level < 0 else min(max_level, height)
+        domain = DyadicDomain(size, max_level=level)
+        cover = domain.cover(lo, hi)
+        covered = []
+        for node in cover:
+            interval = domain.interval_of(node)
+            covered.extend(range(interval.lo, interval.hi + 1))
+        assert sorted(covered) == list(range(lo, hi + 1))
+        if level is None:
+            assert len(cover) <= max(1, 2 * height)
+
+    @given(st.integers(min_value=2, max_value=9),
+           st.integers(min_value=0, max_value=500),
+           st.integers(min_value=0, max_value=500),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=150, deadline=None)
+    def test_lemma4_exactly_one_common_node(self, height, raw_lo, raw_hi, raw_point):
+        size = 2 ** height
+        lo, hi = sorted((raw_lo % size, raw_hi % size))
+        point = raw_point % size
+        domain = DyadicDomain(size)
+        common = set(domain.cover(lo, hi)) & set(domain.point_cover(point))
+        assert len(common) == (1 if lo <= point <= hi else 0)
+
+
+# -- exact join algorithms -------------------------------------------------------------
+
+class TestExactJoinProperties:
+    @given(interval_set_strategy(64), interval_set_strategy(64))
+    @settings(max_examples=100, deadline=None)
+    def test_interval_join_matches_oracle(self, left_pairs, right_pairs):
+        left = to_boxset_1d(left_pairs)
+        right = to_boxset_1d(right_pairs)
+        oracle = sum(
+            1
+            for lo_l, hi_l in left_pairs
+            for lo_r, hi_r in right_pairs
+            if lo_l < hi_r and lo_r < hi_l and lo_l < hi_l and lo_r < hi_r
+        )
+        assert interval_join_count(left, right) == oracle
+
+    @given(box_set_strategy(32, 2), box_set_strategy(32, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_plane_sweep_matches_brute_force(self, left_boxes, right_boxes):
+        left = to_boxset(left_boxes)
+        right = to_boxset(right_boxes)
+        assert plane_sweep_join_count(left, right) == brute_force_join_count(left, right)
+
+    @given(interval_set_strategy(64), interval_set_strategy(64))
+    @settings(max_examples=60, deadline=None)
+    def test_join_commutes(self, left_pairs, right_pairs):
+        left = to_boxset_1d(left_pairs)
+        right = to_boxset_1d(right_pairs)
+        assert interval_join_count(left, right) == interval_join_count(right, left)
+
+    @given(interval_set_strategy(64))
+    @settings(max_examples=50, deadline=None)
+    def test_closed_join_dominates_strict_join(self, pairs):
+        data = to_boxset_1d(pairs)
+        assert interval_join_count(data, data, closed=True) >= interval_join_count(data, data)
+
+
+# -- estimator expectation --------------------------------------------------------------
+
+class TestEstimatorExpectationProperties:
+    @given(interval_set_strategy(32, max_count=8), interval_set_strategy(32, max_count=8))
+    @settings(max_examples=40, deadline=None)
+    def test_interval_join_expectation_equals_truth(self, left_pairs, right_pairs):
+        domain = Domain(32)
+        left = to_boxset_1d(left_pairs)
+        right = to_boxset_1d(right_pairs)
+        estimator = IntervalJoinEstimator(domain, num_instances=1, seed=0,
+                                          endpoint_policy="transform")
+        truth = interval_join_count(left, right)
+        assert abs(expected_estimator_value(estimator, left, right) - truth) < 1e-6
+
+    @given(interval_set_strategy(32, max_count=8), interval_set_strategy(32, max_count=8))
+    @settings(max_examples=40, deadline=None)
+    def test_explicit_policy_expectation_equals_truth(self, left_pairs, right_pairs):
+        domain = Domain(32)
+        left = to_boxset_1d(left_pairs)
+        right = to_boxset_1d(right_pairs)
+        estimator = IntervalJoinEstimator(domain, num_instances=1, seed=0,
+                                          endpoint_policy="explicit")
+        truth = interval_join_count(left, right)
+        assert abs(expected_estimator_value(estimator, left, right) - truth) < 1e-6
+
+
+# -- geometry and domain ----------------------------------------------------------------------
+
+class TestGeometryProperties:
+    @given(interval_strategy(64), interval_strategy(64))
+    @settings(max_examples=200, deadline=None)
+    def test_relationship_classification_consistent_with_predicates(self, a_pair, b_pair):
+        a = Interval(*a_pair)
+        b = Interval(*b_pair)
+        relationship = classify_intervals(a, b)
+        assert relationship.is_overlapping == a.overlaps(b)
+        assert relationship.is_overlapping_plus == a.overlaps_plus(b)
+
+    @given(interval_set_strategy(64), interval_set_strategy(64))
+    @settings(max_examples=60, deadline=None)
+    def test_endpoint_transform_preserves_join_size(self, left_pairs, right_pairs):
+        domain = Domain(64)
+        transform = EndpointTransform(domain)
+        left = to_boxset_1d(left_pairs)
+        right = to_boxset_1d(right_pairs)
+        assert interval_join_count(left, right) == interval_join_count(
+            transform.transform_left(left), transform.transform_right(right))
+
+    @given(interval_set_strategy(64))
+    @settings(max_examples=60, deadline=None)
+    def test_self_join_size_lower_bound(self, pairs):
+        # SJ(X_I) counts squared cell hits, so it is at least the total number
+        # of cover elements (every count >= 1) and at most its square.
+        domain = Domain(64)
+        data = to_boxset_1d(pairs)
+        counts = cover_counts(data, domain, (Letter.INTERVAL,))
+        total = sum(counts.values())
+        sj = self_join_size(data, domain, (Letter.INTERVAL,))
+        assert len(counts) <= sj <= total ** 2
+
+
+# -- substrate data structures --------------------------------------------------------------------
+
+class TestFenwickProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=63),
+                              st.integers(min_value=-3, max_value=3)),
+                    min_size=0, max_size=80),
+           st.integers(min_value=0, max_value=63))
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_sum_matches_naive(self, updates, query):
+        tree = FenwickTree(64)
+        reference = np.zeros(64, dtype=np.int64)
+        for position, delta in updates:
+            tree.add(position, delta)
+            reference[position] += delta
+        assert tree.prefix_sum(query) == int(reference[: query + 1].sum())
+
+
+class TestBoostingProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_median_of_means_within_value_range(self, values):
+        estimate, _ = median_of_means(np.array(values))
+        assert min(values) - 1e-9 <= estimate <= max(values) + 1e-9
+
+    @given(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_constant_values_are_recovered_exactly(self, value, group_size, num_groups):
+        plan = BoostingPlan(group_size=group_size, num_groups=num_groups)
+        values = np.full(plan.total_instances, value)
+        estimate, _ = median_of_means(values, plan)
+        assert estimate == pytest.approx(value, rel=1e-12, abs=1e-9)
