@@ -38,8 +38,11 @@ from repro.errors import (
     DomainError,
     EngineError,
     EstimationError,
+    MergeCompatibilityError,
     ReproError,
+    ServiceError,
     SketchConfigError,
+    SnapshotError,
     WorkloadError,
 )
 from repro.geometry import BoxSet, Interval, PointSet, Rect
@@ -74,9 +77,12 @@ __all__ = [
     "DomainError",
     "DimensionalityError",
     "SketchConfigError",
+    "MergeCompatibilityError",
     "EstimationError",
     "WorkloadError",
     "EngineError",
+    "ServiceError",
+    "SnapshotError",
     # geometry
     "Interval",
     "Rect",

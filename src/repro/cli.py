@@ -7,17 +7,30 @@ figures and the ablation studies from the command line::
     repro-spatial run figure5 --scale laptop
     repro-spatial run figure9 figure10 figure11 --scale tiny --seed 3
     repro-spatial all --scale laptop --output results.txt
+
+It also drives the sharded sketch service (:mod:`repro.service`)::
+
+    repro-spatial ingest --snapshot svc.json --name join --family rectangle \\
+        --sizes 1024x1024 --count 5000 --side left
+    repro-spatial estimate --snapshot svc.json --name join
+    repro-spatial serve --snapshot svc.json        # JSON-lines loop on stdio
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import Sequence
 
+import numpy as np
+
+from repro.errors import ReproError
 from repro.experiments.config import SCALES, get_scale
 from repro.experiments.figures import FIGURES
+from repro.geometry.boxset import BoxSet
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,6 +55,58 @@ def _build_parser() -> argparse.ArgumentParser:
     everything.add_argument("--scale", default="laptop", choices=sorted(SCALES))
     everything.add_argument("--seed", type=int, default=0)
     everything.add_argument("--output", type=str, default=None)
+
+    # -- sketch service commands ------------------------------------------------
+
+    def add_snapshot_arg(p, required=True):
+        p.add_argument("--snapshot", required=required,
+                       help="path of the service snapshot file (JSON)")
+
+    ingest = sub.add_parser(
+        "ingest", help="ingest data into a service snapshot (creating it if needed)")
+    add_snapshot_arg(ingest)
+    ingest.add_argument("--name", required=True, help="estimator name")
+    ingest.add_argument("--family", default=None,
+                        help="estimator family (required when registering a new name)")
+    ingest.add_argument("--sizes", default=None,
+                        help="domain sizes, e.g. 4096 or 1024x1024 "
+                             "(required when registering a new name)")
+    ingest.add_argument("--instances", type=int, default=None,
+                        help="atomic-sketch instances (default: 256)")
+    ingest.add_argument("--seed", type=int, default=None,
+                        help="sketch seed (default: 0)")
+    ingest.add_argument("--epsilon", type=int, default=None,
+                        help="epsilon for the epsilon family")
+    ingest.add_argument("--strict", action="store_true",
+                        help="strict overlap semantics for the range family")
+    ingest.add_argument("--endpoint-policy", default=None,
+                        choices=("assume_distinct", "transform", "explicit"))
+    ingest.add_argument("--shards", type=int, default=4,
+                        help="shard count when creating a new snapshot (default: 4)")
+    ingest.add_argument("--side", default="left", help="input side (default: left)")
+    ingest.add_argument("--kind", default="insert", choices=("insert", "delete"))
+    source = ingest.add_mutually_exclusive_group()
+    source.add_argument("--count", type=int, default=None,
+                        help="generate this many uniform synthetic boxes")
+    source.add_argument("--boxes", default=None,
+                        help="JSON file with box rows [lo_1..lo_d, hi_1..hi_d]")
+    ingest.add_argument("--data-seed", type=int, default=0,
+                        help="seed for synthetic data generation")
+
+    estimate = sub.add_parser("estimate", help="estimate from a service snapshot")
+    add_snapshot_arg(estimate)
+    estimate.add_argument("--name", required=True, help="estimator name")
+    estimate.add_argument("--query", default=None,
+                          help="query rectangle lo_1,..,lo_d,hi_1,..,hi_d "
+                               "(range family only)")
+
+    serve = sub.add_parser(
+        "serve", help="serve estimates over a JSON-lines stdin/stdout loop")
+    add_snapshot_arg(serve, required=False)
+    serve.add_argument("--shards", type=int, default=4,
+                       help="shard count when starting without a snapshot")
+    serve.add_argument("--save-on-exit", action="store_true",
+                       help="write the snapshot back on quit/EOF (needs --snapshot)")
     return parser
 
 
@@ -62,6 +127,225 @@ def _run_experiments(names: Sequence[str], scale_name: str, seed: int,
             handle.write("\n".join(chunks))
             handle.write("\n")
     return 0
+
+
+# -- sketch service helpers ----------------------------------------------------------
+
+
+def _parse_sizes(text: str) -> tuple[int, ...]:
+    parts = [p for p in text.replace("x", ",").split(",") if p]
+    return tuple(int(p) for p in parts)
+
+
+def _boxes_from_rows(rows, dimension: int | None = None) -> BoxSet:
+    """Rows of ``[lo_1..lo_d, hi_1..hi_d]`` as a BoxSet."""
+    array = np.asarray(rows, dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] % 2:
+        raise ReproError("box rows must be [lo_1..lo_d, hi_1..hi_d] lists")
+    d = array.shape[1] // 2
+    if dimension is not None and d != dimension:
+        raise ReproError(f"box rows are {d}-dimensional, expected {dimension}")
+    return BoxSet(array[:, :d], array[:, d:])
+
+
+def _load_or_create_service(path: str | None, shards: int):
+    from repro.service import EstimationService
+
+    if path and os.path.exists(path):
+        return EstimationService.load(path), True
+    return EstimationService(num_shards=shards), False
+
+
+def _estimate_payload(result) -> dict:
+    return {
+        "estimate": result.estimate,
+        "selectivity": result.selectivity,
+        "left_count": result.left_count,
+        "right_count": result.right_count,
+    }
+
+
+def _run_ingest(args) -> int:
+    from repro.core.domain import Domain
+    from repro.service import EstimatorSpec, synthetic_boxes
+
+    service, existed = _load_or_create_service(args.snapshot, args.shards)
+    if args.name not in service:
+        if args.family is None or args.sizes is None:
+            raise ReproError(
+                f"estimator {args.name!r} is not in the snapshot; pass --family "
+                f"and --sizes to register it"
+            )
+        options = {}
+        if args.epsilon is not None:
+            options["epsilon"] = args.epsilon
+        if args.strict:
+            options["strict"] = True
+        if args.endpoint_policy is not None:
+            options["endpoint_policy"] = args.endpoint_policy
+        spec = EstimatorSpec.create(
+            args.family, _parse_sizes(args.sizes),
+            256 if args.instances is None else args.instances,
+            seed=0 if args.seed is None else args.seed, **options)
+        service.register(args.name, spec)
+    else:
+        # The name is already registered: configuration flags must agree
+        # with the stored spec rather than being silently ignored.
+        spec = service.spec(args.name)
+        conflicts = []
+        if args.family is not None and args.family != spec.family:
+            conflicts.append(f"--family {args.family} (registered: {spec.family})")
+        if args.sizes is not None and _parse_sizes(args.sizes) != spec.sizes:
+            conflicts.append(f"--sizes {args.sizes} "
+                             f"(registered: {'x'.join(map(str, spec.sizes))})")
+        if args.epsilon is not None and args.epsilon != spec.option("epsilon", None):
+            conflicts.append(f"--epsilon {args.epsilon} "
+                             f"(registered: {spec.option('epsilon', None)})")
+        if args.strict and not spec.option("strict", False):
+            conflicts.append("--strict (registered: non-strict)")
+        if args.endpoint_policy is not None and \
+                args.endpoint_policy != spec.option("endpoint_policy", "transform"):
+            conflicts.append(f"--endpoint-policy {args.endpoint_policy} "
+                             f"(registered: {spec.option('endpoint_policy', 'transform')})")
+        if args.instances is not None and args.instances != spec.num_instances:
+            conflicts.append(f"--instances {args.instances} "
+                             f"(registered: {spec.num_instances})")
+        if args.seed is not None and args.seed != spec.seed:
+            conflicts.append(f"--seed {args.seed} (registered: {spec.seed})")
+        if conflicts:
+            raise ReproError(
+                f"estimator {args.name!r} is already registered with a "
+                f"different configuration: {'; '.join(conflicts)}"
+            )
+    spec = service.spec(args.name)
+
+    if args.boxes is not None:
+        with open(args.boxes, "r", encoding="utf-8") as handle:
+            boxes = _boxes_from_rows(json.load(handle), spec.dimension)
+    else:
+        count = args.count if args.count is not None else 1000
+        degenerate = args.side in spec.info.point_sides or (
+            spec.info.aliases.get(args.side, args.side) in spec.info.point_sides)
+        boxes = synthetic_boxes(Domain(spec.sizes, max_levels=spec.max_levels),
+                                count, seed=args.data_seed, degenerate=degenerate)
+
+    service.ingest(args.name, boxes, side=args.side, kind=args.kind)
+    report = service.flush()
+    service.save(args.snapshot)
+    print(json.dumps({
+        "snapshot": args.snapshot,
+        "created": not existed,
+        "name": args.name,
+        "side": args.side,
+        "kind": args.kind,
+        "boxes": len(boxes),
+        "flushed_batches": report.batches,
+        "shards": service.num_shards,
+    }))
+    return 0
+
+
+def _run_estimate(args) -> int:
+    from repro.service import EstimationService
+
+    service = EstimationService.load(args.snapshot)
+    query = None
+    if args.query is not None:
+        coords = [int(c) for c in args.query.split(",") if c]
+        if len(coords) % 2:
+            raise ReproError("--query needs lo_1,..,lo_d,hi_1,..,hi_d")
+        d = len(coords) // 2
+        query = _boxes_from_rows([coords], d)
+    result = service.estimate(args.name, query)
+    print(json.dumps({"name": args.name, **_estimate_payload(result)}))
+    return 0
+
+
+def service_command_loop(service, in_stream, out_stream, *,
+                         snapshot_path: str | None = None,
+                         save_on_exit: bool = False) -> int:
+    """The ``serve`` loop: one JSON request per line, one JSON reply per line.
+
+    Supported operations::
+
+        {"op": "register", "name": ..., "family": ..., "sizes": [..],
+         "instances": 256, "seed": 0, "options": {...}}
+        {"op": "ingest", "name": ..., "side": "left", "kind": "insert",
+         "boxes": [[lo_1..lo_d, hi_1..hi_d], ...]}
+        {"op": "estimate", "name": ..., "query": [lo_1..lo_d, hi_1..hi_d]}
+        {"op": "flush"} | {"op": "stats"} | {"op": "save", "path": ...}
+        {"op": "quit"}
+    """
+    from repro.service import EstimatorSpec
+
+    def reply(payload: dict) -> None:
+        out_stream.write(json.dumps(payload) + "\n")
+        out_stream.flush()
+
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            op = request.get("op")
+            if op == "quit":
+                reply({"ok": True, "op": "quit"})
+                break
+            if op == "register":
+                spec = EstimatorSpec.create(
+                    request["family"], request["sizes"],
+                    int(request.get("instances", 256)),
+                    seed=int(request.get("seed", 0)),
+                    **request.get("options", {}),
+                )
+                service.register(request["name"], spec)
+                reply({"ok": True, "op": op, "name": request["name"],
+                       "spec": spec.to_dict()})
+            elif op == "ingest":
+                spec = service.spec(request["name"])
+                boxes = _boxes_from_rows(request["boxes"], spec.dimension)
+                pending = service.ingest(request["name"], boxes,
+                                         side=request.get("side", "left"),
+                                         kind=request.get("kind", "insert"))
+                reply({"ok": True, "op": op, "boxes": len(boxes),
+                       "pending": pending})
+            elif op == "estimate":
+                spec = service.spec(request["name"])
+                query = None
+                if request.get("query") is not None:
+                    query = _boxes_from_rows([request["query"]], spec.dimension)
+                result = service.estimate(request["name"], query)
+                reply({"ok": True, "op": op, "name": request["name"],
+                       **_estimate_payload(result)})
+            elif op == "flush":
+                report = service.flush()
+                reply({"ok": True, "op": op, "boxes": report.boxes,
+                       "batches": report.batches})
+            elif op == "stats":
+                reply({"ok": True, "op": op, **service.describe()})
+            elif op == "save":
+                path = request.get("path", snapshot_path)
+                if not path:
+                    raise ReproError("save needs a path (or start with --snapshot)")
+                service.save(path)
+                reply({"ok": True, "op": op, "path": path})
+            else:
+                raise ReproError(f"unknown op {op!r}")
+        except (ReproError, OSError, KeyError, TypeError, ValueError) as exc:
+            # A failed op (including a bad save path or a full disk) must not
+            # take down the server and its in-memory sketches.
+            reply({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+    if save_on_exit and snapshot_path:
+        service.save(snapshot_path)
+    return 0
+
+
+def _run_serve(args) -> int:
+    service, _ = _load_or_create_service(args.snapshot, args.shards)
+    return service_command_loop(service, sys.stdin, sys.stdout,
+                                snapshot_path=args.snapshot,
+                                save_on_exit=args.save_on_exit)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -85,6 +369,20 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "all":
         return _run_experiments(sorted(FIGURES), args.scale, args.seed, args.output)
+
+    try:
+        if args.command == "ingest":
+            return _run_ingest(args)
+        if args.command == "estimate":
+            return _run_estimate(args)
+        if args.command == "serve":
+            return _run_serve(args)
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename or exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     parser.error(f"unknown command {args.command!r}")
     return 2

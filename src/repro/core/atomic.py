@@ -30,7 +30,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import DimensionalityError, SketchConfigError
+from repro.errors import DimensionalityError, MergeCompatibilityError, SketchConfigError
 from repro.core.domain import Domain
 from repro.core.hashing import FourWiseFamilyBank
 from repro.geometry.boxset import BoxSet
@@ -193,6 +193,28 @@ class SketchBank:
 
     # -- composition and persistence -------------------------------------------
 
+    def check_merge_compatible(self, other: "SketchBank") -> None:
+        """Raise :class:`MergeCompatibilityError` unless ``other`` is mergeable.
+
+        Merge compatibility requires the same domain (dyadic structure), the
+        same word set, the same instance count and the same xi families.
+        """
+        if other.domain.signature() != self._domain.signature():
+            raise MergeCompatibilityError(
+                f"cannot merge banks over different domains "
+                f"({other.domain!r} vs {self._domain!r})"
+            )
+        if other.words != self._words:
+            raise MergeCompatibilityError("cannot merge banks with different word sets")
+        if other.num_instances != self._num_instances:
+            raise MergeCompatibilityError("cannot merge banks with different instance counts")
+        for mine, theirs in zip(self._xi, other._xi):
+            if mine is not theirs and not np.array_equal(mine.coefficients,
+                                                         theirs.coefficients):
+                raise MergeCompatibilityError(
+                    "cannot merge banks built over different xi families (seed mismatch)"
+                )
+
     def merge(self, other: "SketchBank") -> None:
         """Add another bank's counters into this one.
 
@@ -200,16 +222,10 @@ class SketchBank:
         union (multiset sum) of the two inputs — the standard way to build a
         sketch over partitioned or distributed data.  Both banks must have
         been created over the *same* xi families (e.g. via :meth:`companion`
-        or from the same seed and domain).
+        or from the same seed and domain); anything else raises
+        :class:`~repro.errors.MergeCompatibilityError`.
         """
-        if other.words != self._words:
-            raise SketchConfigError("cannot merge banks with different word sets")
-        if other.num_instances != self._num_instances:
-            raise SketchConfigError("cannot merge banks with different instance counts")
-        for mine, theirs in zip(self._xi, other._xi):
-            if mine is not theirs and not np.array_equal(mine.coefficients,
-                                                         theirs.coefficients):
-                raise SketchConfigError("cannot merge banks built over different xi families")
+        self.check_merge_compatible(other)
         for word in self._words:
             self._counters[word] += other._counters[word]
         self._updates += other._updates
@@ -223,6 +239,7 @@ class SketchBank:
         return {
             "num_instances": self._num_instances,
             "updates": self._updates,
+            "domain": [list(pair) for pair in self._domain.signature()],
             "words": ["".join(letter.value for letter in word) for word in self._words],
             "counters": {
                 "".join(letter.value for letter in word): values.tolist()
@@ -239,20 +256,28 @@ class SketchBank:
         guard against mixing incompatible sketches.
         """
         if int(state["num_instances"]) != self._num_instances:
-            raise SketchConfigError("snapshot was taken with a different instance count")
+            raise MergeCompatibilityError("snapshot was taken with a different instance count")
+        if "domain" in state:
+            snapshot_signature = tuple(tuple(int(v) for v in pair)
+                                       for pair in state["domain"])
+            if snapshot_signature != self._domain.signature():
+                raise MergeCompatibilityError(
+                    "snapshot was taken over a different domain "
+                    f"({snapshot_signature} vs {self._domain.signature()})"
+                )
         expected_words = ["".join(letter.value for letter in word) for word in self._words]
         if list(state["words"]) != expected_words:
-            raise SketchConfigError("snapshot was taken with a different word set")
+            raise MergeCompatibilityError("snapshot was taken with a different word set")
         for dim, coefficients in enumerate(state["xi_coefficients"]):
             if not np.array_equal(np.asarray(coefficients, dtype=np.uint64),
                                   self._xi[dim].coefficients):
-                raise SketchConfigError(
+                raise MergeCompatibilityError(
                     "snapshot was taken over different xi families (seed mismatch)"
                 )
         for word, key in zip(self._words, expected_words):
             values = np.asarray(state["counters"][key], dtype=np.float64)
             if values.shape != (self._num_instances,):
-                raise SketchConfigError("snapshot counter shape mismatch")
+                raise MergeCompatibilityError("snapshot counter shape mismatch")
             self._counters[word] = values.copy()
         self._updates = int(state["updates"])
 

@@ -102,6 +102,23 @@ class Domain:
         """A copy with a uniform level restriction in every dimension."""
         return Domain(self.requested_sizes, max_levels=max_level)
 
+    def signature(self) -> tuple[tuple[int, int], ...]:
+        """Per-dimension ``(requested_size, max_level)`` pairs.
+
+        Two domains with equal signatures induce identical dyadic
+        decompositions, which is the precondition for merging sketches
+        built over them.
+        """
+        return tuple((d.requested_size, d.max_level) for d in self._dyadic)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
     def contains(self, boxes: BoxSet) -> bool:
         """True if every box fits inside the (padded) domain."""
         if boxes.dimension != self.dimension:

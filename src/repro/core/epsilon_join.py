@@ -22,7 +22,12 @@ from repro.core.atomic import Letter, SketchBank
 from repro.core.boosting import BoostingPlan, median_of_means
 from repro.core.domain import Domain
 from repro.core.result import EstimateResult
-from repro.errors import DomainError, EstimationError, SketchConfigError
+from repro.errors import (
+    DomainError,
+    EstimationError,
+    MergeCompatibilityError,
+    SketchConfigError,
+)
 from repro.geometry.boxset import BoxSet, PointSet
 
 
@@ -100,6 +105,46 @@ class EpsilonJoinEstimator:
         self._domain.validate_boxes(points.to_boxes(), what="B points")
         self._cube_bank.insert(self._cubes(points), weight=-1.0)
         self._right_count -= len(points)
+
+
+    # -- composition and persistence ----------------------------------------------------
+
+    def merge(self, other: "EpsilonJoinEstimator") -> None:
+        """Fold another estimator over a disjoint partition into this one."""
+        if type(other) is not type(self):
+            raise MergeCompatibilityError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        if other._epsilon != self._epsilon:
+            raise MergeCompatibilityError(
+                f"cannot merge epsilon-join estimators with different epsilon "
+                f"({other._epsilon} vs {self._epsilon})"
+            )
+        self._point_bank.check_merge_compatible(other._point_bank)
+        self._cube_bank.check_merge_compatible(other._cube_bank)
+        self._point_bank.merge(other._point_bank)
+        self._cube_bank.merge(other._cube_bank)
+        self._left_count += other._left_count
+        self._right_count += other._right_count
+
+    def state_dict(self) -> dict:
+        """A JSON-serialisable snapshot of both banks and the input counts."""
+        return {
+            "epsilon": self._epsilon,
+            "points": self._point_bank.state_dict(),
+            "cubes": self._cube_bank.state_dict(),
+            "left_count": self._left_count,
+            "right_count": self._right_count,
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`."""
+        if int(state["epsilon"]) != self._epsilon:
+            raise MergeCompatibilityError("snapshot was taken with a different epsilon")
+        self._point_bank.load_state_dict(state["points"])
+        self._cube_bank.load_state_dict(state["cubes"])
+        self._left_count = int(state["left_count"])
+        self._right_count = int(state["right_count"])
 
     # -- estimation -----------------------------------------------------------------
 

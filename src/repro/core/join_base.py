@@ -31,7 +31,7 @@ from repro.core.atomic import Letter, SketchBank, Word
 from repro.core.boosting import BoostingPlan, median_of_means, split_instances
 from repro.core.domain import Domain, EndpointTransform
 from repro.core.result import EstimateResult
-from repro.errors import EstimationError, SketchConfigError
+from repro.errors import EstimationError, MergeCompatibilityError, SketchConfigError
 from repro.geometry.boxset import BoxSet
 
 
@@ -186,6 +186,50 @@ class PairedSketchJoinEstimator:
         prepared, overrides = self._prepare_right(boxes)
         self._right_bank.insert(prepared, weight=-1.0, letter_boxes=overrides)
         self._right_count -= len(boxes)
+
+    # -- composition and persistence ----------------------------------------------------
+
+    def merge(self, other: "PairedSketchJoinEstimator") -> None:
+        """Fold another estimator over a disjoint partition into this one.
+
+        Sketches are linear, so merging the per-side banks of two estimators
+        built from the same spec (domain, pair terms, instance count, seed)
+        yields exactly the estimator that would have summarised the union of
+        both partitions.  Incompatible estimators raise
+        :class:`~repro.errors.MergeCompatibilityError`.
+        """
+        if type(other) is not type(self):
+            raise MergeCompatibilityError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        if other._pair_terms != self._pair_terms:
+            raise MergeCompatibilityError("cannot merge estimators with different pair terms")
+        self._left_bank.check_merge_compatible(other._left_bank)
+        self._right_bank.check_merge_compatible(other._right_bank)
+        self._left_bank.merge(other._left_bank)
+        self._right_bank.merge(other._right_bank)
+        self._left_count += other._left_count
+        self._right_count += other._right_count
+
+    def state_dict(self) -> dict:
+        """A JSON-serialisable snapshot of both banks and the input counts."""
+        return {
+            "left": self._left_bank.state_dict(),
+            "right": self._right_bank.state_dict(),
+            "left_count": self._left_count,
+            "right_count": self._right_count,
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`.
+
+        The estimator must have been constructed with the same configuration
+        (domain, pair terms, instance count and seed).
+        """
+        self._left_bank.load_state_dict(state["left"])
+        self._right_bank.load_state_dict(state["right"])
+        self._left_count = int(state["left_count"])
+        self._right_count = int(state["right_count"])
 
     # -- estimation ---------------------------------------------------------------------
 

@@ -23,7 +23,7 @@ from repro.core.atomic import Letter, SketchBank
 from repro.core.boosting import BoostingPlan, median_of_means, split_instances
 from repro.core.domain import Domain
 from repro.core.result import EstimateResult
-from repro.errors import EstimationError, SketchConfigError
+from repro.errors import EstimationError, MergeCompatibilityError, SketchConfigError
 from repro.geometry.boxset import BoxSet
 
 
@@ -115,6 +115,38 @@ class ContainmentJoinEstimator:
     def delete_inner(self, boxes: BoxSet) -> None:
         self._inner_bank.insert(self._double_inner(boxes), weight=-1.0)
         self._inner_count -= len(boxes)
+
+
+    # -- composition and persistence ----------------------------------------------------
+
+    def merge(self, other: "ContainmentJoinEstimator") -> None:
+        """Fold another estimator over a disjoint partition into this one."""
+        if type(other) is not type(self):
+            raise MergeCompatibilityError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        self._outer_bank.check_merge_compatible(other._outer_bank)
+        self._inner_bank.check_merge_compatible(other._inner_bank)
+        self._outer_bank.merge(other._outer_bank)
+        self._inner_bank.merge(other._inner_bank)
+        self._outer_count += other._outer_count
+        self._inner_count += other._inner_count
+
+    def state_dict(self) -> dict:
+        """A JSON-serialisable snapshot of both banks and the input counts."""
+        return {
+            "outer": self._outer_bank.state_dict(),
+            "inner": self._inner_bank.state_dict(),
+            "outer_count": self._outer_count,
+            "inner_count": self._inner_count,
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`."""
+        self._outer_bank.load_state_dict(state["outer"])
+        self._inner_bank.load_state_dict(state["inner"])
+        self._outer_count = int(state["outer_count"])
+        self._inner_count = int(state["inner_count"])
 
     # -- estimation -------------------------------------------------------------------------
 

@@ -33,7 +33,12 @@ from repro.core.atomic import Letter, SketchBank, Word, all_words
 from repro.core.boosting import BoostingPlan, median_of_means
 from repro.core.domain import Domain, EndpointTransform
 from repro.core.result import EstimateResult
-from repro.errors import DimensionalityError, EstimationError, SketchConfigError
+from repro.errors import (
+    DimensionalityError,
+    EstimationError,
+    MergeCompatibilityError,
+    SketchConfigError,
+)
 from repro.geometry.boxset import BoxSet
 from repro.geometry.rectangle import Rect
 
@@ -107,6 +112,38 @@ class RangeQueryEstimator:
     def delete(self, boxes: BoxSet) -> None:
         self._bank.insert(self._prepare(boxes), weight=-1.0)
         self._count -= len(boxes)
+
+
+    # -- composition and persistence ----------------------------------------------------
+
+    def merge(self, other: "RangeQueryEstimator") -> None:
+        """Fold another estimator over a disjoint partition into this one."""
+        if type(other) is not type(self):
+            raise MergeCompatibilityError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        if other._strict != self._strict:
+            raise MergeCompatibilityError(
+                "cannot merge strict and non-strict range-query estimators"
+            )
+        self._bank.check_merge_compatible(other._bank)
+        self._bank.merge(other._bank)
+        self._count += other._count
+
+    def state_dict(self) -> dict:
+        """A JSON-serialisable snapshot of the bank and the input count."""
+        return {
+            "strict": self._strict,
+            "bank": self._bank.state_dict(),
+            "count": self._count,
+        }
+
+    def load_state_dict(self, state) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`."""
+        if bool(state["strict"]) != self._strict:
+            raise MergeCompatibilityError("snapshot was taken with a different strict setting")
+        self._bank.load_state_dict(state["bank"])
+        self._count = int(state["count"])
 
     # -- estimation -----------------------------------------------------------------------
 

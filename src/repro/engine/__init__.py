@@ -16,6 +16,7 @@ enumeration.
 from repro.engine.relation import SpatialRelation
 from repro.engine.catalog import Catalog
 from repro.engine.synopses import SynopsisManager
+from repro.engine.service_bridge import ServiceSynopses
 from repro.engine.operators import (
     IndexNestedLoopJoin,
     NestedLoopJoin,
@@ -31,6 +32,7 @@ __all__ = [
     "SpatialRelation",
     "Catalog",
     "SynopsisManager",
+    "ServiceSynopses",
     "NestedLoopJoin",
     "PlaneSweepJoin",
     "IndexNestedLoopJoin",

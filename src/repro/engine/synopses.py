@@ -16,6 +16,7 @@ Estimated selectivities are what the optimizer consumes.
 
 from __future__ import annotations
 
+import zlib
 from typing import Literal
 
 from repro.core.domain import Domain
@@ -26,6 +27,16 @@ from repro.errors import EngineError
 from repro.geometry.boxset import BoxSet
 from repro.histograms.euler import EulerHistogram
 from repro.histograms.geometric import GeometricHistogram
+
+
+def pair_seed_offset(names: tuple[str, ...]) -> int:
+    """A deterministic per-name-tuple seed offset for synopsis sketches.
+
+    Unlike ``hash()``, which is salted per process (PYTHONHASHSEED), this is
+    stable across runs — essential once sketches outlive the process via
+    service snapshots, where a seed decides merge compatibility.
+    """
+    return zlib.crc32("::".join(names).encode("utf-8")) % 100_000
 
 
 class _JoinSketchListener:
@@ -87,7 +98,7 @@ class SynopsisManager:
             raise EngineError("a join sketch needs two distinct relations")
         key = (left.name, right.name)
         if key not in self._join_sketches:
-            pair_seed = self._seed + abs(hash(key)) % 100_000
+            pair_seed = self._seed + pair_seed_offset(key)
             estimator = SpatialJoinEstimator(self._domain, self._num_instances,
                                              seed=pair_seed)
             if len(left):

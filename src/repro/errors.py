@@ -32,6 +32,16 @@ class SketchConfigError(ReproError):
     """
 
 
+class MergeCompatibilityError(SketchConfigError):
+    """Two sketches cannot be combined (merged or snapshot-restored).
+
+    Raised when the domains, word sets, instance counts or xi families
+    (seeds) of two sketches disagree.  Sketches are linear projections, so
+    merging is only meaningful between sketches of the *same* projection;
+    anything else would silently produce garbage counters.
+    """
+
+
 class EstimationError(ReproError):
     """An estimate could not be produced (e.g. empty sketch, no instances)."""
 
@@ -42,3 +52,16 @@ class WorkloadError(ReproError):
 
 class EngineError(ReproError):
     """The mini query engine was asked to do something inconsistent."""
+
+
+class ServiceError(ReproError):
+    """The estimation service was misused.
+
+    Examples: registering the same estimator name twice, ingesting into an
+    unknown estimator or side, or asking a non-queryable family for a
+    range-query estimate.
+    """
+
+
+class SnapshotError(ReproError):
+    """A service snapshot is malformed or incompatible with this build."""

@@ -1,0 +1,69 @@
+"""A sharded streaming sketch service built on the paper's linear sketches.
+
+Atomic/dyadic sketches are linear projections, so sketches built
+independently over partitions of a stream can be merged *exactly*.  This
+package turns that property into a serving layer:
+
+* :class:`~repro.service.specs.EstimatorSpec` — shared-seed specifications
+  that keep shard sketches merge-compatible, for all eight estimator
+  families,
+* :class:`~repro.service.store.ShardedSketchStore` — hash-partitioned
+  per-shard estimators with exact :meth:`merge_view` combination,
+* :class:`~repro.service.ingest.IngestPipeline` — batched, optionally
+  thread-parallel ingestion through the vectorised sketch updates,
+* :class:`~repro.service.service.EstimationService` — the
+  register/ingest/estimate/snapshot front-end with an LRU cache of merged
+  query views,
+* :mod:`~repro.service.snapshot` — JSON checkpoint/restore built on
+  ``state_dict``/``load_state_dict``,
+* :class:`~repro.service.driver.StreamDriver` — feeds
+  :mod:`repro.data.streams` update streams into a running service.
+"""
+
+from repro.service.specs import (
+    FAMILIES,
+    EstimatorSpec,
+    FamilyInfo,
+    apply_update,
+    family_info,
+    run_estimate,
+)
+from repro.service.store import ShardedSketchStore, partition_boxes, shard_ids
+from repro.service.ingest import FlushReport, IngestPipeline, IngestStats
+from repro.service.service import EstimationService, ServiceStats
+from repro.service.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    restore_service,
+    save_snapshot,
+    service_snapshot,
+)
+from repro.service.driver import DriveReport, StreamDriver, drive_stream, synthetic_boxes
+
+__all__ = [
+    "FAMILIES",
+    "EstimatorSpec",
+    "FamilyInfo",
+    "family_info",
+    "apply_update",
+    "run_estimate",
+    "ShardedSketchStore",
+    "shard_ids",
+    "partition_boxes",
+    "IngestPipeline",
+    "IngestStats",
+    "FlushReport",
+    "EstimationService",
+    "ServiceStats",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "service_snapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "restore_service",
+    "StreamDriver",
+    "DriveReport",
+    "drive_stream",
+    "synthetic_boxes",
+]

@@ -1,0 +1,202 @@
+"""Batched ingestion: buffer updates, flush them through vectorised inserts.
+
+Per-box sketch updates pay the full Python/NumPy dispatch overhead for a
+single dyadic cover; the vectorised :meth:`repro.core.atomic.SketchBank.insert`
+amortises that overhead over thousands of boxes.  The
+:class:`IngestPipeline` therefore *buffers* submitted updates as per-shard
+deltas and only touches the shard estimators on :meth:`flush`, where all
+buffered inserts (and, separately, all deletes) of one ``(shard, name,
+side)`` destination are concatenated into a single large batch.
+
+Correctness relies on sketch linearity twice over: within one flush the
+inserts and deletes of a destination commute, so regrouping them loses
+nothing; and across shards the hash-partitioned deltas sum to exactly the
+unsharded sketch.  Flushing is embarrassingly parallel across shards (no
+two shards share estimator state), so the pipeline can optionally fan the
+per-shard work out to a thread pool — NumPy releases the GIL for the bulk
+of the update work.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.geometry.boxset import BoxSet
+from repro.service.specs import UPDATE_KINDS, as_boxes
+from repro.service.store import ShardedSketchStore
+
+
+@dataclass(frozen=True)
+class FlushReport:
+    """What one :meth:`IngestPipeline.flush` call actually did."""
+
+    boxes: int
+    batches: int
+    shards_touched: int
+    names: tuple[str, ...]
+    parallel: bool
+
+    def __bool__(self) -> bool:
+        return self.boxes > 0
+
+
+@dataclass
+class IngestStats:
+    """Running totals of a pipeline's lifetime."""
+
+    submitted_boxes: int = 0
+    flushed_boxes: int = 0
+    flushes: int = 0
+    auto_flushes: int = 0
+    flushed_batches: int = 0
+    names: set = field(default_factory=set)
+
+
+class IngestPipeline:
+    """Buffers updates into per-shard deltas and flushes them in bulk.
+
+    Parameters
+    ----------
+    store:
+        The sharded store receiving the flushed deltas.
+    flush_threshold:
+        Submitting beyond this many buffered boxes triggers an automatic
+        flush (``None`` disables auto-flushing).
+    max_workers:
+        Thread-pool width for parallel shard flushes.  ``None`` picks the
+        shard count; ``0`` or ``1`` forces serial flushes.
+    """
+
+    def __init__(self, store: ShardedSketchStore, *,
+                 flush_threshold: int | None = 8192,
+                 max_workers: int | None = None) -> None:
+        if flush_threshold is not None and flush_threshold < 1:
+            raise ServiceError("flush_threshold must be positive (or None)")
+        if max_workers is not None and max_workers < 0:
+            raise ServiceError("max_workers must be non-negative")
+        self._store = store
+        self._threshold = flush_threshold
+        self._max_workers = max_workers
+        # deltas[shard][(name, side, kind)] -> list[BoxSet]
+        self._deltas: list[dict[tuple[str, str, str], list[BoxSet]]] = [
+            {} for _ in range(store.num_shards)
+        ]
+        self._pending = 0
+        self._lock = threading.Lock()
+        self._stats = IngestStats()
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def store(self) -> ShardedSketchStore:
+        return self._store
+
+    @property
+    def pending(self) -> int:
+        """Number of buffered boxes not yet applied to the shards."""
+        return self._pending
+
+    @property
+    def stats(self) -> IngestStats:
+        return self._stats
+
+    # -- buffering ----------------------------------------------------------------
+
+    def submit(self, name: str, boxes, *, side: str = "left",
+               kind: str = "insert") -> int:
+        """Buffer one batch of updates; returns the new pending count.
+
+        The batch is hash-partitioned immediately (routing is cheap and
+        vectorised) so that flushing only has to concatenate and apply.
+        """
+        spec = self._store.spec(name)
+        side = spec.info.resolve_side(side)
+        if kind not in UPDATE_KINDS:
+            raise ServiceError(f"update kind must be one of {UPDATE_KINDS}, got {kind!r}")
+        boxes = as_boxes(boxes)
+        if len(boxes) == 0:
+            return self._pending
+        key = (name, side, kind)
+        with self._lock:
+            for shard_index, part in enumerate(self._store.partition(boxes)):
+                if part is not None:
+                    self._deltas[shard_index].setdefault(key, []).append(part)
+            self._pending += len(boxes)
+            self._stats.submitted_boxes += len(boxes)
+            self._stats.names.add(name)
+            pending = self._pending
+        if self._threshold is not None and pending >= self._threshold:
+            self.flush(auto=True)
+        return self._pending
+
+    # -- flushing -----------------------------------------------------------------
+
+    def flush(self, *, parallel: bool | None = None, auto: bool = False) -> FlushReport:
+        """Apply every buffered delta to its shard and clear the buffers.
+
+        ``parallel=None`` (the default) uses the thread pool whenever the
+        store has more than one shard and ``max_workers`` allows it.
+        """
+        with self._lock:
+            deltas, self._deltas = self._deltas, [
+                {} for _ in range(self._store.num_shards)
+            ]
+            flushed_boxes, self._pending = self._pending, 0
+
+        work: list[tuple[int, dict[tuple[str, str, str], BoxSet]]] = []
+        batches = 0
+        names: set[str] = set()
+        for shard_index, shard_deltas in enumerate(deltas):
+            if not shard_deltas:
+                continue
+            grouped: dict[tuple[str, str, str], BoxSet] = {}
+            for key in sorted(shard_deltas):
+                grouped[key] = _concat(shard_deltas[key])
+                names.add(key[0])
+                batches += 1
+            work.append((shard_index, grouped))
+
+        if parallel is None:
+            parallel = len(work) > 1 and (self._max_workers is None
+                                          or self._max_workers > 1)
+        if self._max_workers in (0, 1):
+            parallel = False
+
+        if parallel and len(work) > 1:
+            workers = min(len(work), self._max_workers or len(work))
+            with ThreadPoolExecutor(max_workers=workers,
+                                    thread_name_prefix="sketch-flush") as pool:
+                for _ in pool.map(self._flush_shard, work):
+                    pass
+        else:
+            parallel = False
+            for item in work:
+                self._flush_shard(item)
+
+        for name in names:
+            self._store.mark_updated(name)
+        self._stats.flushes += 1 if work else 0
+        self._stats.auto_flushes += 1 if (work and auto) else 0
+        self._stats.flushed_boxes += flushed_boxes
+        self._stats.flushed_batches += batches
+        return FlushReport(boxes=flushed_boxes, batches=batches,
+                           shards_touched=len(work), names=tuple(sorted(names)),
+                           parallel=parallel)
+
+    def _flush_shard(self, item: tuple[int, dict[tuple[str, str, str], BoxSet]]) -> None:
+        shard_index, grouped = item
+        for (name, side, kind), boxes in grouped.items():
+            self._store.apply_to_shard(shard_index, name, side, kind, boxes)
+
+
+def _concat(parts: list[BoxSet]) -> BoxSet:
+    if len(parts) == 1:
+        return parts[0]
+    lows = np.vstack([part.lows for part in parts])
+    highs = np.vstack([part.highs for part in parts])
+    return BoxSet(lows, highs, validate=False)

@@ -1,0 +1,281 @@
+"""The query front-end of the sketch service.
+
+:class:`EstimationService` ties the sharded store and the batched ingestion
+pipeline together behind four verbs:
+
+* ``register(name, spec)`` — declare an estimator (any of the eight
+  families) to be maintained across all shards,
+* ``ingest(name, boxes, side=..., kind=...)`` — buffer stream updates,
+* ``estimate(name, query=None)`` — answer from a *merged view* combining
+  every shard, with an LRU cache of views that is invalidated when a flush
+  touches the underlying name,
+* ``snapshot()`` / ``restore()`` — checkpoint the whole service (specs plus
+  every shard's counters) to a JSON-serialisable dict and back.
+
+All public methods are thread-safe: ingestion from several producer
+threads and concurrent estimates are supported (estimates read only
+immutable merged views once built).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.result import EstimateResult
+from repro.errors import ServiceError
+from repro.geometry.boxset import BoxSet
+from repro.geometry.rectangle import Rect
+from repro.service.ingest import FlushReport, IngestPipeline
+from repro.service.specs import EstimatorSpec, run_estimate
+from repro.service.store import ShardedSketchStore
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing a service's lifetime."""
+
+    ingested_boxes: int = 0
+    estimates: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "ingested_boxes": self.ingested_boxes,
+            "estimates": self.estimates,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+class EstimationService:
+    """A long-running, sharded estimation service over spatial sketches.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of hash partitions; each registered estimator keeps one
+        merge-compatible sketch per shard.
+    flush_threshold:
+        Buffered boxes that trigger an automatic flush (``None`` disables).
+    cache_size:
+        Capacity of the LRU cache of merged query views.
+    max_workers:
+        Thread-pool width for parallel shard flushes (``0``/``1`` = serial).
+    """
+
+    def __init__(self, *, num_shards: int = 4, flush_threshold: int | None = 8192,
+                 cache_size: int = 16, max_workers: int | None = None) -> None:
+        if cache_size < 0:
+            raise ServiceError("cache_size must be non-negative")
+        if flush_threshold is not None and flush_threshold < 1:
+            raise ServiceError("flush_threshold must be positive (or None)")
+        self._store = ShardedSketchStore(num_shards)
+        # Auto-flushing is handled here (under the service lock) rather than
+        # inside the pipeline, so that every shard mutation is serialised
+        # against merged-view construction.
+        self._pipeline = IngestPipeline(self._store, flush_threshold=None,
+                                        max_workers=max_workers)
+        self._flush_threshold = flush_threshold
+        self._cache_size = int(cache_size)
+        # name -> (store version at build time, merged estimator)
+        self._views: OrderedDict[str, tuple[int, Any]] = OrderedDict()
+        self._lock = threading.RLock()
+        self._stats = ServiceStats()
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def store(self) -> ShardedSketchStore:
+        return self._store
+
+    @property
+    def pipeline(self) -> IngestPipeline:
+        return self._pipeline
+
+    @property
+    def num_shards(self) -> int:
+        return self._store.num_shards
+
+    @property
+    def pending(self) -> int:
+        return self._pipeline.pending
+
+    @property
+    def stats(self) -> ServiceStats:
+        return self._stats
+
+    def names(self) -> list[str]:
+        return self._store.names()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._store
+
+    def spec(self, name: str) -> EstimatorSpec:
+        return self._store.spec(name)
+
+    def describe(self) -> dict:
+        """A JSON-friendly summary (used by the CLI's ``stats`` op)."""
+        with self._lock:
+            return {
+                "num_shards": self.num_shards,
+                "pending": self.pending,
+                "estimators": {name: self._store.spec(name).to_dict()
+                               for name in self.names()},
+                "cached_views": list(self._views),
+                "stats": self._stats.as_dict(),
+                "ingest": {
+                    "submitted_boxes": self._pipeline.stats.submitted_boxes,
+                    "flushed_boxes": self._pipeline.stats.flushed_boxes,
+                    "flushes": self._pipeline.stats.flushes,
+                    "auto_flushes": self._pipeline.stats.auto_flushes,
+                },
+            }
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, name: str, spec: EstimatorSpec | None = None, *,
+                 family: str | None = None, domain=None, num_instances: int = 256,
+                 seed: int = 0, **options: Any) -> EstimatorSpec:
+        """Register an estimator by spec, or inline via family/domain kwargs."""
+        if spec is None:
+            if family is None or domain is None:
+                raise ServiceError(
+                    "register needs either a spec or family= and domain= arguments"
+                )
+            spec = EstimatorSpec.create(family, domain, num_instances,
+                                        seed=seed, **options)
+        elif family is not None or options:
+            raise ServiceError("pass either a spec or inline arguments, not both")
+        with self._lock:
+            self._store.register(name, spec)
+        return spec
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._store.unregister(name)
+            self._views.pop(name, None)
+
+    # -- ingestion ----------------------------------------------------------------
+
+    def ingest(self, name: str, boxes, *, side: str = "left",
+               kind: str = "insert") -> int:
+        """Buffer a batch of inserts/deletes; returns the pending count.
+
+        Crossing ``flush_threshold`` buffered boxes triggers an automatic
+        batched flush.
+        """
+        pending = self._pipeline.submit(name, boxes, side=side, kind=kind)
+        with self._lock:
+            self._stats.ingested_boxes += len(boxes)
+        if self._flush_threshold is not None and pending >= self._flush_threshold:
+            self.flush(auto=True)
+        return self._pipeline.pending
+
+    def insert(self, name: str, boxes, *, side: str = "left") -> int:
+        return self.ingest(name, boxes, side=side, kind="insert")
+
+    def delete(self, name: str, boxes, *, side: str = "left") -> int:
+        return self.ingest(name, boxes, side=side, kind="delete")
+
+    def flush(self, *, parallel: bool | None = None, auto: bool = False) -> FlushReport:
+        """Apply all buffered updates and invalidate affected cached views."""
+        with self._lock:
+            report = self._pipeline.flush(parallel=parallel, auto=auto)
+            for name in report.names:
+                self._views.pop(name, None)
+        return report
+
+    # -- query side ---------------------------------------------------------------
+
+    def merged_view(self, name: str) -> Any:
+        """The cached merged estimator for a name (flushes pending updates).
+
+        The returned estimator is a snapshot: it is never mutated by later
+        ingestion, so callers may estimate from it without holding locks.
+        """
+        with self._lock:
+            if self._pipeline.pending:
+                self.flush()
+            version = self._store.version(name)
+            entry = self._views.get(name)
+            if entry is not None and entry[0] == version:
+                self._views.move_to_end(name)
+                self._stats.cache_hits += 1
+                return entry[1]
+            self._stats.cache_misses += 1
+            view = self._store.merge_view(name)
+            if self._cache_size:
+                self._views[name] = (version, view)
+                self._views.move_to_end(name)
+                while len(self._views) > self._cache_size:
+                    self._views.popitem(last=False)
+        return view
+
+    def estimate(self, name: str, query: Rect | BoxSet | None = None
+                 ) -> EstimateResult:
+        """Boosted estimate from the merged view of every shard."""
+        view = self.merged_view(name)
+        with self._lock:
+            self._stats.estimates += 1
+        return run_estimate(self._store.spec(name), view, query)
+
+    def estimate_cardinality(self, name: str,
+                             query: Rect | BoxSet | None = None) -> float:
+        return self.estimate(name, query).estimate
+
+    def estimate_selectivity(self, name: str,
+                             query: Rect | BoxSet | None = None) -> float:
+        return self.estimate(name, query).selectivity
+
+    # -- persistence --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable checkpoint of specs and shard counters.
+
+        Pending (unflushed) updates are flushed first so the snapshot
+        reflects everything ingested so far.
+        """
+        from repro.service.snapshot import service_snapshot
+
+        if self._pipeline.pending:
+            self.flush()
+        with self._lock:
+            return service_snapshot(self)
+
+    def save(self, path) -> None:
+        """Write :meth:`snapshot` as JSON to a file (atomically).
+
+        The state is captured under the service lock, so concurrent
+        ingestion cannot tear the snapshot.
+        """
+        from repro.service.snapshot import write_snapshot_state
+
+        write_snapshot_state(self.snapshot(), path)
+
+    @classmethod
+    def restore(cls, state: Mapping, *, flush_threshold: int | None = 8192,
+                cache_size: int = 16, max_workers: int | None = None
+                ) -> "EstimationService":
+        """Rebuild a service from a :meth:`snapshot` dict."""
+        from repro.service.snapshot import restore_service
+
+        return restore_service(state, flush_threshold=flush_threshold,
+                               cache_size=cache_size, max_workers=max_workers)
+
+    @classmethod
+    def load(cls, path, *, flush_threshold: int | None = 8192,
+             cache_size: int = 16, max_workers: int | None = None
+             ) -> "EstimationService":
+        """Read a snapshot file written by :meth:`save`."""
+        from repro.service.snapshot import load_snapshot
+
+        return load_snapshot(path, flush_threshold=flush_threshold,
+                             cache_size=cache_size, max_workers=max_workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"EstimationService(shards={self.num_shards}, "
+                f"estimators={self.names()}, pending={self.pending})")

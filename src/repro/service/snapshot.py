@@ -1,0 +1,139 @@
+"""Checkpoint and restore a sketch service.
+
+The snapshot format builds directly on the estimators'
+``state_dict``/``load_state_dict`` (which in turn build on
+:meth:`repro.core.atomic.SketchBank.state_dict`): a snapshot stores, per
+registered name, the :class:`~repro.service.specs.EstimatorSpec` and one
+estimator state per shard.  Restoring rebuilds each estimator from the spec
+and loads its shard state — the xi-seed fingerprints embedded in the bank
+snapshots guard against restoring counters into incompatible sketches.
+
+Snapshots are plain JSON: small enough to ship between machines (counters
+are ``O(instances * words)`` floats per shard, independent of the data
+volume summarised) and stable enough to checkpoint a long-running service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+from repro.errors import MergeCompatibilityError, SnapshotError
+from repro.service.specs import EstimatorSpec
+from repro.service.store import ShardedSketchStore
+
+#: Identifies the snapshot schema; bump on incompatible layout changes.
+SNAPSHOT_FORMAT = "repro.service.snapshot"
+SNAPSHOT_VERSION = 1
+
+
+def store_snapshot(store: ShardedSketchStore) -> dict:
+    """A self-describing, JSON-serialisable snapshot of a sharded store."""
+    state = store.state_dict()
+    state["format"] = SNAPSHOT_FORMAT
+    state["snapshot_version"] = SNAPSHOT_VERSION
+    return state
+
+
+def service_snapshot(service) -> dict:
+    """Snapshot of a service (delegates to its store)."""
+    return store_snapshot(service.store)
+
+
+def _validated(state: Mapping) -> Mapping:
+    if not isinstance(state, Mapping):
+        raise SnapshotError(f"snapshot must be a mapping, got {type(state).__name__}")
+    fmt = state.get("format", SNAPSHOT_FORMAT)
+    if fmt != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"not a service snapshot (format {fmt!r})")
+    version = int(state.get("snapshot_version", SNAPSHOT_VERSION))
+    if version > SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {version} is newer than supported ({SNAPSHOT_VERSION})"
+        )
+    for key in ("num_shards", "estimators"):
+        if key not in state:
+            raise SnapshotError(f"snapshot is missing the {key!r} field")
+    return state
+
+
+def restore_store_state(store: ShardedSketchStore, state: Mapping) -> None:
+    """Register and load every estimator of a snapshot into an empty store."""
+    state = _validated(state)
+    if int(state["num_shards"]) != store.num_shards:
+        raise SnapshotError(
+            f"snapshot was taken with {state['num_shards']} shards, "
+            f"store has {store.num_shards}"
+        )
+    for name, entry in state["estimators"].items():
+        try:
+            spec = EstimatorSpec.from_dict(entry["spec"])
+            shard_states = entry["shards"]
+        except (KeyError, TypeError) as exc:
+            raise SnapshotError(f"malformed snapshot entry for {name!r}: {exc}") from exc
+        if len(shard_states) != store.num_shards:
+            raise SnapshotError(
+                f"snapshot entry {name!r} has {len(shard_states)} shard states, "
+                f"expected {store.num_shards}"
+            )
+        store.register(name, spec)
+        try:
+            for estimator, shard_state in zip(store.shard_estimators(name), shard_states):
+                estimator.load_state_dict(shard_state)
+        except MergeCompatibilityError as exc:
+            raise SnapshotError(
+                f"snapshot entry {name!r} is incompatible with its own spec: {exc}"
+            ) from exc
+        # Versions restart per process; bump once so caches never confuse a
+        # freshly-restored estimator with a just-registered empty one.
+        store.mark_updated(name)
+
+
+def restore_service(state: Mapping, *, flush_threshold: int | None = 8192,
+                    cache_size: int = 16, max_workers: int | None = None):
+    """Build a fresh :class:`~repro.service.service.EstimationService`."""
+    from repro.service.service import EstimationService
+
+    state = _validated(state)
+    service = EstimationService(num_shards=int(state["num_shards"]),
+                                flush_threshold=flush_threshold,
+                                cache_size=cache_size, max_workers=max_workers)
+    restore_store_state(service.store, state)
+    return service
+
+
+def write_snapshot_state(state: Mapping, path) -> None:
+    """Atomically write an already-captured snapshot dict as JSON."""
+    path = os.fspath(path)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(state, handle)
+    os.replace(tmp, path)
+
+
+def save_snapshot(service_or_store, path) -> None:
+    """Atomically write a snapshot file (JSON) for a service or a bare store.
+
+    For a service this delegates to its (lock-holding, auto-flushing)
+    ``snapshot`` method; a bare store is serialised directly.
+    """
+    if hasattr(service_or_store, "snapshot"):
+        state = service_or_store.snapshot()
+    else:
+        state = store_snapshot(service_or_store)
+    write_snapshot_state(state, path)
+
+
+def load_snapshot(path, *, flush_threshold: int | None = 8192,
+                  cache_size: int = 16, max_workers: int | None = None):
+    """Read a snapshot file and rebuild the service it describes."""
+    try:
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+    except FileNotFoundError:
+        raise
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    return restore_service(state, flush_threshold=flush_threshold,
+                           cache_size=cache_size, max_workers=max_workers)

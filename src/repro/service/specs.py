@@ -1,0 +1,358 @@
+"""Estimator specifications shared by every shard of a sketch service.
+
+A sharded sketch store keeps one estimator *per shard* for every registered
+name.  All shard copies must be built from the exact same specification —
+family, domain, instance count and seed — because only sketches over shared
+xi families are merge-compatible (see
+:meth:`repro.core.atomic.SketchBank.merge`).  :class:`EstimatorSpec` is that
+specification: an immutable, JSON-serialisable value object that can build a
+fresh estimator on demand.
+
+The :data:`FAMILIES` registry covers all eight estimator families of the
+library and records, per family, how updates are routed (which sides exist,
+whether a side takes points or boxes) and whether estimates take a query
+argument.  The service layer is written entirely against this table, so a
+new estimator family only needs one registry entry to become servable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.domain import Domain
+from repro.core.epsilon_join import EpsilonJoinEstimator
+from repro.core.join_containment import ContainmentJoinEstimator
+from repro.core.join_extended import (
+    CommonEndpointJoinEstimator,
+    ExtendedOverlapJoinEstimator,
+)
+from repro.core.join_hyperrect import ENDPOINT_POLICIES, SpatialJoinEstimator
+from repro.core.join_interval import IntervalJoinEstimator
+from repro.core.join_rect import RectangleJoinEstimator
+from repro.core.range_query import RangeQueryEstimator
+from repro.core.result import EstimateResult
+from repro.errors import ServiceError
+from repro.geometry.boxset import BoxSet, PointSet
+from repro.geometry.rectangle import Rect
+
+UPDATE_KINDS = ("insert", "delete")
+
+#: Sentinel distinguishing "no default supplied" from an explicit ``None``.
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class FamilyInfo:
+    """Registry metadata for one estimator family."""
+
+    name: str
+    builder: Callable[["EstimatorSpec"], Any]
+    sides: tuple[str, ...]
+    update_methods: Mapping[tuple[str, str], str]
+    aliases: Mapping[str, str] = field(default_factory=dict)
+    point_sides: frozenset = frozenset()
+    queryable: bool = False
+    option_names: frozenset = frozenset()
+    required_options: frozenset = frozenset()
+
+    def resolve_side(self, side: str) -> str:
+        canonical = self.aliases.get(side, side)
+        if canonical not in self.sides:
+            raise ServiceError(
+                f"family {self.name!r} has sides {self.sides}, not {side!r}"
+            )
+        return canonical
+
+
+def _paired_methods() -> dict[tuple[str, str], str]:
+    return {
+        ("left", "insert"): "insert_left",
+        ("left", "delete"): "delete_left",
+        ("right", "insert"): "insert_right",
+        ("right", "delete"): "delete_right",
+    }
+
+
+FAMILIES: dict[str, FamilyInfo] = {
+    "interval": FamilyInfo(
+        name="interval",
+        builder=lambda spec: IntervalJoinEstimator(
+            spec.domain(), spec.num_instances, seed=spec.seed,
+            endpoint_policy=spec.option("endpoint_policy", "transform"),
+        ),
+        sides=("left", "right"),
+        update_methods=_paired_methods(),
+        option_names=frozenset({"endpoint_policy"}),
+    ),
+    "rectangle": FamilyInfo(
+        name="rectangle",
+        builder=lambda spec: RectangleJoinEstimator(
+            spec.domain(), spec.num_instances, seed=spec.seed,
+            endpoint_policy=spec.option("endpoint_policy", "transform"),
+        ),
+        sides=("left", "right"),
+        update_methods=_paired_methods(),
+        option_names=frozenset({"endpoint_policy"}),
+    ),
+    "hyperrect": FamilyInfo(
+        name="hyperrect",
+        builder=lambda spec: SpatialJoinEstimator(
+            spec.domain(), spec.num_instances, seed=spec.seed,
+            endpoint_policy=spec.option("endpoint_policy", "transform"),
+        ),
+        sides=("left", "right"),
+        update_methods=_paired_methods(),
+        option_names=frozenset({"endpoint_policy"}),
+    ),
+    "extended_overlap": FamilyInfo(
+        name="extended_overlap",
+        builder=lambda spec: ExtendedOverlapJoinEstimator(
+            spec.domain(), spec.num_instances, seed=spec.seed,
+        ),
+        sides=("left", "right"),
+        update_methods=_paired_methods(),
+    ),
+    "common_endpoint": FamilyInfo(
+        name="common_endpoint",
+        builder=lambda spec: CommonEndpointJoinEstimator(
+            spec.domain(), spec.num_instances, seed=spec.seed,
+        ),
+        sides=("left", "right"),
+        update_methods=_paired_methods(),
+    ),
+    "containment": FamilyInfo(
+        name="containment",
+        builder=lambda spec: ContainmentJoinEstimator(
+            spec.domain(), spec.num_instances, seed=spec.seed,
+        ),
+        sides=("outer", "inner"),
+        update_methods={
+            ("outer", "insert"): "insert_outer",
+            ("outer", "delete"): "delete_outer",
+            ("inner", "insert"): "insert_inner",
+            ("inner", "delete"): "delete_inner",
+        },
+        aliases={"left": "outer", "right": "inner"},
+    ),
+    "epsilon": FamilyInfo(
+        name="epsilon",
+        builder=lambda spec: EpsilonJoinEstimator(
+            spec.domain(), spec.option("epsilon"), spec.num_instances,
+            seed=spec.seed,
+        ),
+        sides=("left", "right"),
+        update_methods=_paired_methods(),
+        point_sides=frozenset({"left", "right"}),
+        option_names=frozenset({"epsilon"}),
+        required_options=frozenset({"epsilon"}),
+    ),
+    "range": FamilyInfo(
+        name="range",
+        builder=lambda spec: RangeQueryEstimator(
+            spec.domain(), spec.num_instances, seed=spec.seed,
+            strict=spec.option("strict", False),
+        ),
+        sides=("data",),
+        update_methods={
+            ("data", "insert"): "insert",
+            ("data", "delete"): "delete",
+        },
+        aliases={"left": "data"},
+        queryable=True,
+        option_names=frozenset({"strict"}),
+    ),
+}
+
+
+def family_info(family: str) -> FamilyInfo:
+    try:
+        return FAMILIES[family]
+    except KeyError as exc:
+        raise ServiceError(
+            f"unknown estimator family {family!r}; known families: "
+            f"{', '.join(sorted(FAMILIES))}"
+        ) from exc
+
+
+def _domain_levels(domain: Domain) -> tuple[int | None, ...]:
+    """Per-dimension maxLevel restrictions, ``None`` where unrestricted."""
+    return tuple(
+        None if dyadic.max_level == dyadic.height else dyadic.max_level
+        for dyadic in domain.dyadics
+    )
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """Everything needed to (re)build one merge-compatible estimator.
+
+    Two estimators built from equal specs are guaranteed merge-compatible:
+    the shared seed makes every shard draw identical xi families, which is
+    what lets a sharded store combine shard sketches exactly.
+    """
+
+    family: str
+    sizes: tuple[int, ...]
+    num_instances: int
+    seed: int = 0
+    max_levels: tuple[int | None, ...] | None = None
+    options: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        info = family_info(self.family)
+        if self.num_instances < 1:
+            raise ServiceError("an estimator spec needs at least one instance")
+        if not self.sizes or any(int(s) < 1 for s in self.sizes):
+            raise ServiceError(f"invalid domain sizes {self.sizes!r}")
+        if self.max_levels is not None and len(self.max_levels) != len(self.sizes):
+            raise ServiceError("max_levels must match the number of dimensions")
+        names = [name for name, _ in self.options]
+        if len(set(names)) != len(names):
+            raise ServiceError(f"duplicate options in {names}")
+        unknown = set(names) - set(info.option_names)
+        if unknown:
+            raise ServiceError(
+                f"family {self.family!r} does not accept options {sorted(unknown)}"
+            )
+        missing = set(info.required_options) - set(names)
+        if missing:
+            raise ServiceError(
+                f"family {self.family!r} requires options {sorted(missing)}"
+            )
+        policy = self.option("endpoint_policy", None)
+        if policy is not None and policy not in ENDPOINT_POLICIES:
+            raise ServiceError(
+                f"endpoint_policy must be one of {ENDPOINT_POLICIES}, got {policy!r}"
+            )
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def create(cls, family: str, domain: Domain | Sequence[int] | int,
+               num_instances: int, *, seed: int = 0, **options: Any) -> "EstimatorSpec":
+        """Build a spec from a domain (or plain sizes) and keyword options."""
+        if isinstance(domain, Domain):
+            sizes = domain.requested_sizes
+            levels = _domain_levels(domain)
+            max_levels = None if all(level is None for level in levels) else levels
+        else:
+            if isinstance(domain, (int, np.integer)):
+                domain = (int(domain),)
+            sizes = tuple(int(s) for s in domain)
+            max_levels = None
+        return cls(
+            family=family,
+            sizes=sizes,
+            num_instances=int(num_instances),
+            seed=int(seed),
+            max_levels=max_levels,
+            options=tuple(sorted(options.items())),
+        )
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def info(self) -> FamilyInfo:
+        return family_info(self.family)
+
+    @property
+    def dimension(self) -> int:
+        return len(self.sizes)
+
+    def option(self, name: str, default: Any = _MISSING) -> Any:
+        for key, value in self.options:
+            if key == name:
+                return value
+        if default is _MISSING:
+            raise ServiceError(f"spec for family {self.family!r} lacks option {name!r}")
+        return default
+
+    def domain(self) -> Domain:
+        return Domain(self.sizes, max_levels=self.max_levels)
+
+    def build(self) -> Any:
+        """A fresh, empty estimator of this spec's family."""
+        return self.info.builder(self)
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "sizes": list(self.sizes),
+            "num_instances": self.num_instances,
+            "seed": self.seed,
+            "max_levels": None if self.max_levels is None else list(self.max_levels),
+            "options": {name: value for name, value in self.options},
+        }
+
+    @classmethod
+    def from_dict(cls, state: Mapping) -> "EstimatorSpec":
+        try:
+            max_levels = state.get("max_levels")
+            return cls(
+                family=str(state["family"]),
+                sizes=tuple(int(s) for s in state["sizes"]),
+                num_instances=int(state["num_instances"]),
+                seed=int(state.get("seed", 0)),
+                max_levels=None if max_levels is None else tuple(
+                    None if level is None else int(level) for level in max_levels
+                ),
+                options=tuple(sorted(dict(state.get("options", {})).items())),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed estimator spec: {exc}") from exc
+
+
+# -- update and estimate dispatch ---------------------------------------------------
+
+
+def as_points(boxes: BoxSet | PointSet) -> PointSet:
+    """Interpret a degenerate box set (lows == highs) as points."""
+    if isinstance(boxes, PointSet):
+        return boxes
+    if len(boxes) and not np.array_equal(boxes.lows, boxes.highs):
+        raise ServiceError(
+            "this side takes points; pass a PointSet or degenerate boxes (lo == hi)"
+        )
+    return PointSet(boxes.lows.copy())
+
+
+def as_boxes(data: BoxSet | PointSet) -> BoxSet:
+    """Normalise service input to a box set (points become degenerate boxes)."""
+    if isinstance(data, PointSet):
+        return data.to_boxes()
+    if isinstance(data, BoxSet):
+        return data
+    raise ServiceError(f"expected a BoxSet or PointSet, got {type(data).__name__}")
+
+
+def apply_update(spec: EstimatorSpec, estimator: Any, side: str, kind: str,
+                 boxes: BoxSet) -> None:
+    """Route one batch of inserts or deletes into an estimator."""
+    info = spec.info
+    side = info.resolve_side(side)
+    if kind not in UPDATE_KINDS:
+        raise ServiceError(f"update kind must be one of {UPDATE_KINDS}, got {kind!r}")
+    method = getattr(estimator, info.update_methods[(side, kind)])
+    payload: BoxSet | PointSet = boxes
+    if side in info.point_sides:
+        payload = as_points(boxes)
+    method(payload)
+
+
+def run_estimate(spec: EstimatorSpec, estimator: Any,
+                 query: Rect | BoxSet | None = None) -> EstimateResult:
+    """Produce an estimate, passing the query through for queryable families."""
+    if spec.info.queryable:
+        if query is None:
+            raise ServiceError(
+                f"family {spec.family!r} estimates need a query rectangle"
+            )
+        return estimator.estimate(query)
+    if query is not None:
+        raise ServiceError(f"family {spec.family!r} does not take a query argument")
+    return estimator.estimate()

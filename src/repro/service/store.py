@@ -1,0 +1,224 @@
+"""A hash-partitioned store of merge-compatible sketch shards.
+
+:class:`ShardedSketchStore` is the heart of the sketch service: for every
+registered estimator name it keeps ``num_shards`` independent estimators,
+all built from one shared :class:`~repro.service.specs.EstimatorSpec`.
+Because the spec fixes the seed, every shard draws identical xi families,
+and the linearity of atomic sketches makes the shard copies *exactly*
+mergeable: summing the shard counters yields bit-for-bit the sketch a
+single estimator would have produced over the whole stream (counter
+updates are integer-valued, so float64 addition is exact and
+order-independent).
+
+Boxes are routed to shards by a deterministic mix of their integer
+coordinates (:func:`shard_ids`), so the same box always lands on the same
+shard — a delete finds the shard that saw the insert, keeping every shard
+sketch a valid linear summary of its partition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.geometry.boxset import BoxSet
+from repro.service.specs import EstimatorSpec, apply_update, run_estimate
+
+_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
+_MIX_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_B = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_C = np.uint64(0x94D049BB133111EB)
+
+
+def shard_ids(boxes: BoxSet, num_shards: int) -> np.ndarray:
+    """Deterministic shard assignment for every box (splitmix-style hash).
+
+    The hash depends only on the box coordinates and the shard count, never
+    on insertion order or process state, so inserts and their matching
+    deletes always meet on the same shard.
+    """
+    if num_shards < 1:
+        raise ServiceError("num_shards must be at least 1")
+    count = len(boxes)
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    if num_shards == 1:
+        return np.zeros(count, dtype=np.int64)
+    lows = boxes.lows.astype(np.uint64)
+    highs = boxes.highs.astype(np.uint64)
+    h = np.full(count, _FNV_OFFSET, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for dim in range(boxes.dimension):
+            h = (h ^ (lows[:, dim] + _MIX_A)) * _MIX_B
+            h = (h ^ (highs[:, dim] + _MIX_C)) * _MIX_B
+        h ^= h >> np.uint64(31)
+        h *= _MIX_A
+        h ^= h >> np.uint64(33)
+    return (h % np.uint64(num_shards)).astype(np.int64)
+
+
+def partition_boxes(boxes: BoxSet, num_shards: int,
+                    ids: np.ndarray | None = None) -> list[BoxSet | None]:
+    """Split a box set into per-shard subsets (``None`` for empty shards)."""
+    if ids is None:
+        ids = shard_ids(boxes, num_shards)
+    parts: list[BoxSet | None] = [None] * num_shards
+    if len(boxes) == 0:
+        return parts
+    for shard in np.unique(ids):
+        parts[int(shard)] = boxes[ids == shard]
+    return parts
+
+
+class ShardedSketchStore:
+    """``num_shards`` merge-compatible estimators per registered name.
+
+    The store itself performs no buffering — every :meth:`apply` call goes
+    straight into the shard estimators.  Batching and parallelism live in
+    :class:`repro.service.ingest.IngestPipeline`; combined query views come
+    from :meth:`merge_view`.
+    """
+
+    def __init__(self, num_shards: int = 4) -> None:
+        if num_shards < 1:
+            raise ServiceError("a sharded store needs at least one shard")
+        self._num_shards = int(num_shards)
+        self._specs: dict[str, EstimatorSpec] = {}
+        # One {name: estimator} mapping per shard.
+        self._shards: list[dict[str, Any]] = [{} for _ in range(self._num_shards)]
+        # Bumped on every mutation of a name; lets caches detect staleness.
+        self._versions: dict[str, int] = {}
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, name: str, spec: EstimatorSpec) -> None:
+        """Create the shard estimators for a new name."""
+        if not name:
+            raise ServiceError("estimator names must be non-empty")
+        if name in self._specs:
+            raise ServiceError(f"estimator {name!r} is already registered")
+        if not isinstance(spec, EstimatorSpec):
+            raise ServiceError(f"expected an EstimatorSpec, got {type(spec).__name__}")
+        estimators = [spec.build() for _ in range(self._num_shards)]
+        self._specs[name] = spec
+        for shard, estimator in zip(self._shards, estimators):
+            shard[name] = estimator
+        self._versions[name] = 0
+
+    def unregister(self, name: str) -> None:
+        self.spec(name)  # raises for unknown names
+        del self._specs[name]
+        del self._versions[name]
+        for shard in self._shards:
+            del shard[name]
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def spec(self, name: str) -> EstimatorSpec:
+        try:
+            return self._specs[name]
+        except KeyError as exc:
+            raise ServiceError(f"unknown estimator {name!r}; registered: "
+                               f"{self.names()}") from exc
+
+    def version(self, name: str) -> int:
+        """Mutation counter for a name (used for cache invalidation)."""
+        self.spec(name)
+        return self._versions[name]
+
+    def shard_estimators(self, name: str) -> tuple[Any, ...]:
+        self.spec(name)
+        return tuple(shard[name] for shard in self._shards)
+
+    # -- routing and updates ------------------------------------------------------
+
+    def shard_ids(self, boxes: BoxSet) -> np.ndarray:
+        return shard_ids(boxes, self._num_shards)
+
+    def partition(self, boxes: BoxSet,
+                  ids: np.ndarray | None = None) -> list[BoxSet | None]:
+        return partition_boxes(boxes, self._num_shards, ids)
+
+    def apply(self, name: str, side: str, kind: str, boxes: BoxSet) -> None:
+        """Hash-partition a batch and update every affected shard."""
+        spec = self.spec(name)
+        for shard_index, part in enumerate(self.partition(boxes)):
+            if part is not None:
+                apply_update(spec, self._shards[shard_index][name], side, kind, part)
+        if len(boxes):
+            self.mark_updated(name)
+
+    def apply_to_shard(self, shard_index: int, name: str, side: str, kind: str,
+                       boxes: BoxSet) -> None:
+        """Update a single shard with a pre-partitioned batch.
+
+        Used by the ingestion pipeline, which routes once and flushes
+        shard-locally (possibly from a worker thread per shard).  The caller
+        is responsible for bumping the version via :meth:`mark_updated`
+        after all shards of a flush have been applied.
+        """
+        spec = self.spec(name)
+        apply_update(spec, self._shards[shard_index][name], side, kind, boxes)
+
+    def mark_updated(self, name: str) -> None:
+        self._versions[name] = self._versions.get(name, 0) + 1
+
+    # -- merged views and estimates -----------------------------------------------
+
+    def merge_view(self, name: str) -> Any:
+        """A fresh estimator equal to the sum of all shard estimators.
+
+        The view is built from the shared spec (hence merge-compatible with
+        every shard) and is independent of the store: later shard updates do
+        not affect it, which is exactly what a query-side cache wants.
+        """
+        spec = self.spec(name)
+        merged = spec.build()
+        for shard in self._shards:
+            merged.merge(shard[name])
+        return merged
+
+    def estimate(self, name: str, query=None):
+        """Convenience: estimate from a freshly merged view (no caching)."""
+        return run_estimate(self.spec(name), self.merge_view(name), query)
+
+    # -- persistence ----------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """A JSON-serialisable snapshot of every spec and shard estimator."""
+        return {
+            "num_shards": self._num_shards,
+            "estimators": {
+                name: {
+                    "spec": spec.to_dict(),
+                    "version": self._versions[name],
+                    "shards": [shard[name].state_dict() for shard in self._shards],
+                }
+                for name, spec in self._specs.items()
+            },
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        """Restore a snapshot into this (compatible, possibly empty) store."""
+        from repro.service.snapshot import restore_store_state
+
+        restore_store_state(self, state)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShardedSketchStore(shards={self._num_shards}, "
+                f"estimators={self.names()})")

@@ -1,0 +1,154 @@
+"""Tests for the CLI's sketch-service command group (ingest/estimate/serve)."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main, service_command_loop
+from repro.service import EstimationService
+
+
+def _run_lines(service, lines, **kwargs):
+    out = io.StringIO()
+    service_command_loop(service, io.StringIO("\n".join(lines) + "\n"), out,
+                         **kwargs)
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+class TestServeLoop:
+    def test_register_ingest_estimate(self):
+        service = EstimationService(num_shards=2)
+        replies = _run_lines(service, [
+            json.dumps({"op": "register", "name": "join", "family": "rectangle",
+                        "sizes": [256, 256], "instances": 16, "seed": 3}),
+            json.dumps({"op": "ingest", "name": "join", "side": "left",
+                        "boxes": [[0, 0, 10, 10], [5, 5, 50, 60]]}),
+            json.dumps({"op": "ingest", "name": "join", "side": "right",
+                        "boxes": [[2, 2, 30, 30]]}),
+            json.dumps({"op": "estimate", "name": "join"}),
+            json.dumps({"op": "stats"}),
+            json.dumps({"op": "quit"}),
+        ])
+        assert [r["ok"] for r in replies] == [True] * 6
+        estimate = replies[3]
+        assert estimate["left_count"] == 2 and estimate["right_count"] == 1
+        assert replies[4]["num_shards"] == 2
+
+    def test_errors_keep_the_loop_alive(self):
+        service = EstimationService(num_shards=2)
+        replies = _run_lines(service, [
+            json.dumps({"op": "estimate", "name": "missing"}),
+            json.dumps({"op": "frobnicate"}),
+            "   ",
+            json.dumps({"op": "quit"}),
+        ])
+        assert [r["ok"] for r in replies] == [False, False, True]
+        assert "ServiceError" in replies[0]["error"]
+
+    def test_save_and_save_on_exit(self, tmp_path):
+        service = EstimationService(num_shards=2)
+        service.register("rq", family="range", domain=(256,), num_instances=8)
+        explicit = tmp_path / "explicit.json"
+        exit_path = tmp_path / "exit.json"
+        replies = _run_lines(service, [
+            json.dumps({"op": "ingest", "name": "rq", "side": "data",
+                        "boxes": [[1, 5], [9, 20]]}),
+            json.dumps({"op": "save", "path": str(explicit)}),
+            json.dumps({"op": "quit"}),
+        ], snapshot_path=str(exit_path), save_on_exit=True)
+        assert all(r["ok"] for r in replies)
+        assert EstimationService.load(explicit).merged_view("rq").count == 2
+        assert EstimationService.load(exit_path).merged_view("rq").count == 2
+
+    def test_save_without_path_fails(self):
+        service = EstimationService(num_shards=2)
+        replies = _run_lines(service, [json.dumps({"op": "save"}),
+                                       json.dumps({"op": "quit"})])
+        assert replies[0]["ok"] is False
+
+    def test_save_to_bad_path_keeps_server_alive(self):
+        service = EstimationService(num_shards=2)
+        replies = _run_lines(service, [
+            json.dumps({"op": "save", "path": "/no/such/dir/x.json"}),
+            json.dumps({"op": "quit"}),
+        ])
+        assert replies[0]["ok"] is False
+        assert replies[1]["ok"] is True  # the loop survived the OSError
+
+
+class TestIngestEstimateCommands:
+    def test_full_cycle(self, tmp_path, capsys):
+        snapshot = str(tmp_path / "svc.json")
+        assert main(["ingest", "--snapshot", snapshot, "--name", "join",
+                     "--family", "rectangle", "--sizes", "256x256",
+                     "--instances", "32", "--seed", "7", "--count", "500",
+                     "--side", "left", "--data-seed", "1"]) == 0
+        created = json.loads(capsys.readouterr().out)
+        assert created["created"] is True and created["boxes"] == 500
+
+        assert main(["ingest", "--snapshot", snapshot, "--name", "join",
+                     "--side", "right", "--count", "500",
+                     "--data-seed", "2"]) == 0
+        capsys.readouterr()
+
+        assert main(["estimate", "--snapshot", snapshot, "--name", "join"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["left_count"] == 500 and result["right_count"] == 500
+
+    def test_boxes_file_and_range_query(self, tmp_path, capsys):
+        snapshot = str(tmp_path / "svc.json")
+        boxes_file = tmp_path / "boxes.json"
+        boxes_file.write_text(json.dumps([[0, 0, 20, 20], [10, 10, 99, 99],
+                                          [200, 200, 255, 255]]))
+        assert main(["ingest", "--snapshot", snapshot, "--name", "rq",
+                     "--family", "range", "--sizes", "256,256",
+                     "--instances", "16", "--side", "data",
+                     "--boxes", str(boxes_file)]) == 0
+        capsys.readouterr()
+        assert main(["estimate", "--snapshot", snapshot, "--name", "rq",
+                     "--query", "0,0,128,128"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["left_count"] == 3
+
+    def test_unregistered_name_needs_family(self, tmp_path, capsys):
+        snapshot = str(tmp_path / "svc.json")
+        assert main(["ingest", "--snapshot", snapshot, "--name", "ghost",
+                     "--count", "10"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_conflicting_flags_for_existing_name_rejected(self, tmp_path, capsys):
+        snapshot = str(tmp_path / "svc.json")
+        assert main(["ingest", "--snapshot", snapshot, "--name", "join",
+                     "--family", "rectangle", "--sizes", "256x256",
+                     "--instances", "16", "--count", "10"]) == 0
+        capsys.readouterr()
+        assert main(["ingest", "--snapshot", snapshot, "--name", "join",
+                     "--family", "epsilon", "--sizes", "128x128",
+                     "--epsilon", "3", "--count", "10"]) == 1
+        err = capsys.readouterr().err
+        assert "already registered with a different configuration" in err
+        # Matching flags (or none) are still accepted.
+        assert main(["ingest", "--snapshot", snapshot, "--name", "join",
+                     "--family", "rectangle", "--instances", "16",
+                     "--count", "10", "--side", "right"]) == 0
+
+    def test_missing_snapshot_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["estimate", "--snapshot", str(tmp_path / "nope.json"),
+                     "--name", "x"]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_epsilon_family_generates_points(self, tmp_path, capsys):
+        snapshot = str(tmp_path / "svc.json")
+        assert main(["ingest", "--snapshot", snapshot, "--name", "eps",
+                     "--family", "epsilon", "--sizes", "256x256",
+                     "--instances", "16", "--epsilon", "4",
+                     "--count", "100", "--side", "left"]) == 0
+        capsys.readouterr()
+        assert main(["ingest", "--snapshot", snapshot, "--name", "eps",
+                     "--side", "right", "--count", "100",
+                     "--data-seed", "3"]) == 0
+        capsys.readouterr()
+        assert main(["estimate", "--snapshot", snapshot, "--name", "eps"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["left_count"] == 100

@@ -7,12 +7,26 @@ import pytest
 
 from repro.core.atomic import Letter, SketchBank, all_words
 from repro.core.domain import Domain
-from repro.errors import SketchConfigError
+from repro.errors import MergeCompatibilityError, SketchConfigError
+from repro.geometry.boxset import BoxSet
+from repro.service.specs import EstimatorSpec, apply_update, run_estimate
 
 from tests.conftest import random_boxes
 
 
 IE_1D = [(Letter.INTERVAL,), (Letter.ENDPOINTS,)]
+
+#: One representative spec per estimator family (all eight).
+FAMILY_SPECS = [
+    ("interval", (256,), {}),
+    ("rectangle", (256, 256), {}),
+    ("hyperrect", (64, 64, 64), {}),
+    ("extended_overlap", (256, 256), {}),
+    ("common_endpoint", (256, 256), {}),
+    ("containment", (256, 256), {}),
+    ("epsilon", (256, 256), {"epsilon": 3}),
+    ("range", (256, 256), {}),
+]
 
 
 class TestMerge:
@@ -49,19 +63,77 @@ class TestMerge:
     def test_merge_rejects_different_seeds(self, domain_1d):
         first = SketchBank(domain_1d, IE_1D, num_instances=8, seed=1)
         second = SketchBank(domain_1d, IE_1D, num_instances=8, seed=2)
-        with pytest.raises(SketchConfigError):
+        with pytest.raises(MergeCompatibilityError):
             first.merge(second)
 
     def test_merge_rejects_different_words(self, domain_1d):
         first = SketchBank(domain_1d, IE_1D, num_instances=8, seed=1)
         second = first.companion(words=[(Letter.INTERVAL,)])
-        with pytest.raises(SketchConfigError):
+        with pytest.raises(MergeCompatibilityError):
             first.merge(second)
 
     def test_merge_rejects_different_instance_counts(self, domain_1d):
         first = SketchBank(domain_1d, IE_1D, num_instances=8, seed=1)
         second = SketchBank(domain_1d, IE_1D, num_instances=4, seed=1)
-        with pytest.raises(SketchConfigError):
+        with pytest.raises(MergeCompatibilityError):
+            first.merge(second)
+
+    def test_merge_rejects_different_domains(self):
+        first = SketchBank(Domain(256), IE_1D, num_instances=8, seed=1)
+        second = SketchBank(Domain(512), IE_1D, num_instances=8, seed=1)
+        with pytest.raises(MergeCompatibilityError):
+            first.merge(second)
+
+    def test_merge_rejects_different_max_levels(self):
+        first = SketchBank(Domain(256), IE_1D, num_instances=8, seed=1)
+        second = SketchBank(Domain(256, max_levels=3), IE_1D, num_instances=8, seed=1)
+        with pytest.raises(MergeCompatibilityError):
+            first.merge(second)
+
+    def test_merge_error_is_a_sketch_config_error(self, domain_1d):
+        """Callers catching the older SketchConfigError keep working."""
+        assert issubclass(MergeCompatibilityError, SketchConfigError)
+
+    def test_merge_failure_leaves_counters_untouched(self, rng, domain_1d):
+        first = SketchBank(domain_1d, IE_1D, num_instances=8, seed=1)
+        first.insert(random_boxes(rng, 10, 256, 1))
+        before = {word: first.counter(word) for word in IE_1D}
+        second = SketchBank(domain_1d, IE_1D, num_instances=8, seed=2)
+        second.insert(random_boxes(rng, 5, 256, 1))
+        with pytest.raises(MergeCompatibilityError):
+            first.merge(second)
+        for word in IE_1D:
+            assert np.array_equal(first.counter(word), before[word])
+
+
+class TestEstimatorMerge:
+    """Typed merge errors at the estimator level (service merge path)."""
+
+    def test_cross_family_merge_rejected(self):
+        rect = EstimatorSpec.create("rectangle", (256, 256), 8, seed=1).build()
+        ext = EstimatorSpec.create("extended_overlap", (256, 256), 8, seed=1).build()
+        with pytest.raises(MergeCompatibilityError):
+            rect.merge(ext)
+
+    def test_epsilon_mismatch_rejected(self):
+        first = EstimatorSpec.create("epsilon", (256, 256), 8, seed=1,
+                                     epsilon=2).build()
+        second = EstimatorSpec.create("epsilon", (256, 256), 8, seed=1,
+                                      epsilon=5).build()
+        with pytest.raises(MergeCompatibilityError):
+            first.merge(second)
+
+    def test_strict_mismatch_rejected(self):
+        first = EstimatorSpec.create("range", (256, 256), 8, seed=1).build()
+        second = EstimatorSpec.create("range", (256, 256), 8, seed=1,
+                                      strict=True).build()
+        with pytest.raises(MergeCompatibilityError):
+            first.merge(second)
+
+    def test_seed_mismatch_rejected(self):
+        first = EstimatorSpec.create("rectangle", (256, 256), 8, seed=1).build()
+        second = EstimatorSpec.create("rectangle", (256, 256), 8, seed=2).build()
+        with pytest.raises(MergeCompatibilityError):
             first.merge(second)
 
 
@@ -106,8 +178,90 @@ class TestPersistence:
         with pytest.raises(SketchConfigError):
             other.load_state_dict(bank.state_dict())
 
+    def test_domain_mismatch_rejected_on_load(self, rng):
+        """Same seed/words/instances but a different domain must not load."""
+        bank = SketchBank(Domain(512), IE_1D, num_instances=8, seed=9)
+        bank.insert(random_boxes(rng, 5, 256, 1))
+        other = SketchBank(Domain(256), IE_1D, num_instances=8, seed=9)
+        with pytest.raises(MergeCompatibilityError):
+            other.load_state_dict(bank.state_dict())
+
+    def test_legacy_snapshot_without_domain_still_loads(self, rng, domain_1d):
+        bank = SketchBank(domain_1d, IE_1D, num_instances=8, seed=9)
+        bank.insert(random_boxes(rng, 5, 256, 1))
+        state = bank.state_dict()
+        del state["domain"]
+        restored = SketchBank(domain_1d, IE_1D, num_instances=8, seed=9)
+        restored.load_state_dict(state)
+        for word in IE_1D:
+            assert np.array_equal(restored.counter(word), bank.counter(word))
+
     def test_instance_count_mismatch_rejected(self, rng, domain_1d):
         bank = SketchBank(domain_1d, IE_1D, num_instances=8, seed=9)
         other = SketchBank(domain_1d, IE_1D, num_instances=4, seed=9)
         with pytest.raises(SketchConfigError):
             other.load_state_dict(bank.state_dict())
+
+
+def _family_boxes(rng, family, sizes, count):
+    boxes = random_boxes(rng, count, sizes[0], len(sizes))
+    if family == "epsilon":
+        return BoxSet(boxes.lows, boxes.lows.copy(), validate=False)
+    return boxes
+
+
+class TestEstimatorPersistence:
+    """state_dict -> load_state_dict -> estimate round trip, every family."""
+
+    @pytest.mark.parametrize("family,sizes,options", FAMILY_SPECS,
+                             ids=[f[0] for f in FAMILY_SPECS])
+    def test_round_trip_estimate_equality(self, rng, family, sizes, options):
+        spec = EstimatorSpec.create(family, sizes, 16, seed=13, **options)
+        original = spec.build()
+        for side in spec.info.sides:
+            apply_update(spec, original, side, "insert",
+                         _family_boxes(rng, family, sizes, 120))
+
+        snapshot = json.loads(json.dumps(original.state_dict()))
+        restored = spec.build()
+        restored.load_state_dict(snapshot)
+
+        query = None
+        if spec.info.queryable:
+            query = random_boxes(rng, 1, sizes[0], len(sizes))
+        original_result = run_estimate(spec, original, query)
+        restored_result = run_estimate(spec, restored, query)
+        assert restored_result.estimate == original_result.estimate
+        assert restored_result.left_count == original_result.left_count
+        assert restored_result.right_count == original_result.right_count
+        assert np.array_equal(restored_result.instance_values,
+                              original_result.instance_values)
+
+    @pytest.mark.parametrize("family,sizes,options", FAMILY_SPECS,
+                             ids=[f[0] for f in FAMILY_SPECS])
+    def test_restored_estimator_accepts_further_updates(self, rng, family,
+                                                        sizes, options):
+        spec = EstimatorSpec.create(family, sizes, 8, seed=3, **options)
+        original = spec.build()
+        side = spec.info.sides[0]
+        first = _family_boxes(rng, family, sizes, 60)
+        later = _family_boxes(rng, family, sizes, 40)
+        apply_update(spec, original, side, "insert", first)
+        snapshot = original.state_dict()
+        apply_update(spec, original, side, "insert", later)
+
+        restored = spec.build()
+        restored.load_state_dict(snapshot)
+        apply_update(spec, restored, side, "insert", later)
+        query = None
+        if spec.info.queryable:
+            query = random_boxes(rng, 1, sizes[0], len(sizes))
+        assert (run_estimate(spec, restored, query).estimate
+                == run_estimate(spec, original, query).estimate)
+
+    def test_seed_mismatch_rejected_on_load(self, rng):
+        snapshot = EstimatorSpec.create("rectangle", (256, 256), 8,
+                                        seed=1).build().state_dict()
+        other = EstimatorSpec.create("rectangle", (256, 256), 8, seed=2).build()
+        with pytest.raises(MergeCompatibilityError):
+            other.load_state_dict(snapshot)

@@ -1,0 +1,134 @@
+"""Tests for the batched ingestion pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.geometry.boxset import BoxSet
+from repro.service.ingest import IngestPipeline
+from repro.service.specs import EstimatorSpec
+from repro.service.store import ShardedSketchStore
+
+from tests.conftest import random_boxes
+
+
+def _store(num_shards=4, **spec_kwargs):
+    store = ShardedSketchStore(num_shards)
+    store.register("est", EstimatorSpec.create(
+        "rectangle", (256, 256), spec_kwargs.pop("num_instances", 16), seed=5))
+    return store
+
+
+class TestBuffering:
+    def test_submit_does_not_touch_shards(self, rng):
+        store = _store()
+        pipeline = IngestPipeline(store, flush_threshold=None)
+        pipeline.submit("est", random_boxes(rng, 50, 256, 2))
+        assert pipeline.pending == 50
+        for estimator in store.shard_estimators("est"):
+            assert estimator.left_count == 0
+        assert store.version("est") == 0
+
+    def test_flush_applies_and_clears(self, rng):
+        store = _store()
+        pipeline = IngestPipeline(store, flush_threshold=None)
+        pipeline.submit("est", random_boxes(rng, 50, 256, 2))
+        report = pipeline.flush()
+        assert report.boxes == 50
+        assert pipeline.pending == 0
+        assert sum(e.left_count for e in store.shard_estimators("est")) == 50
+        assert store.version("est") == 1
+        assert not pipeline.flush()  # nothing left
+
+    def test_empty_batches_ignored(self):
+        pipeline = IngestPipeline(_store(), flush_threshold=None)
+        pipeline.submit("est", BoxSet.empty(2))
+        assert pipeline.pending == 0
+
+    def test_auto_flush_threshold(self, rng):
+        store = _store()
+        pipeline = IngestPipeline(store, flush_threshold=64)
+        pipeline.submit("est", random_boxes(rng, 63, 256, 2))
+        assert pipeline.pending == 63
+        pipeline.submit("est", random_boxes(rng, 1, 256, 2))
+        assert pipeline.pending == 0
+        assert pipeline.stats.auto_flushes == 1
+
+    def test_bad_inputs_rejected(self, rng):
+        pipeline = IngestPipeline(_store(), flush_threshold=None)
+        with pytest.raises(ServiceError):
+            pipeline.submit("nope", random_boxes(rng, 3, 256, 2))
+        with pytest.raises(ServiceError):
+            pipeline.submit("est", random_boxes(rng, 3, 256, 2), kind="upsert")
+        with pytest.raises(ServiceError):
+            pipeline.submit("est", random_boxes(rng, 3, 256, 2), side="top")
+        with pytest.raises(ServiceError):
+            IngestPipeline(_store(), flush_threshold=0)
+
+
+class TestExactness:
+    def _reference(self, spec, batches):
+        single = spec.build()
+        for side, kind, boxes in batches:
+            getattr(single, f"{kind}_{side}")(boxes)
+        return single
+
+    def test_buffered_mixed_ops_match_direct_application(self, rng):
+        """Regrouping inserts/deletes inside a flush must be lossless."""
+        store = _store()
+        spec = store.spec("est")
+        pipeline = IngestPipeline(store, flush_threshold=None)
+        batches = []
+        for index in range(6):
+            boxes = random_boxes(rng, 40, 256, 2)
+            side = "left" if index % 2 == 0 else "right"
+            batches.append((side, "insert", boxes))
+            if index >= 2:
+                removed = boxes[np.arange(0, len(boxes), 4)]
+                batches.append((side, "delete", removed))
+        for side, kind, boxes in batches:
+            pipeline.submit("est", boxes, side=side, kind=kind)
+        pipeline.flush()
+
+        single = self._reference(spec, batches)
+        merged = store.merge_view("est")
+        for word in single.left_bank.words:
+            assert np.array_equal(merged.left_bank.counter(word),
+                                  single.left_bank.counter(word))
+        for word in single.right_bank.words:
+            assert np.array_equal(merged.right_bank.counter(word),
+                                  single.right_bank.counter(word))
+        assert merged.left_count == single.left_count
+        assert merged.right_count == single.right_count
+
+    def test_parallel_flush_equals_serial_flush(self, rng):
+        batches = [random_boxes(rng, 80, 256, 2) for _ in range(5)]
+
+        results = []
+        for parallel in (False, True):
+            store = _store()
+            pipeline = IngestPipeline(store, flush_threshold=None,
+                                      max_workers=None if parallel else 1)
+            for boxes in batches:
+                pipeline.submit("est", boxes)
+            report = pipeline.flush(parallel=parallel)
+            assert report.boxes == sum(len(b) for b in batches)
+            results.append(store.merge_view("est"))
+
+        serial, threaded = results
+        for word in serial.left_bank.words:
+            assert np.array_equal(serial.left_bank.counter(word),
+                                  threaded.left_bank.counter(word))
+
+    def test_flush_report_contents(self, rng):
+        store = ShardedSketchStore(2)
+        for name in ("a", "b"):
+            store.register(name, EstimatorSpec.create("range", (256,), 8, seed=3))
+        pipeline = IngestPipeline(store, flush_threshold=None)
+        pipeline.submit("a", random_boxes(rng, 30, 256, 1), side="data")
+        pipeline.submit("b", random_boxes(rng, 20, 256, 1), side="data")
+        report = pipeline.flush()
+        assert report.names == ("a", "b")
+        assert report.boxes == 50
+        assert report.shards_touched <= 2
+        assert bool(report)

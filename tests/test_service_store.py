@@ -1,0 +1,233 @@
+"""Tests for the sharded sketch store: routing, exact merging, views."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain
+from repro.errors import ServiceError
+from repro.service.specs import EstimatorSpec, apply_update, run_estimate
+from repro.service.store import ShardedSketchStore, partition_boxes, shard_ids
+
+from tests.conftest import random_boxes
+
+
+def _degenerate(boxes):
+    from repro.geometry.boxset import BoxSet
+
+    return BoxSet(boxes.lows, boxes.lows.copy(), validate=False)
+
+
+#: (family, domain sizes, options) for every estimator family in the registry.
+ALL_FAMILY_SPECS = [
+    ("interval", (256,), {}),
+    ("rectangle", (256, 256), {}),
+    ("hyperrect", (64, 64, 64), {}),
+    ("extended_overlap", (256, 256), {}),
+    ("common_endpoint", (256, 256), {}),
+    ("containment", (256, 256), {}),
+    ("epsilon", (256, 256), {"epsilon": 3}),
+    ("range", (256, 256), {}),
+]
+
+
+def _make_spec(family, sizes, options, *, num_instances=16, seed=11):
+    return EstimatorSpec.create(family, sizes, num_instances, seed=seed, **options)
+
+
+def _family_data(rng, family, sizes, count):
+    boxes = random_boxes(rng, count, sizes[0], len(sizes))
+    if family == "epsilon":
+        return _degenerate(boxes)
+    return boxes
+
+
+def _all_banks(estimator):
+    """The underlying SketchBanks of any estimator family."""
+    for attr in ("_left_bank", "_right_bank", "_outer_bank", "_inner_bank",
+                 "_point_bank", "_cube_bank", "_bank"):
+        bank = getattr(estimator, attr, None)
+        if bank is not None:
+            yield attr, bank
+
+
+class TestRouting:
+    def test_shard_ids_deterministic_and_in_range(self, rng):
+        boxes = random_boxes(rng, 500, 256, 2)
+        ids_a = shard_ids(boxes, 4)
+        ids_b = shard_ids(boxes, 4)
+        assert np.array_equal(ids_a, ids_b)
+        assert ids_a.min() >= 0 and ids_a.max() < 4
+
+    def test_same_box_always_same_shard(self, rng):
+        boxes = random_boxes(rng, 50, 256, 2)
+        doubled = boxes.concat(boxes)
+        ids = shard_ids(doubled, 8)
+        assert np.array_equal(ids[:50], ids[50:])
+
+    def test_routing_spreads_load(self, rng):
+        boxes = random_boxes(rng, 2000, 1024, 2)
+        counts = np.bincount(shard_ids(boxes, 4), minlength=4)
+        # A uniform hash should land far away from all-on-one-shard.
+        assert counts.min() > 0
+        assert counts.max() < 2000 * 0.5
+
+    def test_single_shard_short_circuit(self, rng):
+        boxes = random_boxes(rng, 10, 256, 1)
+        assert np.array_equal(shard_ids(boxes, 1), np.zeros(10, dtype=np.int64))
+
+    def test_partition_covers_everything(self, rng):
+        boxes = random_boxes(rng, 300, 256, 2)
+        parts = partition_boxes(boxes, 4)
+        assert sum(len(p) for p in parts if p is not None) == len(boxes)
+
+    def test_invalid_shard_count(self, rng):
+        with pytest.raises(ServiceError):
+            shard_ids(random_boxes(rng, 3, 256, 1), 0)
+
+
+class TestShardedStore:
+    @pytest.mark.parametrize("family,sizes,options", ALL_FAMILY_SPECS,
+                             ids=[f[0] for f in ALL_FAMILY_SPECS])
+    def test_sharded_equals_unsharded_bit_identical(self, rng, family, sizes, options):
+        """The acceptance criterion: 4 shards merge to the unsharded sketch.
+
+        Counter updates are integer-valued, so float64 accumulation is exact
+        and the equality is bit-for-bit, not approximate.
+        """
+        spec = _make_spec(family, sizes, options)
+        store = ShardedSketchStore(4)
+        store.register("est", spec)
+
+        single = spec.build()
+        for side in spec.info.sides:
+            data = _family_data(rng, family, sizes, 200)
+            store.apply("est", side, "insert", data)
+            apply_update(spec, single, side, "insert", data)
+            # ... and exercise the delete path with a subset.
+            removed = data[np.arange(0, len(data), 3)]
+            store.apply("est", side, "delete", removed)
+            apply_update(spec, single, side, "delete", removed)
+
+        merged = store.merge_view("est")
+        for (attr, merged_bank), (_, single_bank) in zip(_all_banks(merged),
+                                                         _all_banks(single)):
+            for word in single_bank.words:
+                assert np.array_equal(merged_bank.counter(word),
+                                      single_bank.counter(word)), (attr, word)
+
+        query = None
+        if spec.info.queryable:
+            query = random_boxes(rng, 1, sizes[0], len(sizes))
+        merged_result = run_estimate(spec, merged, query)
+        single_result = run_estimate(spec, single, query)
+        assert merged_result.estimate == single_result.estimate
+        assert merged_result.left_count == single_result.left_count
+        assert merged_result.right_count == single_result.right_count
+
+    def test_merge_view_is_a_snapshot(self, rng):
+        spec = _make_spec("rectangle", (256, 256), {})
+        store = ShardedSketchStore(3)
+        store.register("est", spec)
+        data = random_boxes(rng, 100, 256, 2)
+        store.apply("est", "left", "insert", data)
+        view = store.merge_view("est")
+        before = view.left_bank.counter(view.left_bank.words[0])
+        store.apply("est", "left", "insert", random_boxes(rng, 50, 256, 2))
+        assert np.array_equal(view.left_bank.counter(view.left_bank.words[0]), before)
+
+    def test_version_bumps_on_updates(self, rng):
+        store = ShardedSketchStore(2)
+        store.register("est", _make_spec("rectangle", (256, 256), {}))
+        assert store.version("est") == 0
+        store.apply("est", "left", "insert", random_boxes(rng, 10, 256, 2))
+        assert store.version("est") == 1
+        from repro.geometry.boxset import BoxSet
+
+        store.apply("est", "left", "insert", BoxSet.empty(2))
+        assert store.version("est") == 1  # empty batches are no-ops
+
+    def test_duplicate_registration_rejected(self):
+        store = ShardedSketchStore(2)
+        spec = _make_spec("rectangle", (256, 256), {})
+        store.register("est", spec)
+        with pytest.raises(ServiceError):
+            store.register("est", spec)
+
+    def test_unknown_name_rejected(self, rng):
+        store = ShardedSketchStore(2)
+        with pytest.raises(ServiceError):
+            store.apply("nope", "left", "insert", random_boxes(rng, 3, 256, 2))
+        with pytest.raises(ServiceError):
+            store.merge_view("nope")
+
+    def test_unknown_side_and_kind_rejected(self, rng):
+        store = ShardedSketchStore(2)
+        store.register("est", _make_spec("rectangle", (256, 256), {}))
+        data = random_boxes(rng, 3, 256, 2)
+        with pytest.raises(ServiceError):
+            store.apply("est", "middle", "insert", data)
+        with pytest.raises(ServiceError):
+            store.apply("est", "left", "upsert", data)
+
+    def test_containment_side_aliases(self, rng):
+        store = ShardedSketchStore(2)
+        store.register("est", _make_spec("containment", (256, 256), {}))
+        data = random_boxes(rng, 20, 256, 2)
+        store.apply("est", "left", "insert", data)   # alias for "outer"
+        store.apply("est", "inner", "insert", data)
+        view = store.merge_view("est")
+        assert view.outer_count == 20 and view.inner_count == 20
+
+    def test_store_estimate_convenience(self, rng):
+        store = ShardedSketchStore(4)
+        store.register("est", _make_spec("rectangle", (256, 256),
+                                         {}, num_instances=32))
+        store.apply("est", "left", "insert", random_boxes(rng, 100, 256, 2))
+        store.apply("est", "right", "insert", random_boxes(rng, 100, 256, 2))
+        result = store.estimate("est")
+        assert result.left_count == 100 and result.right_count == 100
+
+    def test_unregister(self, rng):
+        store = ShardedSketchStore(2)
+        store.register("est", _make_spec("rectangle", (256, 256), {}))
+        store.unregister("est")
+        assert "est" not in store
+        with pytest.raises(ServiceError):
+            store.unregister("est")
+
+
+class TestSpecs:
+    def test_spec_round_trip(self):
+        for family, sizes, options in ALL_FAMILY_SPECS:
+            spec = _make_spec(family, sizes, options)
+            assert EstimatorSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_from_domain_preserves_max_level(self):
+        domain = Domain.square(256, dimension=2, max_level=4)
+        spec = EstimatorSpec.create("rectangle", domain, 8)
+        assert spec.domain().signature() == domain.signature()
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ServiceError):
+            EstimatorSpec.create("voronoi", (256,), 8)
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ServiceError):
+            EstimatorSpec.create("rectangle", (256, 256), 8, wibble=3)
+
+    def test_missing_required_option_rejected(self):
+        with pytest.raises(ServiceError):
+            EstimatorSpec.create("epsilon", (256, 256), 8)
+
+    def test_bad_endpoint_policy_rejected(self):
+        with pytest.raises(ServiceError):
+            EstimatorSpec.create("rectangle", (256, 256), 8,
+                                 endpoint_policy="sometimes")
+
+    def test_shared_seed_specs_build_merge_compatible_estimators(self, rng):
+        spec = _make_spec("rectangle", (256, 256), {})
+        first, second = spec.build(), spec.build()
+        first.insert_left(random_boxes(rng, 10, 256, 2))
+        second.insert_left(random_boxes(rng, 10, 256, 2))
+        first.merge(second)  # must not raise
+        assert first.left_count == 20
