@@ -27,6 +27,7 @@ def test_figure5_uniform_join_error(benchmark, figure_scale, record_figure, shap
         assert max(sketch) <= 5 * max(min(sketch), 1e-3) + 0.5
         # Shape: for uniform data the grid techniques' best competitor (GH) and
         # SKETCH are both clearly better than EH on average.
-        mean = lambda xs: sum(xs) / len(xs)
+        def mean(xs):
+            return sum(xs) / len(xs)
         assert mean(gh) <= mean(eh)
         assert mean(sketch) <= 2.0 * mean(eh) + 0.05

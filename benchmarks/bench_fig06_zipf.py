@@ -27,5 +27,6 @@ def test_figure6_skewed_join_error(benchmark, figure_scale, record_figure, shape
         assert max(sketch) <= 5 * max(min(sketch), 1e-3) + 0.5
         # Shape: under skew the gap between SKETCH and the histogram techniques
         # narrows — SKETCH must stay at least comparable to EH.
-        mean = lambda xs: sum(xs) / len(xs)
+        def mean(xs):
+            return sum(xs) / len(xs)
         assert mean(sketch) <= mean(eh) + 0.3

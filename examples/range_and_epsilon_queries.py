@@ -23,7 +23,6 @@ import numpy as np
 from repro import Domain, EpsilonJoinEstimator, RangeQueryEstimator, Rect
 from repro.data import synthetic
 from repro.exact import epsilon_join_count, range_query_count
-from repro.experiments.harness import adaptive_domain
 
 
 def range_query_demo(rng: np.random.Generator) -> None:

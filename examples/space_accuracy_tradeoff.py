@@ -13,16 +13,10 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
-from repro.core import space
 from repro.data.reallife import load_real_life_pair
 from repro.exact import rectangle_join_count
-from repro.experiments.harness import (
-    adaptive_domain,
-    histogram_errors,
-    sketch_error_for_budgets,
-)
+from repro.experiments.harness import histogram_errors, sketch_error_for_budgets
 
 
 def main() -> None:

@@ -66,8 +66,10 @@ from repro.core import (
     choose_max_level,
     dataset_self_join_size,
     median_of_means,
+    median_of_means_batch,
     plan_boosting,
     self_join_size,
+    stable_seed_offset,
 )
 
 __all__ = [
@@ -98,7 +100,9 @@ __all__ = [
     "BoostingPlan",
     "EstimateResult",
     "median_of_means",
+    "median_of_means_batch",
     "plan_boosting",
+    "stable_seed_offset",
     "self_join_size",
     "dataset_self_join_size",
     "choose_max_level",

@@ -13,6 +13,8 @@ It also drives the sharded sketch service (:mod:`repro.service`)::
     repro-spatial ingest --snapshot svc.json --name join --family rectangle \\
         --sizes 1024x1024 --count 5000 --side left
     repro-spatial estimate --snapshot svc.json --name join
+    repro-spatial estimate --snapshot svc.json --name ranges \\
+        --batch-file queries.jsonl --workers 4    # JSON-lines in/out
     repro-spatial serve --snapshot svc.json        # JSON-lines loop on stdio
 """
 
@@ -99,6 +101,16 @@ def _build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--query", default=None,
                           help="query rectangle lo_1,..,lo_d,hi_1,..,hi_d "
                                "(range family only)")
+    estimate.add_argument("--batch-file", default=None,
+                          help="JSON-lines file of queries: one "
+                               "[lo_1..lo_d, hi_1..hi_d] array (or null for "
+                               "query-less families) per line; '-' for stdin")
+    estimate.add_argument("--batch-output", default=None,
+                          help="where to write the JSON-lines results "
+                               "(default: stdout)")
+    estimate.add_argument("--workers", type=int, default=None,
+                          help="fan a batch out to this many worker processes "
+                               "(threads when no process pool is available)")
 
     serve = sub.add_parser(
         "serve", help="serve estimates over a JSON-lines stdin/stdout loop")
@@ -245,10 +257,68 @@ def _run_ingest(args) -> int:
     return 0
 
 
+def _read_batch_queries(path: str, dimension: int):
+    """Parse a JSON-lines batch file into a query batch.
+
+    Every non-empty line is either a ``[lo_1..lo_d, hi_1..hi_d]`` array
+    (queryable families) or ``null`` (query-less families); the two shapes
+    cannot be mixed, because the batch goes to a single estimator.  Returns
+    a :class:`BoxSet` for rectangle batches and a list of ``None`` for
+    query-less ones.
+    """
+    handle = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    rows: list = []
+    try:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"batch file line {number}: {exc}") from exc
+            rows.append(row)
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    if all(row is None for row in rows):
+        return list(rows)
+    if any(row is None for row in rows):
+        raise ReproError(
+            "batch file mixes null entries with query rectangles; a batch "
+            "targets one estimator and its queries are all of one shape"
+        )
+    return _boxes_from_rows(rows, dimension)
+
+
+def _run_estimate_batch(service, args) -> int:
+    spec = service.spec(args.name)
+    queries = _read_batch_queries(args.batch_file, spec.dimension)
+    results = service.estimate_batch(args.name, queries, workers=args.workers)
+    out = (sys.stdout if args.batch_output in (None, "-")
+           else open(args.batch_output, "w", encoding="utf-8"))
+    try:
+        for index, result in enumerate(results):
+            out.write(json.dumps({"index": index, "name": args.name,
+                                  **_estimate_payload(result)}) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+        else:
+            out.flush()
+    return 0
+
+
 def _run_estimate(args) -> int:
     from repro.service import EstimationService
 
     service = EstimationService.load(args.snapshot)
+    if args.batch_file is not None:
+        if args.query is not None:
+            raise ReproError("--query and --batch-file are mutually exclusive")
+        return _run_estimate_batch(service, args)
+    if args.batch_output is not None or args.workers is not None:
+        raise ReproError("--batch-output and --workers require --batch-file")
     query = None
     if args.query is not None:
         coords = [int(c) for c in args.query.split(",") if c]

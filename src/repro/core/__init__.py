@@ -17,11 +17,16 @@ Public entry points re-exported here:
   :mod:`repro.core.space`.
 """
 
-from repro.core.hashing import FourWiseFamilyBank
+from repro.core.hashing import FourWiseFamilyBank, stable_seed_offset, stable_text_hash
 from repro.core.dyadic import DyadicDomain
 from repro.core.domain import Domain, EndpointTransform, Quantizer
 from repro.core.atomic import Letter, SketchBank
-from repro.core.boosting import BoostingPlan, median_of_means, plan_boosting
+from repro.core.boosting import (
+    BoostingPlan,
+    median_of_means,
+    median_of_means_batch,
+    plan_boosting,
+)
 from repro.core.selfjoin import self_join_size, dataset_self_join_size
 from repro.core.join_interval import IntervalJoinEstimator
 from repro.core.join_rect import RectangleJoinEstimator
@@ -38,6 +43,8 @@ from repro.core.result import EstimateResult
 
 __all__ = [
     "FourWiseFamilyBank",
+    "stable_seed_offset",
+    "stable_text_hash",
     "DyadicDomain",
     "Domain",
     "EndpointTransform",
@@ -46,6 +53,7 @@ __all__ = [
     "SketchBank",
     "BoostingPlan",
     "median_of_means",
+    "median_of_means_batch",
     "plan_boosting",
     "self_join_size",
     "dataset_self_join_size",

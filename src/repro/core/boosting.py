@@ -133,3 +133,43 @@ def median_of_means(values: np.ndarray, plan: BoostingPlan | None = None,
     grouped = values[:usable].reshape(plan.num_groups, plan.group_size)
     group_means = grouped.mean(axis=1)
     return float(np.median(group_means)), group_means
+
+
+def median_of_means_batch(values: np.ndarray, plan: BoostingPlan | None = None,
+                          *, num_groups: int | None = None
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Boost a whole batch of per-instance value vectors at once.
+
+    The rows of ``values`` (shape ``(num_queries, num_instances)``) are
+    independent per-query estimator values; the result is bit-identical to
+    calling :func:`median_of_means` on every row, but the grouping, the
+    group means and the median selection all run as single NumPy kernels
+    over the batch — one median-of-instances reduction per batch instead of
+    one per query.
+
+    Returns
+    -------
+    ``(estimates, group_means)`` with shapes ``(num_queries,)`` and
+    ``(num_queries, k2)``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise SketchConfigError(
+            f"batched boosting expects a (num_queries, num_instances) matrix, "
+            f"got shape {values.shape}"
+        )
+    num_queries, num_instances = values.shape
+    if num_instances == 0:
+        raise SketchConfigError("cannot boost an empty set of estimator values")
+    if plan is None:
+        plan = split_instances(num_instances, num_groups=num_groups)
+    usable = plan.total_instances
+    if usable > num_instances:
+        raise SketchConfigError(
+            f"boosting plan needs {usable} instances but only {num_instances} are available"
+        )
+    grouped = values[:, :usable].reshape(num_queries, plan.num_groups, plan.group_size)
+    group_means = grouped.mean(axis=2)
+    if num_queries == 0:
+        return np.empty(0, dtype=np.float64), group_means
+    return np.median(group_means, axis=1), group_means

@@ -165,6 +165,17 @@ class EpsilonJoinEstimator:
             right_count=self._right_count,
         )
 
+    def estimate_batch(self, queries=None, *, plan: BoostingPlan | None = None
+                       ) -> list[EstimateResult]:
+        """Batch counterpart of :meth:`estimate` (see
+        :meth:`repro.core.join_base.PairedSketchJoinEstimator.estimate_batch`)."""
+        from repro.core.join_base import batch_request_count, replicate_estimate
+
+        count = batch_request_count(0 if queries is None else queries)
+        if count == 0:
+            return []
+        return replicate_estimate(self.estimate(plan=plan), count)
+
     def estimate_cardinality(self) -> float:
         return self.estimate().estimate
 

@@ -22,9 +22,37 @@ construction array-at-a-time instead of per-variable.
 
 from __future__ import annotations
 
+import zlib
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import SketchConfigError
+
+
+def stable_text_hash(parts: Sequence[str]) -> int:
+    """A process-independent 32-bit hash of a tuple of strings.
+
+    Unlike the built-in ``hash()``, which is salted per process
+    (``PYTHONHASHSEED``), this value is stable across runs, machines and
+    Python versions — the property sketch seeds need once they outlive the
+    process via service snapshots, where a seed decides merge
+    compatibility.
+    """
+    return zlib.crc32("::".join(parts).encode("utf-8"))
+
+
+def stable_seed_offset(parts: Sequence[str], *, modulus: int = 100_000) -> int:
+    """A deterministic per-name-tuple seed offset in ``[0, modulus)``.
+
+    Used by the engine's synopsis managers to give every relation pair its
+    own xi families while keeping the derivation reproducible: two processes
+    (or a process and its restored snapshot) derive identical seeds for the
+    same names, so their sketches stay merge-compatible.
+    """
+    if modulus < 1:
+        raise SketchConfigError("seed modulus must be positive")
+    return stable_text_hash(parts) % modulus
 
 #: Prime modulus for the polynomial hash.  ``p = 2^31 - 1`` keeps every
 #: intermediate product below 2^62, so the whole evaluation stays inside

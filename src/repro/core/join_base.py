@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -58,6 +58,49 @@ def expand_pair_terms(pair_terms: Sequence[PairTerm], dimension: int
         key = (left_word, right_word)
         combos[key] = combos.get(key, 0.0) + coefficient
     return combos
+
+
+def replicate_estimate(result: EstimateResult, count: int) -> list[EstimateResult]:
+    """``count`` independent copies of one estimate.
+
+    Matches the scalar-loop contract: every returned result owns its own
+    arrays, so in-place post-processing of one entry cannot leak into the
+    others.  The estimator values themselves are computed only once.
+    """
+    results = [result]
+    for _ in range(count - 1):
+        results.append(EstimateResult(
+            estimate=result.estimate,
+            instance_values=result.instance_values.copy(),
+            group_means=result.group_means.copy(),
+            left_count=result.left_count,
+            right_count=result.right_count,
+        ))
+    return results
+
+
+def batch_request_count(queries) -> int:
+    """Normalise a batch request for query-less estimators to a result count.
+
+    Join estimators summarise both inputs up front, so a "batched" request
+    is simply *how many* results are wanted: either an integer count or a
+    sequence of ``None`` placeholders (the shape the service layer produces
+    when it routes mixed batches through one API).  Anything non-``None`` in
+    the sequence is an error — these families do not take per-query
+    arguments.
+    """
+    if isinstance(queries, (int, np.integer)):
+        count = int(queries)
+        if count < 0:
+            raise SketchConfigError("batch size must be non-negative")
+        return count
+    entries = list(queries)
+    if any(entry is not None for entry in entries):
+        raise SketchConfigError(
+            "this estimator family does not take a query argument; batch "
+            "entries must all be None (or pass an integer count)"
+        )
+    return len(entries)
 
 
 class PairedSketchJoinEstimator:
@@ -256,6 +299,22 @@ class PairedSketchJoinEstimator:
             left_count=self._left_count,
             right_count=self._right_count,
         )
+
+    def estimate_batch(self, queries=None, *, plan: BoostingPlan | None = None
+                       ) -> list[EstimateResult]:
+        """A batch of boosted estimates (all of the same join, see below).
+
+        ``queries`` is an integer count or a sequence of ``None`` entries
+        (join estimators take no per-query argument — the uniform signature
+        exists so the service layer can batch mixed estimator families
+        through one API).  The per-instance values Z and the median-of-means
+        reduction are computed *once* for the whole batch; every returned
+        result is bit-identical to a scalar :meth:`estimate` call.
+        """
+        count = batch_request_count(0 if queries is None else queries)
+        if count == 0:
+            return []
+        return replicate_estimate(self.estimate(plan=plan), count)
 
     def estimate_cardinality(self) -> float:
         """Shorthand returning only the boosted cardinality estimate."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.atomic import Letter, SketchBank
-from repro.core.boosting import BoostingPlan, median_of_means, split_instances
+from repro.core.boosting import BoostingPlan, median_of_means
 from repro.core.domain import Domain
 from repro.core.result import EstimateResult
 from repro.errors import EstimationError, MergeCompatibilityError, SketchConfigError
@@ -166,6 +166,17 @@ class ContainmentJoinEstimator:
             left_count=self._outer_count,
             right_count=self._inner_count,
         )
+
+    def estimate_batch(self, queries=None, *, plan: BoostingPlan | None = None
+                       ) -> list[EstimateResult]:
+        """Batch counterpart of :meth:`estimate` (see
+        :meth:`repro.core.join_base.PairedSketchJoinEstimator.estimate_batch`)."""
+        from repro.core.join_base import batch_request_count, replicate_estimate
+
+        count = batch_request_count(0 if queries is None else queries)
+        if count == 0:
+            return []
+        return replicate_estimate(self.estimate(plan=plan), count)
 
     def estimate_cardinality(self) -> float:
         return self.estimate().estimate

@@ -60,6 +60,66 @@ class PlanExecution:
     comparisons: int
 
 
+def _clamped_selectivity(cardinality: float, left: SpatialRelation,
+                         right: SpatialRelation) -> float:
+    """Cardinality as a [0, 1] selectivity; 0 for empty inputs.
+
+    The single definition shared by the public per-pair API and the batched
+    planning cache, so the two can never drift apart.
+    """
+    if len(left) == 0 or len(right) == 0:
+        return 0.0
+    return float(min(1.0, max(0.0, cardinality / (len(left) * len(right)))))
+
+
+class _PairSelectivityCache:
+    """Lazily batch-filled cache of ordered-pair join selectivities.
+
+    Planning revisits the same relation pairs across candidate orders; the
+    cache probes each *missing* pair group through the synopses' batched
+    ``estimated_join_cardinalities`` API — one median-of-means reduction per
+    ``ensure`` call instead of one scalar estimate per lookup — while never
+    touching pairs the caller does not ask about (the greedy path for large
+    queries inspects only a fraction of all orientations).  Synopsis
+    providers without a batch API fall back to per-pair probes.
+    """
+
+    def __init__(self, synopses) -> None:
+        self._synopses = synopses
+        self.values: dict[tuple[str, str], float] = {}
+
+    def ensure(self, pairs) -> None:
+        """Batch-probe every not-yet-cached ordered pair in ``pairs``."""
+        missing: list[tuple[SpatialRelation, SpatialRelation]] = []
+        seen: set[tuple[str, str]] = set()
+        for left, right in pairs:
+            key = (left.name, right.name)
+            if key not in self.values and key not in seen:
+                missing.append((left, right))
+                seen.add(key)
+        if not missing:
+            return
+        batch_probe = getattr(self._synopses, "estimated_join_cardinalities", None)
+        if batch_probe is not None:
+            cardinalities = batch_probe(missing)
+        else:
+            cardinalities = [
+                self._synopses.estimated_join_cardinality(left, right)
+                if len(left) and len(right) else 0.0
+                for left, right in missing
+            ]
+        for (left, right), cardinality in zip(missing, cardinalities):
+            self.values[(left.name, right.name)] = _clamped_selectivity(
+                cardinality, left, right)
+
+    def get(self, left: SpatialRelation, right: SpatialRelation) -> float:
+        """The cached selectivity, probing (scalar) when not yet ensured."""
+        key = (left.name, right.name)
+        if key not in self.values:
+            self.ensure([(left, right)])
+        return self.values[key]
+
+
 class Optimizer:
     """Plans and executes spatial join queries using sketch-based estimates."""
 
@@ -80,7 +140,7 @@ class Optimizer:
         if len(left) == 0 or len(right) == 0:
             return 0.0
         cardinality = self._synopses.estimated_join_cardinality(left, right)
-        return float(min(1.0, max(0.0, cardinality / (len(left) * len(right)))))
+        return _clamped_selectivity(cardinality, left, right)
 
     # -- operator choice ------------------------------------------------------------------
 
@@ -104,27 +164,38 @@ class Optimizer:
     # -- planning -----------------------------------------------------------------------------
 
     def plan_join(self, query: JoinQuery) -> JoinPlan:
-        """The cheapest left-deep plan for the query under estimated costs."""
+        """The cheapest left-deep plan for the query under estimated costs.
+
+        Pair selectivities are fetched through batched cardinality probes
+        (:class:`_PairSelectivityCache`): exhaustive enumeration pulls all
+        ordered pairs in one probe, the greedy path one probe per greedy
+        round — never one scalar estimate call per (order, step) visit.
+        """
         relations = [self._catalog.get(name) for name in query.relations]
+        cache = _PairSelectivityCache(self._synopses)
         if len(relations) > self._ENUMERATION_LIMIT:
-            orders = [tuple(r.name for r in self._greedy_order(relations))]
+            orders = [tuple(r.name for r in self._greedy_order(relations, cache))]
         else:
+            cache.ensure((left, right) for left in relations
+                         for right in relations if left.name != right.name)
             orders = [tuple(r.name for r in perm)
                       for perm in itertools.permutations(relations)]
         best_plan: JoinPlan | None = None
         for order in orders:
-            plan = self._cost_order(order)
+            plan = self._cost_order(order, cache)
             if best_plan is None or plan.estimated_cost < best_plan.estimated_cost:
                 best_plan = plan
         assert best_plan is not None
         return best_plan
 
-    def _greedy_order(self, relations: list[SpatialRelation]) -> list[SpatialRelation]:
+    def _greedy_order(self, relations: list[SpatialRelation],
+                      cache: _PairSelectivityCache) -> list[SpatialRelation]:
         """Greedy order: start from the most selective pair, then smallest blow-up."""
+        cache.ensure(itertools.combinations(relations, 2))
         best_pair = None
         best_value = None
         for left, right in itertools.combinations(relations, 2):
-            value = self.estimated_pair_selectivity(left, right) * len(left) * len(right)
+            value = cache.get(left, right) * len(left) * len(right)
             if best_value is None or value < best_value:
                 best_value = value
                 best_pair = (left, right)
@@ -132,10 +203,13 @@ class Optimizer:
         order = list(best_pair)
         remaining = [r for r in relations if r not in order]
         while remaining:
+            cache.ensure((placed, candidate)
+                         for candidate in remaining for placed in order)
+
             def blow_up(candidate: SpatialRelation) -> float:
                 selectivity = 1.0
                 for placed in order:
-                    selectivity *= self.estimated_pair_selectivity(placed, candidate)
+                    selectivity *= cache.get(placed, candidate)
                 return selectivity * len(candidate)
 
             next_relation = min(remaining, key=blow_up)
@@ -143,15 +217,21 @@ class Optimizer:
             remaining.remove(next_relation)
         return order
 
-    def _cost_order(self, order: tuple[str, ...]) -> JoinPlan:
+    def _cost_order(self, order: tuple[str, ...],
+                    cache: _PairSelectivityCache | None = None) -> JoinPlan:
+        if cache is None:
+            cache = _PairSelectivityCache(self._synopses)
         plan = JoinPlan(order=order)
         relations = [self._catalog.get(name) for name in order]
+        cache.ensure((relations[earlier], relations[later])
+                     for later in range(1, len(relations))
+                     for earlier in range(later))
         intermediate_cardinality = float(len(relations[0]))
         for step_index in range(1, len(relations)):
             next_relation = relations[step_index]
             selectivity = 1.0
             for placed in relations[:step_index]:
-                selectivity *= self.estimated_pair_selectivity(placed, next_relation)
+                selectivity *= cache.get(placed, next_relation)
             estimated_output = intermediate_cardinality * len(next_relation) * selectivity
             operator, cost = self.choose_operator(
                 intermediate_cardinality, len(next_relation), estimated_output,

@@ -16,9 +16,14 @@ the data (the service shards), combined at query time (merged views).
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.boosting import median_of_means_batch, split_instances
 from repro.core.domain import Domain
+from repro.core.hashing import stable_seed_offset as pair_seed_offset
 from repro.engine.relation import SpatialRelation
-from repro.engine.synopses import pair_seed_offset
 from repro.errors import EngineError
 from repro.geometry.boxset import BoxSet
 from repro.geometry.rectangle import Rect
@@ -144,6 +149,41 @@ class ServiceSynopses:
         name = self.join_sketch_name(left, right)
         return max(0.0, self._service.estimate(name).estimate)
 
+    def estimated_join_cardinalities(
+            self, pairs: Sequence[tuple[SpatialRelation, SpatialRelation]]
+    ) -> list[float]:
+        """Batched probe across many relation pairs (one median per batch).
+
+        Mirrors :meth:`SynopsisManager.estimated_join_cardinalities`: the
+        merged shard views of every live pair (served from the service's
+        LRU cache) contribute one per-instance Z vector; the stacked matrix
+        is boosted with a single
+        :func:`~repro.core.boosting.median_of_means_batch` reduction.
+        Bit-identical to per-pair :meth:`estimated_join_cardinality` calls.
+        """
+        results: list[float] = [0.0] * len(pairs)
+        live = [index for index, (left, right) in enumerate(pairs)
+                if len(left) and len(right)]
+        if not live:
+            return results
+        views = [self._service.merged_view(self.join_sketch_name(*pairs[index]))
+                 for index in live]
+        # Adopted (snapshot-restored) names may carry a different instance
+        # count than this bridge's default; batch per instance-count group so
+        # the stacked matrices stay rectangular.
+        by_instances: dict[int, list[int]] = {}
+        for position, view in enumerate(views):
+            by_instances.setdefault(view.num_instances, []).append(position)
+        for num_instances, positions in by_instances.items():
+            matrix = np.stack([views[position].instance_values()
+                               for position in positions])
+            estimates, _ = median_of_means_batch(
+                matrix, split_instances(num_instances))
+            for row, position in enumerate(positions):
+                results[live[position]] = max(0.0, float(estimates[row]))
+        self._service.record_estimates(len(live))
+        return results
+
     # -- range sketches -----------------------------------------------------------
 
     def range_sketch_name(self, relation: SpatialRelation) -> str:
@@ -169,3 +209,13 @@ class ServiceSynopses:
             return 0.0
         name = self.range_sketch_name(relation)
         return max(0.0, self._service.estimate(name, query).estimate)
+
+    def estimated_range_cardinalities(self, relation: SpatialRelation,
+                                      queries: Sequence[Rect | BoxSet]
+                                      ) -> list[float]:
+        """Batched range probes through the service's vectorised batch path."""
+        if len(relation) == 0:
+            return [0.0] * len(queries)
+        name = self.range_sketch_name(relation)
+        return [max(0.0, result.estimate)
+                for result in self._service.estimate_batch(name, queries)]

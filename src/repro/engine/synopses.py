@@ -16,10 +16,13 @@ Estimated selectivities are what the optimizer consumes.
 
 from __future__ import annotations
 
-import zlib
-from typing import Literal
+from typing import Literal, Sequence
 
+import numpy as np
+
+from repro.core.boosting import median_of_means_batch, split_instances
 from repro.core.domain import Domain
+from repro.core.hashing import stable_seed_offset
 from repro.core.join_hyperrect import SpatialJoinEstimator
 from repro.core.range_query import RangeQueryEstimator
 from repro.engine.relation import SpatialRelation
@@ -30,13 +33,13 @@ from repro.histograms.geometric import GeometricHistogram
 
 
 def pair_seed_offset(names: tuple[str, ...]) -> int:
-    """A deterministic per-name-tuple seed offset for synopsis sketches.
+    """Deterministic per-name-tuple seed offset (see :func:`stable_seed_offset`).
 
-    Unlike ``hash()``, which is salted per process (PYTHONHASHSEED), this is
-    stable across runs — essential once sketches outlive the process via
-    service snapshots, where a seed decides merge compatibility.
+    Kept as an engine-level alias of the reusable
+    :func:`repro.core.hashing.stable_seed_offset` helper, which is where the
+    process-independent hashing now lives.
     """
-    return zlib.crc32("::".join(names).encode("utf-8")) % 100_000
+    return stable_seed_offset(names)
 
 
 class _JoinSketchListener:
@@ -117,6 +120,34 @@ class SynopsisManager:
         if len(left) == 0 or len(right) == 0:
             return 0.0
         return max(0.0, self.join_sketch(left, right).estimate().estimate)
+
+    def estimated_join_cardinalities(
+            self, pairs: Sequence[tuple[SpatialRelation, SpatialRelation]]
+    ) -> list[float]:
+        """Batched join-cardinality probe for many relation pairs at once.
+
+        All pair sketches of one manager share ``num_instances``, so their
+        per-instance Z vectors stack into one ``(num_pairs, num_instances)``
+        matrix and the whole probe needs a single median-of-means reduction
+        (:func:`~repro.core.boosting.median_of_means_batch`) — this is what
+        lets the optimizer cost a plan space with one batched probe instead
+        of O(pairs) scalar estimate calls.  Results are bit-identical to
+        per-pair :meth:`estimated_join_cardinality` calls.
+        """
+        results: list[float] = [0.0] * len(pairs)
+        live: list[int] = [
+            index for index, (left, right) in enumerate(pairs)
+            if len(left) and len(right)
+        ]
+        if not live:
+            return results
+        estimators = [self.join_sketch(*pairs[index]) for index in live]
+        matrix = np.stack([estimator.instance_values() for estimator in estimators])
+        estimates, _ = median_of_means_batch(
+            matrix, split_instances(self._num_instances))
+        for position, index in enumerate(live):
+            results[index] = max(0.0, float(estimates[position]))
+        return results
 
     # -- range sketches ------------------------------------------------------------------
 

@@ -13,7 +13,9 @@ package turns that property into a serving layer:
   thread-parallel ingestion through the vectorised sketch updates,
 * :class:`~repro.service.service.EstimationService` — the
   register/ingest/estimate/snapshot front-end with an LRU cache of merged
-  query views,
+  query views and a batched ``estimate_batch`` query path,
+* :mod:`~repro.service.parallel` — process-parallel batch evaluation over
+  snapshot-restored workers (thread fallback included),
 * :mod:`~repro.service.snapshot` — JSON checkpoint/restore built on
   ``state_dict``/``load_state_dict``,
 * :class:`~repro.service.driver.StreamDriver` — feeds
@@ -27,9 +29,11 @@ from repro.service.specs import (
     apply_update,
     family_info,
     run_estimate,
+    run_estimate_batch,
 )
 from repro.service.store import ShardedSketchStore, partition_boxes, shard_ids
 from repro.service.ingest import FlushReport, IngestPipeline, IngestStats
+from repro.service.parallel import estimate_batch_parallel
 from repro.service.service import EstimationService, ServiceStats
 from repro.service.snapshot import (
     SNAPSHOT_FORMAT,
@@ -39,7 +43,13 @@ from repro.service.snapshot import (
     save_snapshot,
     service_snapshot,
 )
-from repro.service.driver import DriveReport, StreamDriver, drive_stream, synthetic_boxes
+from repro.service.driver import (
+    DriveReport,
+    StreamDriver,
+    drive_stream,
+    synthetic_boxes,
+    synthetic_queries,
+)
 
 __all__ = [
     "FAMILIES",
@@ -48,6 +58,8 @@ __all__ = [
     "family_info",
     "apply_update",
     "run_estimate",
+    "run_estimate_batch",
+    "estimate_batch_parallel",
     "ShardedSketchStore",
     "shard_ids",
     "partition_boxes",
@@ -66,4 +78,5 @@ __all__ = [
     "DriveReport",
     "drive_stream",
     "synthetic_boxes",
+    "synthetic_queries",
 ]

@@ -57,6 +57,18 @@ def synthetic_boxes(domain: Domain, count: int, *, seed: int = 0,
     return BoxSet(lows, highs, validate=False)
 
 
+def synthetic_queries(domain: Domain, count: int, *, seed: int = 0,
+                      max_extent_fraction: float = 0.25) -> BoxSet:
+    """Uniform random query rectangles for batch-estimation workloads.
+
+    A thin alias of :func:`synthetic_boxes` under a query-shaped name: the
+    batched estimation benchmarks and the CLI's ``--batch-file`` tooling
+    want reproducible query batches, and a query rectangle is just a box.
+    """
+    return synthetic_boxes(domain, count, seed=seed,
+                           max_extent_fraction=max_extent_fraction)
+
+
 class StreamDriver:
     """Replays an update stream into one side of a service estimator."""
 

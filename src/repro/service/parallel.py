@@ -1,0 +1,156 @@
+"""Process-parallel batched estimation over snapshot-restored workers.
+
+Answering a large query batch is embarrassingly parallel: every query's
+per-instance values depend only on the (immutable) merged-view counters,
+so the batch can be split into sub-batches and evaluated on separate
+workers.  Because estimators rebuild deterministically from their
+``EstimatorSpec`` plus a ``state_dict`` snapshot — the exact machinery the
+service's persistence layer uses — a worker *process* can reconstruct a
+bit-identical copy of the merged view and answer its sub-batch without
+sharing any memory with the parent.
+
+:func:`estimate_batch_parallel` implements that plan with a
+``ProcessPoolExecutor`` whose workers restore the view from its snapshot
+**once, at pool start-up** (the executor's ``initializer``); the per-task
+payload is just the sub-batch coordinates.  Whenever a process pool is
+unavailable — sandboxed environments, pickling limits, or interpreter
+shutdown — the same sub-batches run on a thread pool over the in-process
+view instead.  Results are bit-identical across the serial, threaded and
+process paths.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+import numpy as np
+
+from repro.core.result import EstimateResult
+from repro.geometry.boxset import BoxSet
+from repro.service.specs import (
+    EstimatorSpec,
+    normalise_query_batch,
+    run_estimate_batch,
+)
+
+#: Per-worker-process restored view, set by the pool initializer:
+#: ``(cache_key, spec, estimator)``.  Pools live for one batch, so a worker
+#: only ever holds the single view it was initialised with; the key guards
+#: against a task ever being paired with the wrong view.
+_WORKER_VIEW: tuple[tuple, EstimatorSpec, Any] | None = None
+
+
+def _chunk_bounds(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``chunks`` contiguous spans."""
+    chunks = max(1, min(chunks, total))
+    base, extra = divmod(total, chunks)
+    bounds = []
+    start = 0
+    for index in range(chunks):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _worker_init(cache_key: tuple, spec_state: dict, view_state: dict) -> None:
+    """Pool initializer: restore the merged view once per worker process."""
+    global _WORKER_VIEW
+    spec = EstimatorSpec.from_dict(spec_state)
+    view = spec.build()
+    view.load_state_dict(view_state)
+    _WORKER_VIEW = (cache_key, spec, view)
+
+
+def _worker_estimate(cache_key: tuple, lows, highs) -> list[EstimateResult]:
+    """Executed inside a worker process: answer one sub-batch from the view."""
+    if _WORKER_VIEW is None or _WORKER_VIEW[0] != cache_key:
+        # pragma: no cover - the initializer always ran for this pool
+        raise RuntimeError("worker has no restored view for this batch")
+    _, spec, view = _WORKER_VIEW
+    boxes = BoxSet(np.asarray(lows, dtype=np.int64),
+                   np.asarray(highs, dtype=np.int64), validate=False)
+    return run_estimate_batch(spec, view, boxes)
+
+
+def estimate_batch_parallel(spec: EstimatorSpec, view: Any, queries, *,
+                            workers: int | None = None,
+                            cache_key: tuple = ()) -> list[EstimateResult]:
+    """Answer a query batch from a merged view, optionally fanned out.
+
+    Parameters
+    ----------
+    spec / view:
+        The estimator specification and the merged (all-shard) view to
+        answer from.  The view is never mutated.
+    queries:
+        A :class:`BoxSet` / sequence of rectangles (queryable families) or
+        a count / sequence of ``None`` (query-less families).
+    workers:
+        ``None``, ``0`` or ``1`` answers serially in-process (the default —
+        the vectorised batch kernel is already fast); ``>= 2`` splits the
+        batch into that many sub-batches and fans them out to a process
+        pool, falling back to threads when no pool can be created.
+    cache_key:
+        Identifies the view across calls (name + store version); worker
+        processes key their restored estimator by it, so a mislabelled key
+        would answer from a stale view.  Callers must derive it atomically
+        with the view.
+    """
+    normalised = normalise_query_batch(spec, queries)
+    if isinstance(normalised, int):
+        # Query-less families: the batch is one shared reduction regardless
+        # of size, so there is nothing to fan out.
+        return run_estimate_batch(spec, view, normalised)
+    total = len(normalised)
+    if total == 0:
+        return []
+    if workers is None or workers <= 1 or total < 2:
+        return run_estimate_batch(spec, view, normalised)
+
+    bounds = _chunk_bounds(total, workers)
+    results = _try_process_pool(spec, view, normalised, bounds, cache_key)
+    if results is None:
+        results = _thread_pool(spec, view, normalised, bounds)
+    return results
+
+
+def _try_process_pool(spec: EstimatorSpec, view: Any, boxes: BoxSet,
+                      bounds: list[tuple[int, int]], cache_key: tuple
+                      ) -> list[EstimateResult] | None:
+    """Fan sub-batches out to worker processes; ``None`` if no pool works."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # pragma: no cover - always available on CPython
+        return None
+    try:
+        with ProcessPoolExecutor(
+                max_workers=len(bounds), initializer=_worker_init,
+                initargs=(cache_key, spec.to_dict(), view.state_dict())) as pool:
+            futures = [
+                pool.submit(_worker_estimate, cache_key,
+                            boxes.lows[start:stop], boxes.highs[start:stop])
+                for start, stop in bounds
+            ]
+            chunks = [future.result() for future in futures]
+    except (OSError, PermissionError, BrokenProcessPool, RuntimeError,
+            ImportError):
+        # No usable process pool (sandbox, shutdown, pickling limits):
+        # the caller falls back to threads over the in-process view.
+        return None
+    return [result for chunk in chunks for result in chunk]
+
+
+def _thread_pool(spec: EstimatorSpec, view: Any, boxes: BoxSet,
+                 bounds: list[tuple[int, int]]) -> list[EstimateResult]:
+    """Thread fallback: sub-batches on the shared view (NumPy drops the GIL)."""
+    def answer(span: tuple[int, int]) -> list[EstimateResult]:
+        start, stop = span
+        return run_estimate_batch(spec, view, boxes[start:stop])
+
+    with ThreadPoolExecutor(max_workers=len(bounds),
+                            thread_name_prefix="sketch-estimate") as pool:
+        chunks = list(pool.map(answer, bounds))
+    return [result for chunk in chunks for result in chunk]

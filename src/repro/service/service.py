@@ -9,6 +9,10 @@ pipeline together behind four verbs:
 * ``estimate(name, query=None)`` — answer from a *merged view* combining
   every shard, with an LRU cache of views that is invalidated when a flush
   touches the underlying name,
+* ``estimate_batch(name, queries, workers=...)`` — answer a whole query
+  batch from one cached merged view through the estimators' vectorised
+  batch kernels, optionally fanning sub-batches out to snapshot-restored
+  worker processes (:mod:`repro.service.parallel`),
 * ``snapshot()`` / ``restore()`` — checkpoint the whole service (specs plus
   every shard's counters) to a JSON-serialisable dict and back.
 
@@ -197,6 +201,17 @@ class EstimationService:
         The returned estimator is a snapshot: it is never mutated by later
         ingestion, so callers may estimate from it without holding locks.
         """
+        return self._merged_view_entry(name)[0]
+
+    def _merged_view_entry(self, name: str) -> tuple[Any, int]:
+        """``(merged view, store version at build time)`` — read atomically.
+
+        The version is captured under the same lock acquisition that
+        resolves the view, so the pair is always consistent even when a
+        concurrent flush bumps the version; a stale-view/new-version mix
+        would mislabel the snapshot shipped to the worker processes of
+        :mod:`repro.service.parallel`.
+        """
         with self._lock:
             if self._pipeline.pending:
                 self.flush()
@@ -205,7 +220,7 @@ class EstimationService:
             if entry is not None and entry[0] == version:
                 self._views.move_to_end(name)
                 self._stats.cache_hits += 1
-                return entry[1]
+                return entry[1], version
             self._stats.cache_misses += 1
             view = self._store.merge_view(name)
             if self._cache_size:
@@ -213,7 +228,7 @@ class EstimationService:
                 self._views.move_to_end(name)
                 while len(self._views) > self._cache_size:
                     self._views.popitem(last=False)
-        return view
+        return view, version
 
     def estimate(self, name: str, query: Rect | BoxSet | None = None
                  ) -> EstimateResult:
@@ -222,6 +237,43 @@ class EstimationService:
         with self._lock:
             self._stats.estimates += 1
         return run_estimate(self._store.spec(name), view, query)
+
+    def estimate_batch(self, name: str, queries, *,
+                       workers: int | None = None) -> list[EstimateResult]:
+        """Boosted estimates for a whole query batch from one merged view.
+
+        ``queries`` is a :class:`BoxSet`/sequence of rectangles for
+        queryable families, or an integer count / sequence of ``None`` for
+        query-less ones.  The merged view comes from the same LRU cache the
+        scalar path uses; the batch itself is answered by the estimators'
+        vectorised ``estimate_batch`` kernels, and result ``j`` is
+        bit-identical to ``estimate(name, queries[j])``.
+
+        ``workers >= 2`` fans sub-batches out to a ``ProcessPoolExecutor``
+        whose workers rebuild the merged view from its snapshot
+        (``state_dict``), falling back to a thread pool over the in-process
+        view when no process pool is available (see
+        :mod:`repro.service.parallel`).
+        """
+        from repro.service.parallel import estimate_batch_parallel
+
+        view, version = self._merged_view_entry(name)
+        results = estimate_batch_parallel(
+            self._store.spec(name), view, queries, workers=workers,
+            cache_key=(name, version))
+        with self._lock:
+            self._stats.estimates += len(results)
+        return results
+
+    def record_estimates(self, count: int = 1) -> None:
+        """Count estimates computed outside :meth:`estimate` in the stats.
+
+        Callers that answer from a merged view directly (e.g. the engine's
+        batched cardinality probes) use this so ``stats.estimates`` keeps
+        reflecting total query traffic.
+        """
+        with self._lock:
+            self._stats.estimates += count
 
     def estimate_cardinality(self, name: str,
                              query: Rect | BoxSet | None = None) -> float:

@@ -356,3 +356,63 @@ def run_estimate(spec: EstimatorSpec, estimator: Any,
     if query is not None:
         raise ServiceError(f"family {spec.family!r} does not take a query argument")
     return estimator.estimate()
+
+
+def normalise_query_batch(spec: EstimatorSpec, queries) -> BoxSet | int:
+    """A batch request as one :class:`BoxSet` (queryable) or a result count.
+
+    This is the single service-level normaliser for batch requests: the
+    serial, threaded and process-parallel paths all reduce their input to
+    the same shape here, so every path validates identically.
+    """
+    if spec.info.queryable:
+        if queries is None or isinstance(queries, (int, np.integer)):
+            raise ServiceError(
+                f"family {spec.family!r} batch estimates need query rectangles"
+            )
+        if isinstance(queries, Rect):
+            return BoxSet.from_rects([queries])
+        if isinstance(queries, BoxSet):
+            return queries
+        rects = []
+        for query in queries:
+            if query is None:
+                raise ServiceError(
+                    f"family {spec.family!r} estimates need a query rectangle"
+                )
+            if isinstance(query, BoxSet):
+                if len(query) != 1:
+                    raise ServiceError(
+                        "each query of a batch must be exactly one rectangle")
+                rects.extend(query.to_rects())
+            else:
+                rects.append(query)
+        if not rects:
+            return BoxSet(np.empty((0, spec.dimension), dtype=np.int64),
+                          np.empty((0, spec.dimension), dtype=np.int64),
+                          validate=False)
+        return BoxSet.from_rects(rects)
+    if queries is None:
+        raise ServiceError("a batch estimate needs a query list or a count")
+    if isinstance(queries, (int, np.integer)):
+        return int(queries)
+    entries = list(queries)
+    if any(entry is not None for entry in entries):
+        raise ServiceError(
+            f"family {spec.family!r} does not take a query argument; batch "
+            f"entries must all be None"
+        )
+    return len(entries)
+
+
+def run_estimate_batch(spec: EstimatorSpec, estimator: Any,
+                       queries) -> list[EstimateResult]:
+    """Batched :func:`run_estimate`: one result per requested query.
+
+    For queryable families ``queries`` is a :class:`BoxSet` (one row per
+    query) or a sequence of rectangles, answered through the estimator's
+    vectorised ``estimate_batch`` kernel.  For query-less families it is an
+    integer count or a sequence of ``None`` placeholders.  Every result is
+    bit-identical to the corresponding scalar :func:`run_estimate` call.
+    """
+    return estimator.estimate_batch(normalise_query_batch(spec, queries))

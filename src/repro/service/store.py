@@ -18,13 +18,18 @@ sketch a valid linear summary of its partition.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import Any, Mapping
 
 import numpy as np
 
 from repro.errors import ServiceError
 from repro.geometry.boxset import BoxSet
-from repro.service.specs import EstimatorSpec, apply_update, run_estimate
+from repro.service.specs import (
+    EstimatorSpec,
+    apply_update,
+    run_estimate,
+    run_estimate_batch,
+)
 
 _FNV_OFFSET = np.uint64(0xCBF29CE484222325)
 _MIX_A = np.uint64(0x9E3779B97F4A7C15)
@@ -196,6 +201,10 @@ class ShardedSketchStore:
     def estimate(self, name: str, query=None):
         """Convenience: estimate from a freshly merged view (no caching)."""
         return run_estimate(self.spec(name), self.merge_view(name), query)
+
+    def estimate_batch(self, name: str, queries):
+        """Convenience: batched estimates from a freshly merged view."""
+        return run_estimate_batch(self.spec(name), self.merge_view(name), queries)
 
     # -- persistence ----------------------------------------------------------------
 

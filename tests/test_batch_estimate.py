@@ -1,0 +1,400 @@
+"""Tests for the batched estimation engine.
+
+Covers the vectorised kernels layer by layer: batched median-of-means
+boosting, batched query-side sketch evaluation, ``estimate_batch`` on the
+estimator families, the service front-end (serial, process-pool and
+thread-fallback paths), the optimizer's batched cardinality probes and the
+CLI's JSON-lines batch mode.  The recurring claim is *bit-identity*: the
+batch path must return exactly what a loop of scalar calls returns.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.atomic import Letter, all_words
+from repro.core.boosting import (
+    BoostingPlan,
+    median_of_means,
+    median_of_means_batch,
+    split_instances,
+)
+from repro.core.join_base import batch_request_count
+from repro.core.range_query import RangeQueryEstimator
+from repro.core.join_hyperrect import SpatialJoinEstimator
+from repro.errors import EstimationError, ServiceError, SketchConfigError
+from repro.service import EstimationService
+from repro.service.parallel import _chunk_bounds, estimate_batch_parallel
+
+from tests.conftest import random_boxes
+
+
+class TestMedianOfMeansBatch:
+    def test_bit_identical_to_scalar_rows(self, rng):
+        matrix = rng.normal(size=(17, 45)) * 1000
+        estimates, group_means = median_of_means_batch(matrix)
+        for row in range(matrix.shape[0]):
+            scalar_estimate, scalar_means = median_of_means(matrix[row])
+            assert scalar_estimate == estimates[row]
+            assert np.array_equal(scalar_means, group_means[row])
+
+    def test_explicit_plan_and_unused_instances(self, rng):
+        matrix = rng.normal(size=(5, 12))
+        plan = BoostingPlan(group_size=3, num_groups=3)  # uses 9 of 12
+        estimates, group_means = median_of_means_batch(matrix, plan)
+        assert group_means.shape == (5, 3)
+        for row in range(5):
+            scalar_estimate, _ = median_of_means(matrix[row], plan)
+            assert scalar_estimate == estimates[row]
+
+    def test_empty_batch(self):
+        estimates, group_means = median_of_means_batch(
+            np.empty((0, 8)), split_instances(8))
+        assert estimates.shape == (0,)
+        assert group_means.shape[0] == 0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(SketchConfigError):
+            median_of_means_batch(np.zeros(5))
+        with pytest.raises(SketchConfigError):
+            median_of_means_batch(np.zeros((3, 0)))
+        with pytest.raises(SketchConfigError):
+            median_of_means_batch(np.zeros((3, 4)),
+                                  BoostingPlan(group_size=5, num_groups=1))
+
+
+class TestEvaluateMany:
+    def test_columns_match_scalar_evaluate(self, rng, domain_2d):
+        from repro.core.atomic import SketchBank
+
+        words = all_words([Letter.INTERVAL, Letter.UPPER_POINT], 2)
+        bank = SketchBank(domain_2d, words, 8, seed=3)
+        boxes = random_boxes(rng, 25, 256, 2)
+        products = bank.evaluate_many(words, boxes)
+        for word in words:
+            assert products[word].shape == (8, 25)
+            for j in range(25):
+                assert np.array_equal(products[word][:, j],
+                                      bank.evaluate(word, boxes[j]))
+
+    def test_empty_batch(self, domain_2d):
+        from repro.core.atomic import SketchBank
+
+        words = all_words([Letter.INTERVAL, Letter.UPPER_POINT], 2)
+        bank = SketchBank(domain_2d, words, 4, seed=1)
+        empty = random_boxes(np.random.default_rng(0), 3, 256, 2)[0:0]
+        products = bank.evaluate_many(words, empty)
+        assert all(matrix.shape == (4, 0) for matrix in products.values())
+
+
+class TestRangeEstimateBatch:
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_bit_identical_to_scalar_loop(self, rng, domain_2d, strict):
+        estimator = RangeQueryEstimator(domain_2d, 16, seed=5, strict=strict)
+        estimator.insert(random_boxes(rng, 200, 256, 2))
+        estimator.delete(random_boxes(rng, 40, 256, 2))
+        queries = random_boxes(rng, 30, 256, 2)
+        batch = estimator.estimate_batch(queries)
+        assert len(batch) == 30
+        for j in range(30):
+            scalar = estimator.estimate(queries[j])
+            assert scalar.estimate == batch[j].estimate
+            assert np.array_equal(scalar.instance_values, batch[j].instance_values)
+            assert np.array_equal(scalar.group_means, batch[j].group_means)
+            assert scalar.left_count == batch[j].left_count
+
+    def test_chunked_batches_are_identical(self, rng, domain_2d, monkeypatch):
+        estimator = RangeQueryEstimator(domain_2d, 8, seed=2)
+        estimator.insert(random_boxes(rng, 100, 256, 2))
+        queries = random_boxes(rng, 23, 256, 2)
+        whole = estimator.estimate_batch(queries)
+        monkeypatch.setattr(RangeQueryEstimator, "_BATCH_CHUNK", 7)
+        chunked = estimator.estimate_batch(queries)
+        assert [r.estimate for r in whole] == [r.estimate for r in chunked]
+
+    def test_accepts_rect_sequences_and_single_query(self, rng, domain_2d):
+        estimator = RangeQueryEstimator(domain_2d, 8, seed=2)
+        estimator.insert(random_boxes(rng, 50, 256, 2))
+        queries = random_boxes(rng, 4, 256, 2)
+        as_rects = estimator.estimate_batch(queries.to_rects())
+        as_boxes = estimator.estimate_batch(queries)
+        assert [r.estimate for r in as_rects] == [r.estimate for r in as_boxes]
+        single = estimator.estimate_batch(queries.rect(0))
+        assert single[0].estimate == as_boxes[0].estimate
+
+    def test_empty_and_no_data(self, rng, domain_2d):
+        estimator = RangeQueryEstimator(domain_2d, 8, seed=2)
+        assert estimator.estimate_batch([]) == []
+        with pytest.raises(EstimationError):
+            estimator.estimate_batch(random_boxes(rng, 2, 256, 2))
+
+
+class TestJoinEstimateBatch:
+    def test_count_and_none_sequences(self, rng, domain_2d):
+        estimator = SpatialJoinEstimator(domain_2d, 16, seed=3)
+        estimator.insert_left(random_boxes(rng, 50, 256, 2))
+        estimator.insert_right(random_boxes(rng, 50, 256, 2))
+        scalar = estimator.estimate()
+        for batch in (estimator.estimate_batch(4),
+                      estimator.estimate_batch([None] * 4)):
+            assert len(batch) == 4
+            assert all(result.estimate == scalar.estimate for result in batch)
+            # Results own their arrays: mutating one must not leak into
+            # the others (matches the scalar-loop contract).
+            assert batch[0].instance_values is not batch[1].instance_values
+            batch[0].instance_values[0] += 1.0
+            assert batch[1].instance_values[0] == scalar.instance_values[0]
+        assert estimator.estimate_batch(0) == []
+        assert estimator.estimate_batch() == []
+
+    def test_rejects_query_entries(self, rng, domain_2d):
+        estimator = SpatialJoinEstimator(domain_2d, 8, seed=3)
+        estimator.insert_left(random_boxes(rng, 10, 256, 2))
+        with pytest.raises(SketchConfigError):
+            estimator.estimate_batch([None, random_boxes(rng, 1, 256, 2)])
+        with pytest.raises(SketchConfigError):
+            estimator.estimate_batch(-1)
+
+    def test_batch_request_count(self):
+        assert batch_request_count(3) == 3
+        assert batch_request_count([None, None]) == 2
+        with pytest.raises(SketchConfigError):
+            batch_request_count(["x"])
+
+
+class TestServiceEstimateBatch:
+    @staticmethod
+    def _range_service(rng, **kwargs):
+        kwargs.setdefault("num_shards", 3)
+        service = EstimationService(**kwargs)
+        service.register("ranges", family="range", domain=(256, 256),
+                         num_instances=16, seed=9)
+        service.insert("ranges", random_boxes(rng, 300, 256, 2), side="data")
+        service.delete("ranges", random_boxes(rng, 50, 256, 2), side="data")
+        return service
+
+    def test_serial_matches_scalar(self, rng):
+        service = self._range_service(rng)
+        queries = random_boxes(rng, 20, 256, 2)
+        batch = service.estimate_batch("ranges", queries)
+        for j in range(20):
+            scalar = service.estimate("ranges", queries[j])
+            assert scalar.estimate == batch[j].estimate
+            assert np.array_equal(scalar.instance_values, batch[j].instance_values)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_parallel_matches_serial(self, rng, workers):
+        service = self._range_service(rng)
+        queries = random_boxes(rng, 17, 256, 2)
+        serial = service.estimate_batch("ranges", queries)
+        parallel = service.estimate_batch("ranges", queries, workers=workers)
+        assert [r.estimate for r in parallel] == [r.estimate for r in serial]
+        assert all(np.array_equal(a.instance_values, b.instance_values)
+                   for a, b in zip(parallel, serial))
+
+    def test_thread_fallback_matches_serial(self, rng, monkeypatch):
+        import repro.service.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "_try_process_pool",
+                            lambda *args, **kwargs: None)
+        service = self._range_service(rng)
+        queries = random_boxes(rng, 11, 256, 2)
+        serial = service.estimate_batch("ranges", queries)
+        threaded = service.estimate_batch("ranges", queries, workers=4)
+        assert [r.estimate for r in threaded] == [r.estimate for r in serial]
+
+    def test_queryless_families_and_counts(self, rng):
+        service = EstimationService(num_shards=2)
+        service.register("join", family="rectangle", domain=(256, 256),
+                         num_instances=16, seed=5)
+        service.insert("join", random_boxes(rng, 60, 256, 2), side="left")
+        service.insert("join", random_boxes(rng, 60, 256, 2), side="right")
+        scalar = service.estimate("join")
+        batch = service.estimate_batch("join", [None] * 5)
+        assert len(batch) == 5
+        assert all(result.estimate == scalar.estimate for result in batch)
+        assert len(service.estimate_batch("join", 3)) == 3
+        with pytest.raises(ServiceError):
+            service.estimate_batch("join", random_boxes(rng, 2, 256, 2))
+
+    def test_batch_counts_in_stats_and_uses_cache(self, rng):
+        service = self._range_service(rng, flush_threshold=None)
+        queries = random_boxes(rng, 6, 256, 2)
+        service.estimate_batch("ranges", queries)
+        assert service.stats.estimates == 6
+        service.estimate_batch("ranges", queries)
+        assert service.stats.cache_hits >= 1
+
+    def test_store_estimate_batch(self, rng):
+        service = self._range_service(rng)
+        queries = random_boxes(rng, 5, 256, 2)
+        via_service = service.estimate_batch("ranges", queries)  # flushes first
+        via_store = service.store.estimate_batch("ranges", queries)
+        assert [r.estimate for r in via_store] == [r.estimate for r in via_service]
+
+    def test_empty_batch(self, rng):
+        service = self._range_service(rng)
+        assert service.estimate_batch("ranges", []) == []
+
+    def test_parallel_helper_validates(self, rng):
+        service = self._range_service(rng)
+        spec = service.spec("ranges")
+        view = service.merged_view("ranges")
+        with pytest.raises(ServiceError):
+            estimate_batch_parallel(spec, view, [None])
+        with pytest.raises(ServiceError):
+            estimate_batch_parallel(spec, view, 5)
+
+    def test_chunk_bounds(self):
+        assert _chunk_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert _chunk_bounds(2, 8) == [(0, 1), (1, 2)]
+        assert _chunk_bounds(1, 1) == [(0, 1)]
+
+
+class TestOptimizerBatchedProbes:
+    @staticmethod
+    def _catalog(rng, domain):
+        from repro.engine.catalog import Catalog
+
+        catalog = Catalog(domain)
+        for name, count in (("R", 60), ("S", 50), ("T", 40)):
+            catalog.create(name, boxes=random_boxes(rng, count, 256, 2))
+        catalog.create("EMPTY")
+        return catalog
+
+    def test_synopsis_manager_batch_matches_scalar(self, rng, domain_2d):
+        from repro.engine.synopses import SynopsisManager
+
+        catalog = self._catalog(rng, domain_2d)
+        synopses = SynopsisManager(domain_2d, num_instances=16, seed=1)
+        relations = [catalog.get(name) for name in ("R", "S", "T", "EMPTY")]
+        pairs = [(a, b) for a in relations for b in relations if a.name != b.name]
+        batch = synopses.estimated_join_cardinalities(pairs)
+        scalar = [synopses.estimated_join_cardinality(a, b) for a, b in pairs]
+        assert batch == scalar
+        # Pairs with an empty side report zero without probing.
+        for (a, b), value in zip(pairs, batch):
+            if a.name == "EMPTY" or b.name == "EMPTY":
+                assert value == 0.0
+
+    def test_service_synopses_batch_matches_scalar(self, rng, domain_2d):
+        catalog = self._catalog(rng, domain_2d)
+        synopses = catalog.service_synopses(num_instances=16, seed=1)
+        relations = [catalog.get(name) for name in ("R", "S", "T")]
+        pairs = [(a, b) for a in relations for b in relations if a.name != b.name]
+        batch = synopses.estimated_join_cardinalities(pairs)
+        scalar = [synopses.estimated_join_cardinality(a, b) for a, b in pairs]
+        assert batch == scalar
+
+    def test_plan_join_unchanged_by_batching(self, rng, domain_2d):
+        from repro.engine.optimizer import Optimizer
+        from repro.engine.query import JoinQuery
+        from repro.engine.synopses import SynopsisManager
+
+        from repro.engine.optimizer import _PairSelectivityCache
+
+        catalog = self._catalog(rng, domain_2d)
+        synopses = SynopsisManager(domain_2d, num_instances=16, seed=1)
+        optimizer = Optimizer(catalog, synopses)
+        plan = optimizer.plan_join(JoinQuery(relations=("R", "S", "T")))
+        # The cached-selectivity plan must equal a plan costed pair by pair.
+        selectivities = {
+            (a, b): optimizer.estimated_pair_selectivity(catalog.get(a),
+                                                         catalog.get(b))
+            for a in ("R", "S", "T") for b in ("R", "S", "T") if a != b
+        }
+        cache = _PairSelectivityCache(synopses)
+        cache.ensure((catalog.get(a), catalog.get(b))
+                     for a in ("R", "S", "T") for b in ("R", "S", "T") if a != b)
+        assert selectivities == cache.values
+        assert plan.estimated_cost > 0
+
+    def test_fallback_without_batch_api(self, rng, domain_2d):
+        from repro.engine.optimizer import Optimizer
+        from repro.engine.query import JoinQuery
+        from repro.engine.synopses import SynopsisManager
+
+        catalog = self._catalog(rng, domain_2d)
+
+        class ScalarOnly:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def estimated_join_cardinality(self, left, right):
+                return self._inner.estimated_join_cardinality(left, right)
+
+        synopses = SynopsisManager(domain_2d, num_instances=16, seed=1)
+        batched = Optimizer(catalog, synopses).plan_join(
+            JoinQuery(relations=("R", "S", "T")))
+        scalar = Optimizer(catalog, ScalarOnly(synopses)).plan_join(
+            JoinQuery(relations=("R", "S", "T")))
+        assert batched.order == scalar.order
+        assert batched.estimated_cost == scalar.estimated_cost
+
+
+class TestCliBatchFile:
+    def test_jsonl_round_trip(self, rng, tmp_path, capsys):
+        from repro.cli import main
+
+        snapshot = tmp_path / "svc.json"
+        service = EstimationService(num_shards=2)
+        service.register("ranges", family="range", domain=(256, 256),
+                         num_instances=16, seed=4)
+        service.insert("ranges", random_boxes(rng, 150, 256, 2), side="data")
+        service.save(snapshot)
+
+        queries = random_boxes(rng, 5, 256, 2)
+        batch_file = tmp_path / "queries.jsonl"
+        with open(batch_file, "w", encoding="utf-8") as handle:
+            for j in range(len(queries)):
+                row = list(map(int, queries.lows[j])) + list(map(int, queries.highs[j]))
+                handle.write(json.dumps(row) + "\n")
+        out_file = tmp_path / "results.jsonl"
+
+        assert main(["estimate", "--snapshot", str(snapshot), "--name", "ranges",
+                     "--batch-file", str(batch_file),
+                     "--batch-output", str(out_file)]) == 0
+        lines = [json.loads(line) for line in
+                 out_file.read_text(encoding="utf-8").splitlines()]
+        assert [line["index"] for line in lines] == list(range(5))
+        for j, line in enumerate(lines):
+            scalar = service.estimate("ranges", queries[j])
+            assert line["estimate"] == scalar.estimate
+
+    def test_null_lines_for_queryless_families(self, rng, tmp_path, capsys):
+        from repro.cli import main
+
+        snapshot = tmp_path / "svc.json"
+        service = EstimationService(num_shards=2)
+        service.register("join", family="rectangle", domain=(256, 256),
+                         num_instances=16, seed=4)
+        service.insert("join", random_boxes(rng, 40, 256, 2), side="left")
+        service.insert("join", random_boxes(rng, 40, 256, 2), side="right")
+        service.save(snapshot)
+
+        batch_file = tmp_path / "queries.jsonl"
+        batch_file.write_text("null\nnull\n", encoding="utf-8")
+        assert main(["estimate", "--snapshot", str(snapshot), "--name", "join",
+                     "--batch-file", str(batch_file)]) == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["estimate"] == service.estimate("join").estimate
+
+    def test_mixed_batch_rejected(self, rng, tmp_path, capsys):
+        from repro.cli import main
+
+        snapshot = tmp_path / "svc.json"
+        service = EstimationService(num_shards=1)
+        service.register("ranges", family="range", domain=(256, 256),
+                         num_instances=8, seed=4)
+        service.insert("ranges", random_boxes(rng, 20, 256, 2), side="data")
+        service.save(snapshot)
+        batch_file = tmp_path / "queries.jsonl"
+        batch_file.write_text("null\n[0, 0, 5, 5]\n", encoding="utf-8")
+        assert main(["estimate", "--snapshot", str(snapshot), "--name", "ranges",
+                     "--batch-file", str(batch_file)]) == 1
+        assert "error" in capsys.readouterr().err

@@ -3,7 +3,6 @@
 import io
 import json
 
-import pytest
 
 from repro.cli import main, service_command_loop
 from repro.service import EstimationService

@@ -6,8 +6,6 @@ import pytest
 from repro.core.adaptive import candidate_levels, choose_max_level, level_profile
 from repro.core.domain import Domain
 from repro.core.result import EstimateResult
-from repro.core.selfjoin import dataset_self_join_size
-from repro.data import synthetic
 from repro.errors import SketchConfigError
 from repro.geometry.boxset import BoxSet
 

@@ -9,7 +9,7 @@ from repro.errors import DimensionalityError, SketchConfigError
 from repro.geometry.boxset import BoxSet
 
 from tests.conftest import random_boxes
-from tests.helpers import cover_counts, expected_counter_product
+from tests.helpers import expected_counter_product
 
 
 IE_1D = [(Letter.INTERVAL,), (Letter.ENDPOINTS,)]

@@ -1,6 +1,5 @@
 """Tests for the dyadic decomposition (Lemmas 2-4 of the paper)."""
 
-import numpy as np
 import pytest
 
 from repro.core.dyadic import DyadicDomain, DyadicInterval, next_power_of_two

@@ -1,9 +1,19 @@
-"""Tests for the four-wise independent sign families."""
+"""Tests for the four-wise independent sign families and stable seed hashes."""
+
+import os
+import subprocess
+import sys
+import zlib
 
 import numpy as np
 import pytest
 
-from repro.core.hashing import MERSENNE_PRIME, FourWiseFamilyBank
+from repro.core.hashing import (
+    MERSENNE_PRIME,
+    FourWiseFamilyBank,
+    stable_seed_offset,
+    stable_text_hash,
+)
 from repro.errors import SketchConfigError
 
 
@@ -115,3 +125,44 @@ class TestStatisticalProperties:
         sketches = signs @ frequencies
         estimate = float(np.mean(sketches ** 2))
         assert estimate == pytest.approx(truth, rel=0.1)
+
+
+class TestStableSeedHashing:
+    def test_known_values(self):
+        assert stable_text_hash(("R", "S")) == zlib.crc32(b"R::S")
+        assert stable_seed_offset(("R", "S")) == zlib.crc32(b"R::S") % 100_000
+        assert stable_seed_offset(("R", "S")) != stable_seed_offset(("S", "R"))
+        assert stable_seed_offset(("only",)) == zlib.crc32(b"only") % 100_000
+
+    def test_modulus(self):
+        assert 0 <= stable_seed_offset(("a", "b"), modulus=7) < 7
+        with pytest.raises(SketchConfigError):
+            stable_seed_offset(("a",), modulus=0)
+
+    def test_engine_alias_delegates(self):
+        from repro.engine.synopses import pair_seed_offset
+
+        assert pair_seed_offset(("R", "S")) == stable_seed_offset(("R", "S"))
+
+    def test_cross_process_stability(self):
+        """The offset must not depend on per-process hash randomisation.
+
+        A fresh interpreter with a different PYTHONHASHSEED must derive the
+        same seed — the property that keeps snapshot-restored service
+        sketches merge-compatible with sketches built in other processes.
+        """
+        import repro
+
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+        script = ("from repro.core.hashing import stable_seed_offset; "
+                  "print(stable_seed_offset(('R', 'S', 'T')))")
+        values = set()
+        for hash_seed in ("0", "1", "424242"):
+            env["PYTHONHASHSEED"] = hash_seed
+            output = subprocess.run(
+                [sys.executable, "-c", script], env=env, capture_output=True,
+                text=True, check=True).stdout.strip()
+            values.add(int(output))
+        assert values == {stable_seed_offset(("R", "S", "T"))}

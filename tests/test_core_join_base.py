@@ -1,11 +1,9 @@
 """Tests for the shared pair-term machinery behind the join estimators."""
 
-import numpy as np
 import pytest
 
 from repro.core.atomic import Letter
-from repro.core.domain import Domain
-from repro.core.join_base import PairTerm, PairedSketchJoinEstimator, expand_pair_terms
+from repro.core.join_base import PairedSketchJoinEstimator, expand_pair_terms
 from repro.core.join_extended import EXTENDED_OVERLAP_PAIR_TERMS
 from repro.core.join_hyperrect import (
     EXPLICIT_ENDPOINT_PAIR_TERMS,

@@ -8,7 +8,7 @@ from repro.core.domain import Domain
 from repro.core.epsilon_join import EpsilonJoinEstimator
 from repro.core.join_containment import ContainmentJoinEstimator
 from repro.core.range_query import RangeQueryEstimator
-from repro.errors import DomainError, EstimationError, SketchConfigError
+from repro.errors import DomainError, EstimationError
 from repro.exact.containment import containment_join_count
 from repro.exact.epsilon_join import epsilon_join_count
 from repro.exact.range_query import range_query_count

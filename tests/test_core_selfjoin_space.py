@@ -1,6 +1,5 @@
 """Tests for self-join size computation and space accounting."""
 
-import numpy as np
 import pytest
 
 from repro.core import space

@@ -1,9 +1,7 @@
 """Tests for sourcing engine synopses from a running sketch service."""
 
-import numpy as np
 import pytest
 
-from repro.core.domain import Domain
 from repro.data import synthetic
 from repro.engine import Catalog, Optimizer, ServiceSynopses, SynopsisManager
 from repro.engine.cost import CostModel

@@ -6,7 +6,6 @@ join sketch, the query-optimizer workflow and a full small-scale
 """
 
 import numpy as np
-import pytest
 
 from repro.core.domain import Domain
 from repro.core.join_rect import RectangleJoinEstimator
