@@ -1,0 +1,148 @@
+"""Snapshot-format benchmark: binary v2 vs JSON v1 (size and latency).
+
+This is the perf-regression gate of the columnar state layer:
+
+* restoring a service from a **binary v2** snapshot (memory-mapped counter
+  tensors) must beat restoring the same state from **v1 JSON** by **at
+  least 3x**, and
+* the v2 file must be **at least 2x smaller** than the v1 JSON file
+  (shared xi tensors are deduplicated; counters are raw float64 instead of
+  decimal text).
+
+Besides the human-readable record under ``benchmarks/results/``, the run
+writes ``BENCH_snapshot.json`` at the repository root; CI consumes that
+file and fails the perf-smoke job when either ratio drops below its gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core.domain import Domain
+from repro.service import EstimationService, load_snapshot, synthetic_boxes
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_snapshot.json"
+
+DOMAIN = Domain.square(1024, dimension=2)
+NUM_INSTANCES = 512
+DATA_BOXES = 4000
+RESTORE_ROUNDS = 5
+MIN_RESTORE_SPEEDUP = 3.0
+MIN_SIZE_REDUCTION = 2.0
+
+
+def _make_service() -> EstimationService:
+    service = EstimationService(num_shards=4, flush_threshold=None)
+    service.register("join", family="rectangle", domain=DOMAIN,
+                     num_instances=NUM_INSTANCES, seed=11)
+    service.register("ranges", family="range", domain=DOMAIN,
+                     num_instances=NUM_INSTANCES, seed=12)
+    service.register("containment", family="containment", domain=DOMAIN,
+                     num_instances=NUM_INSTANCES // 2, seed=13)
+    service.ingest("join", synthetic_boxes(DOMAIN, DATA_BOXES, seed=1),
+                   side="left")
+    service.ingest("join", synthetic_boxes(DOMAIN, DATA_BOXES, seed=2),
+                   side="right")
+    service.ingest("ranges", synthetic_boxes(DOMAIN, DATA_BOXES, seed=3),
+                   side="data")
+    service.ingest("containment", synthetic_boxes(DOMAIN, DATA_BOXES, seed=4),
+                   side="outer")
+    service.ingest("containment", synthetic_boxes(DOMAIN, DATA_BOXES, seed=5),
+                   side="inner")
+    service.flush()
+    return service
+
+
+def _timed_restore(path: str, rounds: int) -> tuple[float, EstimationService]:
+    best = float("inf")
+    restored = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        restored = load_snapshot(path)
+        best = min(best, time.perf_counter() - start)
+    return best, restored
+
+
+def _record(name: str, lines: list[str]) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print("\n" + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def test_binary_snapshot_beats_json_3x_restore_2x_size(benchmark, tmp_path):
+    """The acceptance gates: v2 restore >= 3x faster, file >= 2x smaller."""
+    service = _make_service()
+    expected_join = service.estimate("join").estimate
+
+    json_path = str(tmp_path / "svc.json")
+    binary_path = str(tmp_path / "svc.snap")
+
+    start = time.perf_counter()
+    service.save(json_path, format="json")
+    json_save_seconds = time.perf_counter() - start
+
+    def run_binary_save() -> float:
+        start = time.perf_counter()
+        service.save(binary_path, format="binary")
+        return time.perf_counter() - start
+
+    binary_save_seconds = benchmark.pedantic(run_binary_save, rounds=1,
+                                             iterations=1)
+
+    json_bytes = os.path.getsize(json_path)
+    binary_bytes = os.path.getsize(binary_path)
+    size_reduction = json_bytes / binary_bytes
+
+    json_restore_seconds, from_json = _timed_restore(json_path, RESTORE_ROUNDS)
+    binary_restore_seconds, from_binary = _timed_restore(binary_path,
+                                                         RESTORE_ROUNDS)
+    restore_speedup = json_restore_seconds / binary_restore_seconds
+
+    # Both restores must answer bit-identically before any ratio counts.
+    assert from_json.estimate("join").estimate == expected_join
+    assert from_binary.estimate("join").estimate == expected_join
+
+    report = {
+        "domain": list(DOMAIN.requested_sizes),
+        "num_instances": NUM_INSTANCES,
+        "data_boxes": DATA_BOXES,
+        "estimators": service.names(),
+        "snapshot_bytes": {
+            "v1_json": json_bytes,
+            "v2_binary": binary_bytes,
+            "size_reduction": size_reduction,
+            "min_size_reduction": MIN_SIZE_REDUCTION,
+        },
+        "save_seconds": {
+            "v1_json": json_save_seconds,
+            "v2_binary": binary_save_seconds,
+        },
+        "restore_seconds": {
+            "v1_json": json_restore_seconds,
+            "v2_binary": binary_restore_seconds,
+            "restore_speedup": restore_speedup,
+            "min_restore_speedup": MIN_RESTORE_SPEEDUP,
+        },
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+
+    _record("snapshot_formats", [
+        f"service snapshot formats ({len(service.names())} estimators, "
+        f"{NUM_INSTANCES} instances, 4 shards)",
+        f"size    : v1 JSON {json_bytes:9,d} B   v2 binary {binary_bytes:9,d} B"
+        f"   ({size_reduction:4.1f}x smaller, gate >= {MIN_SIZE_REDUCTION}x)",
+        f"save    : v1 JSON {json_save_seconds * 1e3:8.1f} ms  "
+        f"v2 binary {binary_save_seconds * 1e3:8.1f} ms",
+        f"restore : v1 JSON {json_restore_seconds * 1e3:8.1f} ms  "
+        f"v2 binary {binary_restore_seconds * 1e3:8.1f} ms"
+        f"   ({restore_speedup:4.1f}x faster, gate >= {MIN_RESTORE_SPEEDUP}x)",
+    ])
+
+    assert size_reduction >= MIN_SIZE_REDUCTION
+    assert restore_speedup >= MIN_RESTORE_SPEEDUP

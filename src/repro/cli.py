@@ -10,12 +10,16 @@ figures and the ablation studies from the command line::
 
 It also drives the sharded sketch service (:mod:`repro.service`)::
 
-    repro-spatial ingest --snapshot svc.json --name join --family rectangle \\
+    repro-spatial ingest --snapshot svc.snap --name join --family rectangle \\
         --sizes 1024x1024 --count 5000 --side left
-    repro-spatial estimate --snapshot svc.json --name join
-    repro-spatial estimate --snapshot svc.json --name ranges \\
+    repro-spatial estimate --snapshot svc.snap --name join
+    repro-spatial estimate --snapshot svc.snap --name ranges \\
         --batch-file queries.jsonl --workers 4    # JSON-lines in/out
-    repro-spatial serve --snapshot svc.json        # JSON-lines loop on stdio
+    repro-spatial serve --snapshot svc.snap        # JSON-lines loop on stdio
+
+Snapshots are written in the binary v2 format by default (raw counter
+tensors, memory-mapped restores); a ``.json`` path — or ``--format json``
+— selects the v1 JSON format instead, and reads auto-detect either.
 """
 
 from __future__ import annotations
@@ -62,7 +66,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     def add_snapshot_arg(p, required=True):
         p.add_argument("--snapshot", required=required,
-                       help="path of the service snapshot file (JSON)")
+                       help="path of the service snapshot file (binary v2 by "
+                            "default; .json paths use the JSON v1 format)")
+
+    def add_format_arg(p):
+        p.add_argument("--format", default="auto",
+                       choices=("auto", "binary", "json"),
+                       help="snapshot format to write: binary (v2), json "
+                            "(v1), or auto (binary unless the path ends in "
+                            ".json; reads always auto-detect)")
 
     ingest = sub.add_parser(
         "ingest", help="ingest data into a service snapshot (creating it if needed)")
@@ -94,6 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="JSON file with box rows [lo_1..lo_d, hi_1..hi_d]")
     ingest.add_argument("--data-seed", type=int, default=0,
                         help="seed for synthetic data generation")
+    add_format_arg(ingest)
 
     estimate = sub.add_parser("estimate", help="estimate from a service snapshot")
     add_snapshot_arg(estimate)
@@ -119,6 +132,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="shard count when starting without a snapshot")
     serve.add_argument("--save-on-exit", action="store_true",
                        help="write the snapshot back on quit/EOF (needs --snapshot)")
+    add_format_arg(serve)
     return parser
 
 
@@ -243,7 +257,7 @@ def _run_ingest(args) -> int:
 
     service.ingest(args.name, boxes, side=args.side, kind=args.kind)
     report = service.flush()
-    service.save(args.snapshot)
+    service.save(args.snapshot, format=args.format)
     print(json.dumps({
         "snapshot": args.snapshot,
         "created": not existed,
@@ -333,7 +347,8 @@ def _run_estimate(args) -> int:
 
 def service_command_loop(service, in_stream, out_stream, *,
                          snapshot_path: str | None = None,
-                         save_on_exit: bool = False) -> int:
+                         save_on_exit: bool = False,
+                         snapshot_format: str = "auto") -> int:
     """The ``serve`` loop: one JSON request per line, one JSON reply per line.
 
     Supported operations::
@@ -343,7 +358,8 @@ def service_command_loop(service, in_stream, out_stream, *,
         {"op": "ingest", "name": ..., "side": "left", "kind": "insert",
          "boxes": [[lo_1..lo_d, hi_1..hi_d], ...]}
         {"op": "estimate", "name": ..., "query": [lo_1..lo_d, hi_1..hi_d]}
-        {"op": "flush"} | {"op": "stats"} | {"op": "save", "path": ...}
+        {"op": "flush"} | {"op": "stats"}
+        {"op": "save", "path": ..., "format": "auto" | "binary" | "json"}
         {"op": "quit"}
     """
     from repro.service import EstimatorSpec
@@ -398,7 +414,7 @@ def service_command_loop(service, in_stream, out_stream, *,
                 path = request.get("path", snapshot_path)
                 if not path:
                     raise ReproError("save needs a path (or start with --snapshot)")
-                service.save(path)
+                service.save(path, format=request.get("format", snapshot_format))
                 reply({"ok": True, "op": op, "path": path})
             else:
                 raise ReproError(f"unknown op {op!r}")
@@ -407,7 +423,7 @@ def service_command_loop(service, in_stream, out_stream, *,
             # take down the server and its in-memory sketches.
             reply({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
     if save_on_exit and snapshot_path:
-        service.save(snapshot_path)
+        service.save(snapshot_path, format=snapshot_format)
     return 0
 
 
@@ -415,7 +431,8 @@ def _run_serve(args) -> int:
     service, _ = _load_or_create_service(args.snapshot, args.shards)
     return service_command_loop(service, sys.stdin, sys.stdout,
                                 snapshot_path=args.snapshot,
-                                save_on_exit=args.save_on_exit)
+                                save_on_exit=args.save_on_exit,
+                                snapshot_format=args.format)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.errors import DimensionalityError, MergeCompatibilityError, SketchConfigError
 from repro.core.domain import Domain
-from repro.core.hashing import FourWiseFamilyBank
+from repro.core.hashing import FourWiseFamilyBank, stack_xi_coefficients
 from repro.geometry.boxset import BoxSet
 
 
@@ -138,9 +138,14 @@ class SketchBank:
                         f"xi bank universe too small for dimension {dim}"
                     )
         self._xi: tuple[FourWiseFamilyBank, ...] = tuple(xi_banks)
-        self._counters: dict[Word, np.ndarray] = {
-            word: np.zeros(num_instances, dtype=np.float64) for word in self._words
+        # All counters live in one contiguous (instances, words) tensor;
+        # column j holds the per-instance counters of self._words[j].  Merges
+        # and snapshots operate on the tensor as a whole, never word by word.
+        self._word_index: dict[Word, int] = {
+            word: index for index, word in enumerate(self._words)
         }
+        self._matrix = np.zeros((self._num_instances, len(self._words)),
+                                dtype=np.float64)
         self._updates = 0
 
     # -- introspection --------------------------------------------------------
@@ -170,13 +175,26 @@ class SketchBank:
         """Number of boxes inserted minus boxes deleted so far."""
         return self._updates
 
+    @property
+    def counter_tensor(self) -> np.ndarray:
+        """The full ``(num_instances, num_words)`` counter tensor (read-only view).
+
+        Column ``j`` holds the counters of ``self.words[j]``.  This is the
+        bank's actual storage — one contiguous float64 array — exposed for
+        zero-copy merges, snapshots and batched estimation kernels.
+        """
+        view = self._matrix.view()
+        view.setflags(write=False)
+        return view
+
     def counter(self, word: Word) -> np.ndarray:
         """A copy of the per-instance counter values for ``word``."""
-        return self._counters[tuple(word)].copy()
+        return self._matrix[:, self._word_index[tuple(word)]].copy()
 
     def counters(self) -> Mapping[Word, np.ndarray]:
         """Copies of every counter, keyed by word."""
-        return {word: values.copy() for word, values in self._counters.items()}
+        return {word: self._matrix[:, index].copy()
+                for word, index in self._word_index.items()}
 
     def companion(self, words: Sequence[Word] | None = None) -> "SketchBank":
         """A new empty bank sharing this bank's xi families.
@@ -209,8 +227,7 @@ class SketchBank:
         if other.num_instances != self._num_instances:
             raise MergeCompatibilityError("cannot merge banks with different instance counts")
         for mine, theirs in zip(self._xi, other._xi):
-            if mine is not theirs and not np.array_equal(mine.coefficients,
-                                                         theirs.coefficients):
+            if mine is not theirs and not mine.matches_coefficients(theirs.coefficients):
                 raise MergeCompatibilityError(
                     "cannot merge banks built over different xi families (seed mismatch)"
                 )
@@ -223,37 +240,59 @@ class SketchBank:
         sketch over partitioned or distributed data.  Both banks must have
         been created over the *same* xi families (e.g. via :meth:`companion`
         or from the same seed and domain); anything else raises
-        :class:`~repro.errors.MergeCompatibilityError`.
+        :class:`~repro.errors.MergeCompatibilityError`.  The merge is one
+        vectorised add of the two counter tensors.
         """
         self.check_merge_compatible(other)
-        for word in self._words:
-            self._counters[word] += other._counters[word]
+        self._ensure_writable()
+        self._matrix += other._matrix
         self._updates += other._updates
 
-    def state_dict(self) -> dict:
-        """A JSON-serialisable snapshot of the bank's counters and seeds.
+    def xi_coefficient_tensor(self) -> np.ndarray:
+        """All xi seeds as one ``(dimension, num_instances, 4)`` uint64 tensor."""
+        return stack_xi_coefficients(self._xi)
 
-        Together with the domain configuration this is everything needed to
-        resume maintenance or answer estimates later / elsewhere.
+    def state_dict(self, *, arrays: bool = False) -> dict:
+        """A snapshot of the bank's counters and seeds (a view over the tensor).
+
+        With ``arrays=False`` (the default) the snapshot is the v1
+        JSON-serialisable form: per-word counter lists plus nested xi
+        coefficient lists.  With ``arrays=True`` the ``counters`` entry is
+        the contiguous ``(num_instances, num_words)`` tensor itself (a copy)
+        and ``xi_coefficients`` the stacked ``(dimension, num_instances, 4)``
+        seed tensor — the shape binary snapshots store and memory-map back.
+        :meth:`load_state_dict` accepts either form.
         """
-        return {
+        state: dict = {
             "num_instances": self._num_instances,
             "updates": self._updates,
             "domain": [list(pair) for pair in self._domain.signature()],
             "words": ["".join(letter.value for letter in word) for word in self._words],
-            "counters": {
-                "".join(letter.value for letter in word): values.tolist()
-                for word, values in self._counters.items()
-            },
-            "xi_coefficients": [bank.coefficients.tolist() for bank in self._xi],
         }
+        if arrays:
+            state["counters"] = self._matrix.copy()
+            state["xi_coefficients"] = self.xi_coefficient_tensor()
+        else:
+            state["counters"] = {
+                "".join(letter.value for letter in word):
+                    self._matrix[:, index].tolist()
+                for word, index in self._word_index.items()
+            }
+            state["xi_coefficients"] = [bank.coefficients_state()
+                                        for bank in self._xi]
+        return state
 
-    def load_state_dict(self, state: Mapping) -> None:
+    def load_state_dict(self, state: Mapping, *, copy: bool = True) -> None:
         """Restore counters previously captured by :meth:`state_dict`.
 
         The bank must have been constructed with the same configuration; the
         xi seeds stored in the snapshot are checked against the bank's own to
-        guard against mixing incompatible sketches.
+        guard against mixing incompatible sketches.  Both snapshot forms are
+        accepted: per-word lists (v1 JSON) and the contiguous counter tensor
+        (binary snapshots).  With ``copy=False`` an array-form counter
+        tensor is adopted as-is — e.g. a read-only memory-mapped snapshot
+        view, giving near-zero-copy restores; the bank copies it lazily the
+        first time it is mutated.
         """
         if int(state["num_instances"]) != self._num_instances:
             raise MergeCompatibilityError("snapshot was taken with a different instance count")
@@ -268,17 +307,38 @@ class SketchBank:
         expected_words = ["".join(letter.value for letter in word) for word in self._words]
         if list(state["words"]) != expected_words:
             raise MergeCompatibilityError("snapshot was taken with a different word set")
-        for dim, coefficients in enumerate(state["xi_coefficients"]):
-            if not np.array_equal(np.asarray(coefficients, dtype=np.uint64),
-                                  self._xi[dim].coefficients):
+        xi_state = state["xi_coefficients"]
+        if isinstance(xi_state, np.ndarray):
+            xi_state = [xi_state[dim] for dim in range(xi_state.shape[0])] \
+                if xi_state.ndim == 3 else list(xi_state)
+        if len(xi_state) != len(self._xi):
+            raise MergeCompatibilityError("snapshot has a different dimensionality")
+        for dim, coefficients in enumerate(xi_state):
+            if not self._xi[dim].matches_coefficients(coefficients):
                 raise MergeCompatibilityError(
                     "snapshot was taken over different xi families (seed mismatch)"
                 )
-        for word, key in zip(self._words, expected_words):
-            values = np.asarray(state["counters"][key], dtype=np.float64)
-            if values.shape != (self._num_instances,):
+        counters = state["counters"]
+        if isinstance(counters, np.ndarray):
+            matrix = np.asarray(counters, dtype=np.float64)
+            if matrix.shape != self._matrix.shape:
                 raise MergeCompatibilityError("snapshot counter shape mismatch")
-            self._counters[word] = values.copy()
+            # Adopt without copying only read-only tensors (memory-mapped
+            # snapshot views): adopting a *writable* array would alias this
+            # bank's counters with the caller's state (and with every other
+            # bank restored from it), so later inserts would corrupt them.
+            if copy or matrix.flags.writeable:
+                self._matrix = matrix.copy()
+            else:
+                self._matrix = matrix
+        else:
+            matrix = np.empty_like(self._matrix)
+            for word, key in zip(self._words, expected_words):
+                values = np.asarray(counters[key], dtype=np.float64)
+                if values.shape != (self._num_instances,):
+                    raise MergeCompatibilityError("snapshot counter shape mismatch")
+                matrix[:, self._word_index[word]] = values
+            self._matrix = matrix
         self._updates = int(state["updates"])
 
     # -- updates -----------------------------------------------------------------
@@ -299,6 +359,7 @@ class SketchBank:
         count = len(boxes)
         if count == 0:
             return
+        self._ensure_writable()
         sources: dict[Letter, BoxSet] = {}
         for letter in self._letters_in_use():
             override = None if letter_boxes is None else letter_boxes.get(letter)
@@ -374,6 +435,16 @@ class SketchBank:
 
     # -- internals ----------------------------------------------------------------
 
+    def _ensure_writable(self) -> None:
+        """Materialise the counter tensor before mutation (copy-on-write).
+
+        A bank restored with ``copy=False`` may hold a read-only view into a
+        memory-mapped snapshot; query-only consumers never pay for a copy,
+        while the first mutation transparently promotes it to private memory.
+        """
+        if not self._matrix.flags.writeable:
+            self._matrix = self._matrix.copy()
+
     def _letters_in_use(self) -> set[Letter]:
         return {letter for word in self._words for letter in word}
 
@@ -399,13 +470,13 @@ class SketchBank:
                 sums[key] = self._letter_sums(
                     dim, letter, source.lows[start:stop, dim], source.highs[start:stop, dim]
                 )
-        for word in self._words:
+        for index, word in enumerate(self._words):
             term = sums[(0, word[0])]
             if self.dimension > 1:
                 term = term.copy()
                 for dim in range(1, self.dimension):
                     term *= sums[(dim, word[dim])]
-            self._counters[word] += weight * term.sum(axis=1)
+            self._matrix[:, index] += weight * term.sum(axis=1)
 
     def _letter_sums(self, dim: int, letter: Letter, lows: np.ndarray,
                      highs: np.ndarray) -> np.ndarray:

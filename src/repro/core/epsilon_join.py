@@ -127,22 +127,26 @@ class EpsilonJoinEstimator:
         self._left_count += other._left_count
         self._right_count += other._right_count
 
-    def state_dict(self) -> dict:
-        """A JSON-serialisable snapshot of both banks and the input counts."""
+    def state_dict(self, *, arrays: bool = False) -> dict:
+        """A snapshot of both banks and the input counts.
+
+        ``arrays=True`` keeps the counters as contiguous tensors (the
+        binary-snapshot form); the default is the v1 JSON form.
+        """
         return {
             "epsilon": self._epsilon,
-            "points": self._point_bank.state_dict(),
-            "cubes": self._cube_bank.state_dict(),
+            "points": self._point_bank.state_dict(arrays=arrays),
+            "cubes": self._cube_bank.state_dict(arrays=arrays),
             "left_count": self._left_count,
             "right_count": self._right_count,
         }
 
-    def load_state_dict(self, state) -> None:
+    def load_state_dict(self, state, *, copy: bool = True) -> None:
         """Restore a snapshot captured by :meth:`state_dict`."""
         if int(state["epsilon"]) != self._epsilon:
             raise MergeCompatibilityError("snapshot was taken with a different epsilon")
-        self._point_bank.load_state_dict(state["points"])
-        self._cube_bank.load_state_dict(state["cubes"])
+        self._point_bank.load_state_dict(state["points"], copy=copy)
+        self._cube_bank.load_state_dict(state["cubes"], copy=copy)
         self._left_count = int(state["left_count"])
         self._right_count = int(state["right_count"])
 

@@ -66,6 +66,50 @@ MAX_UNIVERSE = int(MERSENNE_PRIME)
 COEFFICIENTS_PER_FAMILY = 4
 
 
+def coefficients_to_state(coefficients: np.ndarray) -> list:
+    """JSON form of a ``(num_families, 4)`` coefficient matrix.
+
+    This is the canonical xi serialisation used by sketch snapshots: the
+    coefficients *are* the family (evaluation is a pure function of them),
+    so storing them makes a snapshot self-describing and lets a restore
+    verify seed compatibility without re-deriving RNG state.
+    """
+    return np.asarray(coefficients, dtype=np.uint64).tolist()
+
+
+def coefficients_from_state(state) -> np.ndarray:
+    """Inverse of :func:`coefficients_to_state` (also accepts ndarrays).
+
+    Accepts the JSON nested-list form, a ``(num_families, 4)`` array of any
+    integer dtype (e.g. a read-only memory-mapped view from a binary
+    snapshot), or a stack of such matrices; always returns ``uint64``.
+    """
+    try:
+        coefficients = np.asarray(state, dtype=np.uint64)
+    except (TypeError, ValueError, OverflowError) as exc:
+        # e.g. negative or non-numeric values in a hand-edited snapshot.
+        raise SketchConfigError(f"malformed xi coefficient state: {exc}") from exc
+    if coefficients.ndim < 2 or coefficients.shape[-1] != COEFFICIENTS_PER_FAMILY:
+        raise SketchConfigError(
+            f"xi coefficient state must have {COEFFICIENTS_PER_FAMILY} "
+            f"coefficients per family, got shape {coefficients.shape}"
+        )
+    return coefficients
+
+
+def stack_xi_coefficients(banks: Sequence["FourWiseFamilyBank"]) -> np.ndarray:
+    """One contiguous ``(dims, num_families, 4)`` tensor over per-dim banks.
+
+    All banks of one sketch share ``num_families``, so the per-dimension
+    coefficient matrices stack into a single array — the shape binary
+    snapshots store (and memory-map back) in one piece.
+    """
+    if not banks:
+        raise SketchConfigError("at least one xi bank is required")
+    return np.ascontiguousarray(
+        np.stack([bank.coefficients for bank in banks]), dtype=np.uint64)
+
+
 class FourWiseFamilyBank:
     """``num_families`` independent four-wise independent sign families.
 
@@ -127,6 +171,43 @@ class FourWiseFamilyBank:
     def seed_words(self) -> int:
         """Number of machine words needed to store the seeds of this bank."""
         return self.num_families * COEFFICIENTS_PER_FAMILY
+
+    # -- (de)serialisation -------------------------------------------------
+
+    @classmethod
+    def from_coefficients(cls, coefficients, universe_size: int
+                          ) -> "FourWiseFamilyBank":
+        """Rebuild a bank from serialised coefficients (exact same families)."""
+        coefficients = coefficients_from_state(coefficients)
+        if coefficients.ndim != 2:
+            raise SketchConfigError(
+                f"a bank needs a (num_families, {COEFFICIENTS_PER_FAMILY}) "
+                f"coefficient matrix, got shape {coefficients.shape}"
+            )
+        bank = cls(coefficients.shape[0], universe_size, seed=0)
+        bank._coefficients = np.ascontiguousarray(coefficients)
+        bank._table = None
+        bank._ids_requested = 0
+        return bank
+
+    def coefficients_state(self) -> list:
+        """The JSON-serialisable form of this bank's coefficients."""
+        return coefficients_to_state(self._coefficients)
+
+    def matches_coefficients(self, state) -> bool:
+        """Whether serialised coefficients describe these exact families.
+
+        ``state`` may be the JSON nested-list form, an ndarray (possibly a
+        read-only memory-mapped snapshot view), or another bank's
+        ``coefficients``.  Used by merge/restore compatibility checks, so
+        sketch modules never have to compare raw coefficient arrays.
+        """
+        try:
+            coefficients = coefficients_from_state(state)
+        except SketchConfigError:
+            return False
+        return (coefficients.shape == self._coefficients.shape
+                and np.array_equal(coefficients, self._coefficients))
 
     # -- evaluation --------------------------------------------------------
 

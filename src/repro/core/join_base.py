@@ -254,23 +254,30 @@ class PairedSketchJoinEstimator:
         self._left_count += other._left_count
         self._right_count += other._right_count
 
-    def state_dict(self) -> dict:
-        """A JSON-serialisable snapshot of both banks and the input counts."""
+    def state_dict(self, *, arrays: bool = False) -> dict:
+        """A snapshot of both banks and the input counts.
+
+        ``arrays=True`` keeps the bank counters as contiguous tensors (the
+        binary-snapshot form); the default produces the v1 JSON form.  See
+        :meth:`repro.core.atomic.SketchBank.state_dict`.
+        """
         return {
-            "left": self._left_bank.state_dict(),
-            "right": self._right_bank.state_dict(),
+            "left": self._left_bank.state_dict(arrays=arrays),
+            "right": self._right_bank.state_dict(arrays=arrays),
             "left_count": self._left_count,
             "right_count": self._right_count,
         }
 
-    def load_state_dict(self, state: Mapping) -> None:
+    def load_state_dict(self, state: Mapping, *, copy: bool = True) -> None:
         """Restore a snapshot captured by :meth:`state_dict`.
 
         The estimator must have been constructed with the same configuration
-        (domain, pair terms, instance count and seed).
+        (domain, pair terms, instance count and seed).  ``copy=False``
+        adopts array-form counter tensors without copying (e.g. read-only
+        memory-mapped snapshot views).
         """
-        self._left_bank.load_state_dict(state["left"])
-        self._right_bank.load_state_dict(state["right"])
+        self._left_bank.load_state_dict(state["left"], copy=copy)
+        self._right_bank.load_state_dict(state["right"], copy=copy)
         self._left_count = int(state["left_count"])
         self._right_count = int(state["right_count"])
 

@@ -132,19 +132,23 @@ class ContainmentJoinEstimator:
         self._outer_count += other._outer_count
         self._inner_count += other._inner_count
 
-    def state_dict(self) -> dict:
-        """A JSON-serialisable snapshot of both banks and the input counts."""
+    def state_dict(self, *, arrays: bool = False) -> dict:
+        """A snapshot of both banks and the input counts.
+
+        ``arrays=True`` keeps the counters as contiguous tensors (the
+        binary-snapshot form); the default is the v1 JSON form.
+        """
         return {
-            "outer": self._outer_bank.state_dict(),
-            "inner": self._inner_bank.state_dict(),
+            "outer": self._outer_bank.state_dict(arrays=arrays),
+            "inner": self._inner_bank.state_dict(arrays=arrays),
             "outer_count": self._outer_count,
             "inner_count": self._inner_count,
         }
 
-    def load_state_dict(self, state) -> None:
+    def load_state_dict(self, state, *, copy: bool = True) -> None:
         """Restore a snapshot captured by :meth:`state_dict`."""
-        self._outer_bank.load_state_dict(state["outer"])
-        self._inner_bank.load_state_dict(state["inner"])
+        self._outer_bank.load_state_dict(state["outer"], copy=copy)
+        self._inner_bank.load_state_dict(state["inner"], copy=copy)
         self._outer_count = int(state["outer_count"])
         self._inner_count = int(state["inner_count"])
 

@@ -132,19 +132,23 @@ class RangeQueryEstimator:
         self._bank.merge(other._bank)
         self._count += other._count
 
-    def state_dict(self) -> dict:
-        """A JSON-serialisable snapshot of the bank and the input count."""
+    def state_dict(self, *, arrays: bool = False) -> dict:
+        """A snapshot of the bank and the input count.
+
+        ``arrays=True`` keeps the counters as a contiguous tensor (the
+        binary-snapshot form); the default is the v1 JSON form.
+        """
         return {
             "strict": self._strict,
-            "bank": self._bank.state_dict(),
+            "bank": self._bank.state_dict(arrays=arrays),
             "count": self._count,
         }
 
-    def load_state_dict(self, state) -> None:
+    def load_state_dict(self, state, *, copy: bool = True) -> None:
         """Restore a snapshot captured by :meth:`state_dict`."""
         if bool(state["strict"]) != self._strict:
             raise MergeCompatibilityError("snapshot was taken with a different strict setting")
-        self._bank.load_state_dict(state["bank"])
+        self._bank.load_state_dict(state["bank"], copy=copy)
         self._count = int(state["count"])
 
     # -- estimation -----------------------------------------------------------------------

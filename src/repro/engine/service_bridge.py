@@ -97,6 +97,26 @@ class ServiceSynopses:
         self._join_names: dict[tuple[str, str], str] = {}
         self._range_names: dict[str, str] = {}
 
+    @classmethod
+    def from_snapshot(cls, path, domain: Domain, *, num_instances: int = 256,
+                      seed: int = 0, max_level: int | None = None,
+                      **service_kwargs) -> "ServiceSynopses":
+        """Boot synopses from a service snapshot file (binary v2 or JSON v1).
+
+        The snapshot format is auto-detected; binary snapshots restore by
+        memory-mapping the counter tensors, so a warm optimizer comes up in
+        milliseconds even for large sketch inventories.  Estimators already
+        present in the snapshot are adopted as-is (see
+        :meth:`join_sketch_name`); pairs first probed after the restore are
+        registered fresh with the deterministic per-pair seeds, exactly as
+        the snapshotting process derived them.
+        """
+        from repro.service.service import EstimationService
+
+        service = EstimationService.load(path, **service_kwargs)
+        return cls(domain, service=service, num_instances=num_instances,
+                   seed=seed, max_level=max_level)
+
     @property
     def service(self):
         return self._service

@@ -16,8 +16,9 @@ package turns that property into a serving layer:
   query views and a batched ``estimate_batch`` query path,
 * :mod:`~repro.service.parallel` — process-parallel batch evaluation over
   snapshot-restored workers (thread fallback included),
-* :mod:`~repro.service.snapshot` — JSON checkpoint/restore built on
-  ``state_dict``/``load_state_dict``,
+* :mod:`~repro.service.snapshot` — checkpoint/restore built on
+  ``state_dict``/``load_state_dict``: binary v2 snapshots (raw counter
+  tensors, memory-mapped restores) with a read-compatible JSON v1 format,
 * :class:`~repro.service.driver.StreamDriver` — feeds
   :mod:`repro.data.streams` update streams into a running service.
 """
@@ -37,11 +38,15 @@ from repro.service.parallel import estimate_batch_parallel
 from repro.service.service import EstimationService, ServiceStats
 from repro.service.snapshot import (
     SNAPSHOT_FORMAT,
+    SNAPSHOT_FORMATS,
     SNAPSHOT_VERSION,
     load_snapshot,
+    load_view_snapshot,
+    read_snapshot_state,
     restore_service,
     save_snapshot,
     service_snapshot,
+    write_view_snapshot,
 )
 from repro.service.driver import (
     DriveReport,
@@ -69,10 +74,14 @@ __all__ = [
     "EstimationService",
     "ServiceStats",
     "SNAPSHOT_FORMAT",
+    "SNAPSHOT_FORMATS",
     "SNAPSHOT_VERSION",
     "service_snapshot",
     "save_snapshot",
     "load_snapshot",
+    "read_snapshot_state",
+    "write_view_snapshot",
+    "load_view_snapshot",
     "restore_service",
     "StreamDriver",
     "DriveReport",

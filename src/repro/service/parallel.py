@@ -4,29 +4,37 @@ Answering a large query batch is embarrassingly parallel: every query's
 per-instance values depend only on the (immutable) merged-view counters,
 so the batch can be split into sub-batches and evaluated on separate
 workers.  Because estimators rebuild deterministically from their
-``EstimatorSpec`` plus a ``state_dict`` snapshot — the exact machinery the
+``EstimatorSpec`` plus a state snapshot — the exact machinery the
 service's persistence layer uses — a worker *process* can reconstruct a
 bit-identical copy of the merged view and answer its sub-batch without
 sharing any memory with the parent.
 
 :func:`estimate_batch_parallel` implements that plan with a
-``ProcessPoolExecutor`` whose workers restore the view from its snapshot
-**once, at pool start-up** (the executor's ``initializer``); the per-task
-payload is just the sub-batch coordinates.  Whenever a process pool is
-unavailable — sandboxed environments, pickling limits, or interpreter
-shutdown — the same sub-batches run on a thread pool over the in-process
-view instead.  Results are bit-identical across the serial, threaded and
-process paths.
+``ProcessPoolExecutor``: the parent writes the merged view to a binary v2
+snapshot file (:func:`~repro.service.snapshot.write_view_snapshot`) and
+every worker **memory-maps** it once, at pool start-up (the executor's
+``initializer``).  Nothing but a file path crosses the process boundary —
+no pickled counter lists, no per-worker JSON decode; the counter tensors
+are read-only mmap views shared through the page cache, so worker
+start-up is near-zero-copy no matter how large the sketch is.  The
+per-task payload is just the sub-batch coordinates.  Whenever a process
+pool is unavailable — sandboxed environments, pickling limits, or
+interpreter shutdown — the same sub-batches run on a thread pool over the
+in-process view instead.  Results are bit-identical across the serial,
+threaded and process paths.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 import numpy as np
 
 from repro.core.result import EstimateResult
+from repro.errors import SnapshotError
 from repro.geometry.boxset import BoxSet
 from repro.service.specs import (
     EstimatorSpec,
@@ -54,12 +62,18 @@ def _chunk_bounds(total: int, chunks: int) -> list[tuple[int, int]]:
     return bounds
 
 
-def _worker_init(cache_key: tuple, spec_state: dict, view_state: dict) -> None:
-    """Pool initializer: restore the merged view once per worker process."""
+def _worker_init(cache_key: tuple, snapshot_path: str) -> None:
+    """Pool initializer: memory-map the merged view once per worker process.
+
+    The counters stay read-only mmap views into the snapshot file — the
+    estimators only read them, and the copy-on-write guard in
+    :class:`~repro.core.atomic.SketchBank` would materialise them if
+    anything ever tried to mutate the restored view.
+    """
     global _WORKER_VIEW
-    spec = EstimatorSpec.from_dict(spec_state)
-    view = spec.build()
-    view.load_state_dict(view_state)
+    from repro.service.snapshot import load_view_snapshot
+
+    spec, view = load_view_snapshot(snapshot_path)
     _WORKER_VIEW = (cache_key, spec, view)
 
 
@@ -119,16 +133,29 @@ def estimate_batch_parallel(spec: EstimatorSpec, view: Any, queries, *,
 def _try_process_pool(spec: EstimatorSpec, view: Any, boxes: BoxSet,
                       bounds: list[tuple[int, int]], cache_key: tuple
                       ) -> list[EstimateResult] | None:
-    """Fan sub-batches out to worker processes; ``None`` if no pool works."""
+    """Fan sub-batches out to worker processes; ``None`` if no pool works.
+
+    The merged view is written once to a temporary binary snapshot; worker
+    processes receive only its path and restore by memory-mapping it.  The
+    file is unlinked as soon as the pool has shut down (workers keep their
+    mappings alive through the open file, POSIX-style).
+    """
     try:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
     except ImportError:  # pragma: no cover - always available on CPython
         return None
+    from repro.service.snapshot import write_view_snapshot
+
+    snapshot_path = None
     try:
+        handle, snapshot_path = tempfile.mkstemp(prefix="repro-view-",
+                                                 suffix=".snap")
+        os.close(handle)
+        write_view_snapshot(spec, view, snapshot_path)
         with ProcessPoolExecutor(
                 max_workers=len(bounds), initializer=_worker_init,
-                initargs=(cache_key, spec.to_dict(), view.state_dict())) as pool:
+                initargs=(cache_key, snapshot_path)) as pool:
             futures = [
                 pool.submit(_worker_estimate, cache_key,
                             boxes.lows[start:stop], boxes.highs[start:stop])
@@ -136,10 +163,16 @@ def _try_process_pool(spec: EstimatorSpec, view: Any, boxes: BoxSet,
             ]
             chunks = [future.result() for future in futures]
     except (OSError, PermissionError, BrokenProcessPool, RuntimeError,
-            ImportError):
-        # No usable process pool (sandbox, shutdown, pickling limits):
+            ImportError, SnapshotError):
+        # No usable process pool (sandbox, shutdown, unwritable tmp dir):
         # the caller falls back to threads over the in-process view.
         return None
+    finally:
+        if snapshot_path is not None:
+            try:
+                os.unlink(snapshot_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
     return [result for chunk in chunks for result in chunk]
 
 

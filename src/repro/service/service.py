@@ -285,28 +285,33 @@ class EstimationService:
 
     # -- persistence --------------------------------------------------------------
 
-    def snapshot(self) -> dict:
-        """A JSON-serialisable checkpoint of specs and shard counters.
+    def snapshot(self, *, arrays: bool = False) -> dict:
+        """A checkpoint of specs and shard counters.
 
-        Pending (unflushed) updates are flushed first so the snapshot
-        reflects everything ingested so far.
+        ``arrays=False`` (default) yields the JSON-serialisable v1 tree;
+        ``arrays=True`` keeps the counters as contiguous tensors for the
+        binary snapshot writer.  Pending (unflushed) updates are flushed
+        first so the snapshot reflects everything ingested so far.
         """
         from repro.service.snapshot import service_snapshot
 
         if self._pipeline.pending:
             self.flush()
         with self._lock:
-            return service_snapshot(self)
+            return service_snapshot(self, arrays=arrays)
 
-    def save(self, path) -> None:
-        """Write :meth:`snapshot` as JSON to a file (atomically).
+    def save(self, path, *, format: str = "auto") -> None:
+        """Write a snapshot file atomically (binary v2 or JSON v1).
 
+        ``format="auto"`` (the default) writes the binary format unless the
+        path ends in ``.json``; pass ``"binary"`` or ``"json"`` to force.
         The state is captured under the service lock, so concurrent
-        ingestion cannot tear the snapshot.
+        ingestion cannot tear the snapshot; :meth:`load` auto-detects the
+        format on the way back.
         """
-        from repro.service.snapshot import write_snapshot_state
+        from repro.service.snapshot import save_snapshot
 
-        write_snapshot_state(self.snapshot(), path)
+        save_snapshot(self, path, format=format)
 
     @classmethod
     def restore(cls, state: Mapping, *, flush_threshold: int | None = 8192,

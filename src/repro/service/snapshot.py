@@ -1,23 +1,39 @@
-"""Checkpoint and restore a sketch service.
+"""Checkpoint and restore a sketch service (JSON v1 and binary v2).
 
-The snapshot format builds directly on the estimators'
-``state_dict``/``load_state_dict`` (which in turn build on
-:meth:`repro.core.atomic.SketchBank.state_dict`): a snapshot stores, per
-registered name, the :class:`~repro.service.specs.EstimatorSpec` and one
-estimator state per shard.  Restoring rebuilds each estimator from the spec
-and loads its shard state — the xi-seed fingerprints embedded in the bank
-snapshots guard against restoring counters into incompatible sketches.
+Snapshots build directly on the estimators' ``state_dict``/``load_state_dict``
+(which in turn build on :meth:`repro.core.atomic.SketchBank.state_dict`): a
+snapshot stores, per registered name, the
+:class:`~repro.service.specs.EstimatorSpec` and one estimator state per
+shard.  Restoring rebuilds each estimator from the spec and loads its shard
+state — the xi-seed fingerprints embedded in the bank snapshots guard
+against restoring counters into incompatible sketches.
 
-Snapshots are plain JSON: small enough to ship between machines (counters
-are ``O(instances * words)`` floats per shard, independent of the data
-volume summarised) and stable enough to checkpoint a long-running service.
+Two on-disk formats are supported:
+
+* **v1 — JSON** (``snapshot_version`` 1): counters round-trip through
+  per-word Python lists.  Human-readable, diff-able, and kept fully
+  read/write compatible.
+* **v2 — binary** (``snapshot_version`` 2): one JSON header describing the
+  snapshot tree, followed by the raw, 64-byte-aligned counter and xi-seed
+  tensors exactly as the banks hold them in memory (``.npz``-style: header +
+  raw arrays).  Restores memory-map the file and hand the banks read-only
+  tensor views (:func:`read_binary_snapshot_state`), so loading costs one
+  ``mmap`` plus a JSON header parse — near-zero-copy — and the counters are
+  only materialised (copy-on-write) if the restored sketch is mutated.
+
+:func:`load_snapshot` auto-detects the format from the file's magic bytes,
+so readers never need to know how a snapshot was written.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Mapping
+import struct
+from typing import Any, Mapping
+
+import numpy as np
 
 from repro.errors import MergeCompatibilityError, SnapshotError
 from repro.service.specs import EstimatorSpec
@@ -25,20 +41,38 @@ from repro.service.store import ShardedSketchStore
 
 #: Identifies the snapshot schema; bump on incompatible layout changes.
 SNAPSHOT_FORMAT = "repro.service.snapshot"
-SNAPSHOT_VERSION = 1
+#: Version written by the binary (array-native) writer.
+SNAPSHOT_VERSION = 2
+#: Version written by the JSON writer (the original list-based schema).
+SNAPSHOT_VERSION_JSON = 1
+
+#: First bytes of every binary (v2) snapshot file.
+BINARY_MAGIC = b"REPROSNAP2\n"
+#: Data-section alignment: tensors start on cache-line boundaries.
+_ALIGNMENT = 64
+#: Marker key for tensor slots inside the packed header tree.
+_ARRAY_KEY = "__array__"
+
+SNAPSHOT_FORMATS = ("auto", "binary", "json")
 
 
-def store_snapshot(store: ShardedSketchStore) -> dict:
-    """A self-describing, JSON-serialisable snapshot of a sharded store."""
-    state = store.state_dict()
+def store_snapshot(store: ShardedSketchStore, *, arrays: bool = False) -> dict:
+    """A self-describing snapshot of a sharded store.
+
+    With ``arrays=False`` the result is the JSON-serialisable v1 tree; with
+    ``arrays=True`` the bank counters stay contiguous NumPy tensors (the
+    form :func:`write_binary_snapshot_state` serialises without any
+    per-word traversal).
+    """
+    state = store.state_dict(arrays=arrays)
     state["format"] = SNAPSHOT_FORMAT
-    state["snapshot_version"] = SNAPSHOT_VERSION
+    state["snapshot_version"] = SNAPSHOT_VERSION if arrays else SNAPSHOT_VERSION_JSON
     return state
 
 
-def service_snapshot(service) -> dict:
+def service_snapshot(service, *, arrays: bool = False) -> dict:
     """Snapshot of a service (delegates to its store)."""
-    return store_snapshot(service.store)
+    return store_snapshot(service.store, arrays=arrays)
 
 
 def _validated(state: Mapping) -> Mapping:
@@ -52,6 +86,10 @@ def _validated(state: Mapping) -> Mapping:
         raise SnapshotError(
             f"snapshot version {version} is newer than supported ({SNAPSHOT_VERSION})"
         )
+    if state.get("kind", "service") != "service":
+        raise SnapshotError(
+            f"snapshot holds a {state.get('kind')!r} payload, not a service"
+        )
     for key in ("num_shards", "estimators"):
         if key not in state:
             raise SnapshotError(f"snapshot is missing the {key!r} field")
@@ -59,7 +97,13 @@ def _validated(state: Mapping) -> Mapping:
 
 
 def restore_store_state(store: ShardedSketchStore, state: Mapping) -> None:
-    """Register and load every estimator of a snapshot into an empty store."""
+    """Register and load every estimator of a snapshot into an empty store.
+
+    Works for both snapshot forms: shard states whose counters are per-word
+    lists (v1) and shard states holding contiguous tensors (v2) — including
+    read-only memory-mapped views, which are adopted without copying and
+    materialised lazily on first mutation.
+    """
     state = _validated(state)
     if int(state["num_shards"]) != store.num_shards:
         raise SnapshotError(
@@ -80,11 +124,14 @@ def restore_store_state(store: ShardedSketchStore, state: Mapping) -> None:
         store.register(name, spec)
         try:
             for estimator, shard_state in zip(store.shard_estimators(name), shard_states):
-                estimator.load_state_dict(shard_state)
+                estimator.load_state_dict(shard_state, copy=False)
         except MergeCompatibilityError as exc:
             raise SnapshotError(
                 f"snapshot entry {name!r} is incompatible with its own spec: {exc}"
             ) from exc
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"malformed snapshot entry for {name!r}: {exc}") from exc
         # Versions restart per process; bump once so caches never confuse a
         # freshly-restored estimator with a just-registered empty one.
         store.mark_updated(name)
@@ -103,8 +150,235 @@ def restore_service(state: Mapping, *, flush_threshold: int | None = 8192,
     return service
 
 
+# -- binary container (v2) ------------------------------------------------------
+
+
+def _pack_tree(node: Any, arrays: list[np.ndarray],
+               dedup: dict[tuple, int]) -> Any:
+    """Replace every ndarray leaf with a slot reference, collecting arrays.
+
+    Identical tensors are stored once and referenced from every slot: all
+    shards of an estimator (and both banks of a paired estimator) share the
+    same xi families, so deduplication shrinks snapshots by roughly the
+    shard count on the seed side without any schema special-casing.
+    """
+    if isinstance(node, np.ndarray):
+        array = np.ascontiguousarray(node)
+        key = (array.dtype.str, array.shape,
+               hashlib.sha256(array.tobytes()).digest())
+        slot = dedup.get(key)
+        if slot is None:
+            arrays.append(array)
+            slot = dedup[key] = len(arrays) - 1
+        return {_ARRAY_KEY: slot}
+    if isinstance(node, Mapping):
+        return {str(key): _pack_tree(value, arrays, dedup)
+                for key, value in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_pack_tree(value, arrays, dedup) for value in node]
+    return node
+
+
+def _unpack_tree(node: Any, arrays: list[np.ndarray]) -> Any:
+    """Inverse of :func:`_pack_tree`: resolve slot references to arrays."""
+    if isinstance(node, dict):
+        if set(node) == {_ARRAY_KEY}:
+            try:
+                return arrays[int(node[_ARRAY_KEY])]
+            except (IndexError, ValueError, TypeError) as exc:
+                raise SnapshotError(f"dangling array reference: {exc}") from exc
+        return {key: _unpack_tree(value, arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_unpack_tree(value, arrays) for value in node]
+    return node
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def write_binary_snapshot_state(state: Mapping, path) -> None:
+    """Atomically write a state tree as a binary (v2) snapshot file.
+
+    Layout: ``BINARY_MAGIC``, a little-endian uint64 header length, the JSON
+    header (the state tree with tensors replaced by slot references plus a
+    table of ``{dtype, shape, offset, nbytes}`` entries), zero padding, then
+    the raw tensor bytes, each section 64-byte aligned.  Offsets are
+    relative to the data section, so the header can be serialised before
+    its own length is known.
+    """
+    arrays: list[np.ndarray] = []
+    tree = _pack_tree(state, arrays, {})
+    table = []
+    offset = 0
+    for array in arrays:
+        if array.dtype.hasobject:  # pragma: no cover - states never hold objects
+            raise SnapshotError("cannot serialise object arrays")
+        offset = _aligned(offset)
+        table.append({
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+            "nbytes": int(array.nbytes),
+        })
+        offset += array.nbytes
+    header = json.dumps({"state": tree, "arrays": table},
+                        separators=(",", ":")).encode("utf-8")
+    data_start = _aligned(len(BINARY_MAGIC) + 8 + len(header))
+
+    path = os.fspath(path)
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(BINARY_MAGIC)
+        handle.write(struct.pack("<Q", len(header)))
+        handle.write(header)
+        position = len(BINARY_MAGIC) + 8 + len(header)
+        for entry, array in zip(table, arrays):
+            target = data_start + entry["offset"]
+            handle.write(b"\0" * (target - position))
+            handle.write(array.tobytes())
+            position = target + entry["nbytes"]
+    os.replace(tmp, path)
+
+
+def _read_binary_header(handle) -> tuple[dict, int]:
+    """Parse the magic + header of an open binary snapshot file."""
+    magic = handle.read(len(BINARY_MAGIC))
+    if magic != BINARY_MAGIC:
+        raise SnapshotError("not a binary snapshot (bad magic bytes)")
+    raw_length = handle.read(8)
+    if len(raw_length) != 8:
+        raise SnapshotError("truncated binary snapshot (incomplete header length)")
+    (header_length,) = struct.unpack("<Q", raw_length)
+    header_bytes = handle.read(header_length)
+    if len(header_bytes) != header_length:
+        raise SnapshotError("truncated binary snapshot (incomplete header)")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"corrupt binary snapshot header: {exc}") from exc
+    if not isinstance(header, dict) or "state" not in header or "arrays" not in header:
+        raise SnapshotError("corrupt binary snapshot header: missing fields")
+    return header, _aligned(len(BINARY_MAGIC) + 8 + header_length)
+
+
+def read_binary_snapshot_state(path, *, mmap: bool | None = None):
+    """Read a binary snapshot file back into a state tree.
+
+    With ``mmap=True`` the tensors are read-only views into a single
+    memory-mapped buffer — nothing is copied; the OS pages counter data in
+    on demand.  ``mmap=False`` reads the file into private memory instead
+    (use when the file is about to be replaced or unlinked on a platform
+    without POSIX semantics).  The default maps on POSIX systems and reads
+    elsewhere: Windows refuses to replace a file with live mappings, which
+    would break save-over-restore round trips.
+    """
+    if mmap is None:
+        mmap = os.name == "posix"
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            header, data_start = _read_binary_header(handle)
+            if not mmap:
+                handle.seek(0)
+                buffer = handle.read()
+    except OSError as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if mmap:
+        try:
+            buffer = np.memmap(path, dtype=np.uint8, mode="r")
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(f"cannot map snapshot {path}: {exc}") from exc
+        total = buffer.size
+    else:
+        total = len(buffer)
+
+    arrays: list[np.ndarray] = []
+    for entry in header["arrays"]:
+        try:
+            dtype = np.dtype(str(entry["dtype"]))
+            shape = tuple(int(value) for value in entry["shape"])
+            relative = int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"corrupt array table entry: {exc}") from exc
+        if dtype.hasobject:
+            raise SnapshotError("snapshot declares an object array")
+        if relative < 0 or nbytes < 0 or any(extent < 0 for extent in shape):
+            raise SnapshotError(
+                "array table entry is inconsistent (negative offset or size)"
+            )
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if expected != nbytes:
+            raise SnapshotError(
+                f"array table entry is inconsistent ({expected} != {nbytes} bytes)"
+            )
+        offset = data_start + relative
+        if offset + nbytes > total:
+            raise SnapshotError("truncated binary snapshot (array data missing)")
+        if mmap:
+            array = np.ndarray(shape, dtype=dtype, buffer=buffer, offset=offset)
+        else:
+            array = np.frombuffer(buffer, dtype=dtype,
+                                  count=int(np.prod(shape, dtype=np.int64)),
+                                  offset=offset).reshape(shape)
+        arrays.append(array)
+    return _unpack_tree(header["state"], arrays)
+
+
+# -- single-estimator (merged view) snapshots -----------------------------------
+
+
+def write_view_snapshot(spec: EstimatorSpec, estimator, path) -> None:
+    """Binary snapshot of one estimator (spec + state), for worker restores."""
+    write_binary_snapshot_state({
+        "format": SNAPSHOT_FORMAT,
+        "snapshot_version": SNAPSHOT_VERSION,
+        "kind": "view",
+        "spec": spec.to_dict(),
+        "estimator": estimator.state_dict(arrays=True),
+    }, path)
+
+
+def load_view_snapshot(path) -> tuple[EstimatorSpec, Any]:
+    """Rebuild the estimator of a :func:`write_view_snapshot` file.
+
+    The counters are adopted straight from the memory-mapped file
+    (``copy=False``), so restoring costs one mmap plus sketch construction
+    — the pool-worker start-up path of :mod:`repro.service.parallel`.
+    """
+    state = read_binary_snapshot_state(path)
+    if not isinstance(state, Mapping) or state.get("kind") != "view":
+        raise SnapshotError(f"{os.fspath(path)} is not a view snapshot")
+    try:
+        spec = EstimatorSpec.from_dict(state["spec"])
+        view = spec.build()
+        view.load_state_dict(state["estimator"], copy=False)
+    except MergeCompatibilityError as exc:
+        raise SnapshotError(f"view snapshot is incompatible with its spec: {exc}") from exc
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"malformed view snapshot: {exc}") from exc
+    return spec, view
+
+
+# -- file-level helpers ----------------------------------------------------------
+
+
+def resolve_snapshot_format(format: str, path) -> str:
+    """Normalise a requested format: ``auto`` keeps ``.json`` paths JSON."""
+    if format not in SNAPSHOT_FORMATS:
+        raise SnapshotError(
+            f"snapshot format must be one of {SNAPSHOT_FORMATS}, got {format!r}"
+        )
+    if format != "auto":
+        return format
+    return "json" if os.fspath(path).endswith(".json") else "binary"
+
+
 def write_snapshot_state(state: Mapping, path) -> None:
-    """Atomically write an already-captured snapshot dict as JSON."""
+    """Atomically write an already-captured v1 snapshot dict as JSON."""
     path = os.fspath(path)
     tmp = f"{path}.tmp"
     with open(tmp, "w", encoding="utf-8") as handle:
@@ -112,28 +386,50 @@ def write_snapshot_state(state: Mapping, path) -> None:
     os.replace(tmp, path)
 
 
-def save_snapshot(service_or_store, path) -> None:
-    """Atomically write a snapshot file (JSON) for a service or a bare store.
+def save_snapshot(service_or_store, path, *, format: str = "auto") -> None:
+    """Atomically write a snapshot file for a service or a bare store.
 
-    For a service this delegates to its (lock-holding, auto-flushing)
-    ``snapshot`` method; a bare store is serialised directly.
+    ``format`` is ``"binary"`` (v2), ``"json"`` (v1) or ``"auto"`` (the
+    default): binary unless the path ends in ``.json``.  For a service the
+    state is captured through its (lock-holding, auto-flushing) ``snapshot``
+    method; a bare store is serialised directly.
     """
+    fmt = resolve_snapshot_format(format, path)
+    arrays = fmt == "binary"
     if hasattr(service_or_store, "snapshot"):
-        state = service_or_store.snapshot()
+        state = service_or_store.snapshot(arrays=arrays)
     else:
-        state = store_snapshot(service_or_store)
-    write_snapshot_state(state, path)
+        state = store_snapshot(service_or_store, arrays=arrays)
+    if arrays:
+        write_binary_snapshot_state(state, path)
+    else:
+        write_snapshot_state(state, path)
+
+
+def read_snapshot_state(path):
+    """Read a snapshot file (either format, auto-detected) into a state tree."""
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            is_binary = handle.read(len(BINARY_MAGIC)) == BINARY_MAGIC
+    except FileNotFoundError:
+        raise
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if is_binary:
+        return read_binary_snapshot_state(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
 
 
 def load_snapshot(path, *, flush_threshold: int | None = 8192,
                   cache_size: int = 16, max_workers: int | None = None):
-    """Read a snapshot file and rebuild the service it describes."""
-    try:
-        with open(os.fspath(path), "r", encoding="utf-8") as handle:
-            state = json.load(handle)
-    except FileNotFoundError:
-        raise
-    except (OSError, json.JSONDecodeError) as exc:
-        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    """Read a snapshot file (v1 JSON or v2 binary) and rebuild its service."""
+    state = read_snapshot_state(path)
     return restore_service(state, flush_threshold=flush_threshold,
                            cache_size=cache_size, max_workers=max_workers)

@@ -190,7 +190,10 @@ class ShardedSketchStore:
 
         The view is built from the shared spec (hence merge-compatible with
         every shard) and is independent of the store: later shard updates do
-        not affect it, which is exactly what a query-side cache wants.
+        not affect it, which is exactly what a query-side cache wants.  Each
+        fold is one vectorised add of contiguous counter tensors
+        (:meth:`repro.core.atomic.SketchBank.merge`) — no per-word
+        traversal, so view construction is O(shards) array ops per bank.
         """
         spec = self.spec(name)
         merged = spec.build()
@@ -208,15 +211,21 @@ class ShardedSketchStore:
 
     # -- persistence ----------------------------------------------------------------
 
-    def state_dict(self) -> dict:
-        """A JSON-serialisable snapshot of every spec and shard estimator."""
+    def state_dict(self, *, arrays: bool = False) -> dict:
+        """A snapshot of every spec and shard estimator.
+
+        ``arrays=False`` (default) yields the JSON-serialisable v1 tree;
+        ``arrays=True`` keeps every bank's counters as contiguous tensors —
+        the form the binary snapshot writer serialises directly.
+        """
         return {
             "num_shards": self._num_shards,
             "estimators": {
                 name: {
                     "spec": spec.to_dict(),
                     "version": self._versions[name],
-                    "shards": [shard[name].state_dict() for shard in self._shards],
+                    "shards": [shard[name].state_dict(arrays=arrays)
+                               for shard in self._shards],
                 }
                 for name, spec in self._specs.items()
             },

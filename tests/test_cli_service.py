@@ -95,6 +95,33 @@ class TestIngestEstimateCommands:
         result = json.loads(capsys.readouterr().out)
         assert result["left_count"] == 500 and result["right_count"] == 500
 
+    def test_binary_snapshot_default_and_format_flag(self, tmp_path, capsys):
+        """Non-.json paths write the binary v2 format; reads auto-detect."""
+        from repro.service.snapshot import BINARY_MAGIC
+
+        snapshot = str(tmp_path / "svc.snap")
+        assert main(["ingest", "--snapshot", snapshot, "--name", "join",
+                     "--family", "rectangle", "--sizes", "256x256",
+                     "--instances", "16", "--count", "300",
+                     "--side", "left"]) == 0
+        capsys.readouterr()
+        with open(snapshot, "rb") as handle:
+            assert handle.read(len(BINARY_MAGIC)) == BINARY_MAGIC
+        assert main(["estimate", "--snapshot", snapshot, "--name", "join"]) == 0
+        binary_result = json.loads(capsys.readouterr().out)
+
+        # --format json forces v1 even without a .json extension, and both
+        # snapshots answer identically.
+        forced = str(tmp_path / "svc-forced")
+        assert main(["ingest", "--snapshot", forced, "--name", "join",
+                     "--family", "rectangle", "--sizes", "256x256",
+                     "--instances", "16", "--count", "300",
+                     "--side", "left", "--format", "json"]) == 0
+        capsys.readouterr()
+        json.load(open(forced, encoding="utf-8"))  # plain v1 JSON
+        assert main(["estimate", "--snapshot", forced, "--name", "join"]) == 0
+        assert json.loads(capsys.readouterr().out) == binary_result
+
     def test_boxes_file_and_range_query(self, tmp_path, capsys):
         snapshot = str(tmp_path / "svc.json")
         boxes_file = tmp_path / "boxes.json"

@@ -11,8 +11,11 @@ import pytest
 from repro.core.hashing import (
     MERSENNE_PRIME,
     FourWiseFamilyBank,
+    coefficients_from_state,
+    coefficients_to_state,
     stable_seed_offset,
     stable_text_hash,
+    stack_xi_coefficients,
 )
 from repro.errors import SketchConfigError
 
@@ -166,3 +169,56 @@ class TestStableSeedHashing:
                 text=True, check=True).stdout.strip()
             values.add(int(output))
         assert values == {stable_seed_offset(("R", "S", "T"))}
+
+
+class TestCoefficientSerialisation:
+    """xi-coefficient (de)serialisation round trips (sketch snapshot seeds)."""
+
+    def test_state_round_trip_rebuilds_identical_families(self):
+        bank = FourWiseFamilyBank(6, 1024, seed=17)
+        state = coefficients_to_state(bank.coefficients)
+        restored = FourWiseFamilyBank.from_coefficients(state, 1024)
+        ids = np.arange(1024)
+        assert np.array_equal(restored.signs(ids), bank.signs(ids))
+        assert restored.matches_coefficients(bank.coefficients)
+
+    def test_state_is_json_serialisable(self):
+        import json
+
+        bank = FourWiseFamilyBank(3, 64, seed=5)
+        text = json.dumps(bank.coefficients_state())
+        assert bank.matches_coefficients(json.loads(text))
+
+    def test_matches_coefficients_accepts_all_forms(self):
+        bank = FourWiseFamilyBank(4, 128, seed=9)
+        as_list = bank.coefficients_state()
+        as_array = coefficients_from_state(as_list)
+        read_only = as_array.copy()
+        read_only.setflags(write=False)
+        assert bank.matches_coefficients(as_list)
+        assert bank.matches_coefficients(as_array)
+        assert bank.matches_coefficients(read_only)
+
+    def test_matches_coefficients_rejects_other_seeds_and_shapes(self):
+        bank = FourWiseFamilyBank(4, 128, seed=9)
+        other = FourWiseFamilyBank(4, 128, seed=10)
+        assert not bank.matches_coefficients(other.coefficients)
+        assert not bank.matches_coefficients([[1, 2, 3]])  # 3 coefficients
+        assert not bank.matches_coefficients(
+            FourWiseFamilyBank(5, 128, seed=9).coefficients)
+
+    def test_malformed_state_raises(self):
+        with pytest.raises(SketchConfigError):
+            coefficients_from_state([1, 2, 3, 4])  # 1-d: no family axis
+
+    def test_stacked_tensor_matches_per_bank_matrices(self):
+        banks = [FourWiseFamilyBank(4, 256, seed=s) for s in (1, 2, 3)]
+        stacked = stack_xi_coefficients(banks)
+        assert stacked.shape == (3, 4, 4)
+        assert stacked.flags.c_contiguous
+        for dim, bank in enumerate(banks):
+            assert bank.matches_coefficients(stacked[dim])
+
+    def test_stacked_tensor_requires_banks(self):
+        with pytest.raises(SketchConfigError):
+            stack_xi_coefficients([])

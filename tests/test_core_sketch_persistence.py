@@ -203,6 +203,77 @@ class TestPersistence:
             other.load_state_dict(bank.state_dict())
 
 
+class TestColumnarState:
+    """The contiguous counter tensor and the array-form snapshots."""
+
+    def test_counter_tensor_matches_per_word_counters(self, rng, domain_1d):
+        bank = SketchBank(domain_1d, IE_1D, num_instances=12, seed=7)
+        bank.insert(random_boxes(rng, 25, 256, 1))
+        tensor = bank.counter_tensor
+        assert tensor.shape == (12, len(IE_1D))
+        assert tensor.flags.c_contiguous and not tensor.flags.writeable
+        for column, word in enumerate(bank.words):
+            assert np.array_equal(tensor[:, column], bank.counter(word))
+
+    def test_array_state_round_trip_is_bit_identical(self, rng, domain_1d):
+        original = SketchBank(domain_1d, IE_1D, num_instances=12, seed=7)
+        original.insert(random_boxes(rng, 25, 256, 1))
+        state = original.state_dict(arrays=True)
+        assert isinstance(state["counters"], np.ndarray)
+        assert state["xi_coefficients"].shape == (1, 12, 4)
+
+        restored = SketchBank(domain_1d, IE_1D, num_instances=12, seed=7)
+        restored.load_state_dict(state)
+        assert np.array_equal(restored.counter_tensor, original.counter_tensor)
+        assert restored.num_updates == original.num_updates
+
+    def test_array_and_json_states_describe_the_same_counters(self, rng, domain_1d):
+        bank = SketchBank(domain_1d, IE_1D, num_instances=6, seed=3)
+        bank.insert(random_boxes(rng, 15, 256, 1))
+        json_state = bank.state_dict()
+        array_state = bank.state_dict(arrays=True)
+        for column, key in enumerate(json_state["words"]):
+            assert json_state["counters"][key] == \
+                array_state["counters"][:, column].tolist()
+
+    def test_adopted_read_only_tensor_copies_on_first_write(self, rng, domain_1d):
+        original = SketchBank(domain_1d, IE_1D, num_instances=8, seed=7)
+        original.insert(random_boxes(rng, 20, 256, 1))
+        state = original.state_dict(arrays=True)
+        state["counters"].setflags(write=False)
+
+        adopted = SketchBank(domain_1d, IE_1D, num_instances=8, seed=7)
+        adopted.load_state_dict(state, copy=False)
+        assert adopted._matrix is state["counters"]  # no copy on load
+        later = random_boxes(rng, 5, 256, 1)
+        adopted.insert(later)  # must not raise: copy-on-write
+        original.insert(later)
+        assert np.array_equal(adopted.counter_tensor, original.counter_tensor)
+
+    def test_merge_is_a_single_tensor_add(self, rng, domain_1d):
+        first = SketchBank(domain_1d, IE_1D, num_instances=8, seed=5)
+        second = first.companion()
+        first.insert(random_boxes(rng, 10, 256, 1))
+        second.insert(random_boxes(rng, 12, 256, 1))
+        expected = first.counter_tensor + second.counter_tensor
+        first.merge(second)
+        assert np.array_equal(first.counter_tensor, expected)
+
+    def test_array_state_seed_mismatch_rejected(self, rng, domain_1d):
+        bank = SketchBank(domain_1d, IE_1D, num_instances=8, seed=9)
+        bank.insert(random_boxes(rng, 5, 256, 1))
+        other = SketchBank(domain_1d, IE_1D, num_instances=8, seed=10)
+        with pytest.raises(MergeCompatibilityError):
+            other.load_state_dict(bank.state_dict(arrays=True))
+
+    def test_array_state_shape_mismatch_rejected(self, rng, domain_1d):
+        bank = SketchBank(domain_1d, IE_1D, num_instances=8, seed=9)
+        state = bank.state_dict(arrays=True)
+        state["counters"] = state["counters"][:, :1]
+        with pytest.raises(MergeCompatibilityError):
+            bank.load_state_dict(state)
+
+
 def _family_boxes(rng, family, sizes, count):
     boxes = random_boxes(rng, count, sizes[0], len(sizes))
     if family == "epsilon":
@@ -258,6 +329,27 @@ class TestEstimatorPersistence:
             query = random_boxes(rng, 1, sizes[0], len(sizes))
         assert (run_estimate(spec, restored, query).estimate
                 == run_estimate(spec, original, query).estimate)
+
+    @pytest.mark.parametrize("family,sizes,options", FAMILY_SPECS,
+                             ids=[f[0] for f in FAMILY_SPECS])
+    def test_array_state_round_trip_estimate_equality(self, rng, family,
+                                                      sizes, options):
+        """arrays=True snapshots restore bit-identically, every family."""
+        spec = EstimatorSpec.create(family, sizes, 16, seed=13, **options)
+        original = spec.build()
+        for side in spec.info.sides:
+            apply_update(spec, original, side, "insert",
+                         _family_boxes(rng, family, sizes, 80))
+        restored = spec.build()
+        restored.load_state_dict(original.state_dict(arrays=True))
+        query = None
+        if spec.info.queryable:
+            query = random_boxes(rng, 1, sizes[0], len(sizes))
+        original_result = run_estimate(spec, original, query)
+        restored_result = run_estimate(spec, restored, query)
+        assert restored_result.estimate == original_result.estimate
+        assert np.array_equal(restored_result.instance_values,
+                              original_result.instance_values)
 
     def test_seed_mismatch_rejected_on_load(self, rng):
         snapshot = EstimatorSpec.create("rectangle", (256, 256), 8,

@@ -88,6 +88,18 @@ class TestServiceSynopses:
         # ... and the adopted estimator keeps tracking relation mutations.
         assert resumed.join_sketch(left, right).left_count == len(left)
 
+    def test_from_snapshot_boots_from_a_binary_checkpoint(self, catalog,
+                                                          domain_2d, tmp_path):
+        """Optimizer synopses come back from a v2 snapshot file directly."""
+        synopses = ServiceSynopses(domain_2d, num_instances=16, seed=2)
+        left, right = catalog.get("R"), catalog.get("S")
+        expected = synopses.estimated_join_cardinality(left, right)
+        path = tmp_path / "synopses.snap"
+        synopses.service.save(path)  # auto -> binary v2
+        resumed = ServiceSynopses.from_snapshot(path, domain_2d,
+                                                num_instances=16, seed=2)
+        assert resumed.estimated_join_cardinality(left, right) == expected
+
     def test_pair_seed_offset_is_process_independent(self):
         """Sketch seeds must not depend on PYTHONHASHSEED (snapshots outlive
         the process, and the seed decides merge compatibility)."""

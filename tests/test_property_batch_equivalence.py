@@ -7,9 +7,17 @@ batched estimation path must return *exactly* what a loop of scalar
 values, same group means.  This is the tentpole guarantee of the batched
 engine: batching is a pure execution-strategy change, never a numerics
 change.
+
+The same holds for persistence: a state round trip through either
+snapshot format (v1 JSON or v2 binary, the latter restored through a
+read-only memory map) must leave every estimate bit-identical — the
+columnar state layer is likewise a pure storage-strategy change.
 """
 
 from __future__ import annotations
+
+import os
+import tempfile
 
 import numpy as np
 import pytest
@@ -17,7 +25,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry.boxset import BoxSet
-from repro.service import EstimationService, EstimatorSpec
+from repro.service import (
+    EstimationService,
+    EstimatorSpec,
+    load_snapshot,
+    save_snapshot,
+)
 
 #: Family -> (domain sizes, update sides, extra spec options).
 FAMILY_CASES = {
@@ -107,3 +120,21 @@ def test_batch_equals_scalar_on_merged_shard_views(family, case):
     direct = service.store.estimate_batch(
         "est", queries if family == "range" else len(queries))
     assert [r.estimate for r in direct] == [r.estimate for r in batch]
+
+    # Persistence equivalence: a round trip through BOTH snapshot formats
+    # (v1 JSON lists and v2 binary tensors, the latter restored through a
+    # read-only memory map) must leave every estimate bit-identical.
+    with tempfile.TemporaryDirectory(prefix="repro-snap-") as tmp:
+        for filename, fmt in (("svc.json", "json"), ("svc.snap", "binary")):
+            path = os.path.join(tmp, filename)
+            save_snapshot(service, path, format=fmt)
+            restored = load_snapshot(path)
+            if family == "range":
+                round_tripped = restored.estimate_batch("est", queries)
+            else:
+                round_tripped = restored.estimate_batch("est", len(queries))
+            for before, after in zip(batch, round_tripped):
+                assert after.estimate == before.estimate
+                assert np.array_equal(after.instance_values,
+                                      before.instance_values)
+                assert np.array_equal(after.group_means, before.group_means)
