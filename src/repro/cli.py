@@ -16,6 +16,13 @@ It also drives the sharded sketch service (:mod:`repro.service`)::
     repro-spatial estimate --snapshot svc.snap --name ranges \\
         --batch-file queries.jsonl --workers 4    # JSON-lines in/out
     repro-spatial serve --snapshot svc.snap        # JSON-lines loop on stdio
+    repro-spatial serve --snapshot svc.snap --listen 127.0.0.1:7007  # TCP
+
+With ``--listen`` the server speaks the newline-delimited JSON protocol of
+:mod:`repro.server` (request coalescing, admission control, hot reload);
+one-shot ``estimate``/``ingest`` invocations can then reuse that running
+server with ``--connect host:port`` instead of paying a snapshot restore
+per invocation (the ``--snapshot`` offline path remains the fallback).
 
 Snapshots are written in the binary v2 format by default (raw counter
 tensors, memory-mapped restores); a ``.json`` path — or ``--format json``
@@ -31,7 +38,6 @@ import sys
 import time
 from typing import Sequence
 
-import numpy as np
 
 from repro.errors import ReproError
 from repro.experiments.config import SCALES, get_scale
@@ -69,6 +75,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="path of the service snapshot file (binary v2 by "
                             "default; .json paths use the JSON v1 format)")
 
+    def add_connect_arg(p):
+        p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                       help="send the request to a running network server "
+                            "instead of restoring --snapshot locally")
+
     def add_format_arg(p):
         p.add_argument("--format", default="auto",
                        choices=("auto", "binary", "json"),
@@ -78,7 +89,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     ingest = sub.add_parser(
         "ingest", help="ingest data into a service snapshot (creating it if needed)")
-    add_snapshot_arg(ingest)
+    add_snapshot_arg(ingest, required=False)
+    add_connect_arg(ingest)
     ingest.add_argument("--name", required=True, help="estimator name")
     ingest.add_argument("--family", default=None,
                         help="estimator family (required when registering a new name)")
@@ -109,7 +121,8 @@ def _build_parser() -> argparse.ArgumentParser:
     add_format_arg(ingest)
 
     estimate = sub.add_parser("estimate", help="estimate from a service snapshot")
-    add_snapshot_arg(estimate)
+    add_snapshot_arg(estimate, required=False)
+    add_connect_arg(estimate)
     estimate.add_argument("--name", required=True, help="estimator name")
     estimate.add_argument("--query", default=None,
                           help="query rectangle lo_1,..,lo_d,hi_1,..,hi_d "
@@ -126,12 +139,29 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(threads when no process pool is available)")
 
     serve = sub.add_parser(
-        "serve", help="serve estimates over a JSON-lines stdin/stdout loop")
+        "serve", help="serve estimates over stdio JSON-lines, or over TCP "
+                      "with --listen")
     add_snapshot_arg(serve, required=False)
     serve.add_argument("--shards", type=int, default=4,
                        help="shard count when starting without a snapshot")
     serve.add_argument("--save-on-exit", action="store_true",
                        help="write the snapshot back on quit/EOF (needs --snapshot)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve the newline-delimited JSON protocol over "
+                            "TCP (request coalescing, metrics, hot reload) "
+                            "instead of the stdio loop; port 0 picks a free "
+                            "port")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="coalescer batch size: concurrent estimates are "
+                            "answered through one batched engine call "
+                            "(default: 64; 1 disables coalescing)")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="longest a queued estimate waits for batch "
+                            "companions, in milliseconds (default: 2)")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="admission cap on queued+in-flight estimates; "
+                            "beyond it requests get fast 'overloaded' errors "
+                            "(default: 1024)")
     add_format_arg(serve)
     return parser
 
@@ -164,14 +194,37 @@ def _parse_sizes(text: str) -> tuple[int, ...]:
 
 
 def _boxes_from_rows(rows, dimension: int | None = None) -> BoxSet:
-    """Rows of ``[lo_1..lo_d, hi_1..hi_d]`` as a BoxSet."""
-    array = np.asarray(rows, dtype=np.int64)
-    if array.ndim != 2 or array.shape[1] % 2:
-        raise ReproError("box rows must be [lo_1..lo_d, hi_1..hi_d] lists")
-    d = array.shape[1] // 2
-    if dimension is not None and d != dimension:
-        raise ReproError(f"box rows are {d}-dimensional, expected {dimension}")
-    return BoxSet(array[:, :d], array[:, d:])
+    """Rows of ``[lo_1..lo_d, hi_1..hi_d]`` as a BoxSet (shared wire codec)."""
+    from repro.server.protocol import boxes_from_rows
+
+    return boxes_from_rows(rows, dimension)
+
+
+def _parse_hostport(text: str) -> tuple[str, int]:
+    """``host:port`` (or bare ``:port`` for localhost) as an address pair."""
+    host, separator, port = text.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ReproError(f"expected HOST:PORT, got {text!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def _connect_client(args):
+    from repro.client import ServiceClient
+
+    host, port = _parse_hostport(args.connect)
+    try:
+        return ServiceClient(host, port)
+    except OSError as exc:
+        raise ReproError(f"cannot connect to {host}:{port}: {exc}") from exc
+
+
+def _require_target(args) -> None:
+    """One-shot service ops need a running server or a snapshot file."""
+    if args.connect is None and args.snapshot is None:
+        raise ReproError(
+            "pass --connect HOST:PORT to use a running server, or "
+            "--snapshot PATH for the offline path"
+        )
 
 
 def _load_or_create_service(path: str | None, shards: int):
@@ -191,10 +244,104 @@ def _estimate_payload(result) -> dict:
     }
 
 
-def _run_ingest(args) -> int:
-    from repro.core.domain import Domain
-    from repro.service import EstimatorSpec, synthetic_boxes
+def _ingest_options(args) -> dict:
+    options = {}
+    if args.epsilon is not None:
+        options["epsilon"] = args.epsilon
+    if args.strict:
+        options["strict"] = True
+    if args.endpoint_policy is not None:
+        options["endpoint_policy"] = args.endpoint_policy
+    return options
 
+
+def _check_spec_conflicts(args, spec) -> None:
+    """An already-registered name: configuration flags must agree with the
+    stored spec rather than being silently ignored."""
+    conflicts = []
+    if args.family is not None and args.family != spec.family:
+        conflicts.append(f"--family {args.family} (registered: {spec.family})")
+    if args.sizes is not None and _parse_sizes(args.sizes) != spec.sizes:
+        conflicts.append(f"--sizes {args.sizes} "
+                         f"(registered: {'x'.join(map(str, spec.sizes))})")
+    if args.epsilon is not None and args.epsilon != spec.option("epsilon", None):
+        conflicts.append(f"--epsilon {args.epsilon} "
+                         f"(registered: {spec.option('epsilon', None)})")
+    if args.strict and not spec.option("strict", False):
+        conflicts.append("--strict (registered: non-strict)")
+    if args.endpoint_policy is not None and \
+            args.endpoint_policy != spec.option("endpoint_policy", "transform"):
+        conflicts.append(f"--endpoint-policy {args.endpoint_policy} "
+                         f"(registered: {spec.option('endpoint_policy', 'transform')})")
+    if args.instances is not None and args.instances != spec.num_instances:
+        conflicts.append(f"--instances {args.instances} "
+                         f"(registered: {spec.num_instances})")
+    if args.seed is not None and args.seed != spec.seed:
+        conflicts.append(f"--seed {args.seed} (registered: {spec.seed})")
+    if conflicts:
+        raise ReproError(
+            f"estimator {args.name!r} is already registered with a "
+            f"different configuration: {'; '.join(conflicts)}"
+        )
+
+
+def _ingest_boxes(args, spec) -> BoxSet:
+    """The boxes to ingest: a JSON file of rows, or synthetic data."""
+    from repro.core.domain import Domain
+    from repro.service import synthetic_boxes
+
+    if args.boxes is not None:
+        with open(args.boxes, "r", encoding="utf-8") as handle:
+            return _boxes_from_rows(json.load(handle), spec.dimension)
+    count = args.count if args.count is not None else 1000
+    degenerate = args.side in spec.info.point_sides or (
+        spec.info.aliases.get(args.side, args.side) in spec.info.point_sides)
+    return synthetic_boxes(Domain(spec.sizes, max_levels=spec.max_levels),
+                           count, seed=args.data_seed, degenerate=degenerate)
+
+
+def _run_ingest_remote(args) -> int:
+    """Satellite path: reuse a running server instead of restoring a snapshot."""
+    from repro.service import EstimatorSpec
+
+    with _connect_client(args) as client:
+        estimators = client.stats()["estimators"]
+        created = args.name not in estimators
+        if created:
+            if args.family is None or args.sizes is None:
+                raise ReproError(
+                    f"estimator {args.name!r} is not on the server; pass "
+                    f"--family and --sizes to register it"
+                )
+            reply = client.register(
+                args.name, family=args.family, sizes=_parse_sizes(args.sizes),
+                instances=256 if args.instances is None else args.instances,
+                seed=0 if args.seed is None else args.seed,
+                **_ingest_options(args))
+            spec = EstimatorSpec.from_dict(reply["spec"])
+        else:
+            spec = EstimatorSpec.from_dict(estimators[args.name])
+            _check_spec_conflicts(args, spec)
+        boxes = _ingest_boxes(args, spec)
+        reply = client.ingest(args.name, boxes, side=args.side, kind=args.kind)
+        print(json.dumps({
+            "connect": args.connect,
+            "created": created,
+            "name": args.name,
+            "side": args.side,
+            "kind": args.kind,
+            "boxes": reply["boxes"],
+            "pending": reply["pending"],
+        }))
+    return 0
+
+
+def _run_ingest(args) -> int:
+    from repro.service import EstimatorSpec
+
+    _require_target(args)
+    if args.connect is not None:
+        return _run_ingest_remote(args)
     service, existed = _load_or_create_service(args.snapshot, args.shards)
     if args.name not in service:
         if args.family is None or args.sizes is None:
@@ -202,59 +349,16 @@ def _run_ingest(args) -> int:
                 f"estimator {args.name!r} is not in the snapshot; pass --family "
                 f"and --sizes to register it"
             )
-        options = {}
-        if args.epsilon is not None:
-            options["epsilon"] = args.epsilon
-        if args.strict:
-            options["strict"] = True
-        if args.endpoint_policy is not None:
-            options["endpoint_policy"] = args.endpoint_policy
         spec = EstimatorSpec.create(
             args.family, _parse_sizes(args.sizes),
             256 if args.instances is None else args.instances,
-            seed=0 if args.seed is None else args.seed, **options)
+            seed=0 if args.seed is None else args.seed, **_ingest_options(args))
         service.register(args.name, spec)
     else:
-        # The name is already registered: configuration flags must agree
-        # with the stored spec rather than being silently ignored.
-        spec = service.spec(args.name)
-        conflicts = []
-        if args.family is not None and args.family != spec.family:
-            conflicts.append(f"--family {args.family} (registered: {spec.family})")
-        if args.sizes is not None and _parse_sizes(args.sizes) != spec.sizes:
-            conflicts.append(f"--sizes {args.sizes} "
-                             f"(registered: {'x'.join(map(str, spec.sizes))})")
-        if args.epsilon is not None and args.epsilon != spec.option("epsilon", None):
-            conflicts.append(f"--epsilon {args.epsilon} "
-                             f"(registered: {spec.option('epsilon', None)})")
-        if args.strict and not spec.option("strict", False):
-            conflicts.append("--strict (registered: non-strict)")
-        if args.endpoint_policy is not None and \
-                args.endpoint_policy != spec.option("endpoint_policy", "transform"):
-            conflicts.append(f"--endpoint-policy {args.endpoint_policy} "
-                             f"(registered: {spec.option('endpoint_policy', 'transform')})")
-        if args.instances is not None and args.instances != spec.num_instances:
-            conflicts.append(f"--instances {args.instances} "
-                             f"(registered: {spec.num_instances})")
-        if args.seed is not None and args.seed != spec.seed:
-            conflicts.append(f"--seed {args.seed} (registered: {spec.seed})")
-        if conflicts:
-            raise ReproError(
-                f"estimator {args.name!r} is already registered with a "
-                f"different configuration: {'; '.join(conflicts)}"
-            )
+        _check_spec_conflicts(args, service.spec(args.name))
     spec = service.spec(args.name)
 
-    if args.boxes is not None:
-        with open(args.boxes, "r", encoding="utf-8") as handle:
-            boxes = _boxes_from_rows(json.load(handle), spec.dimension)
-    else:
-        count = args.count if args.count is not None else 1000
-        degenerate = args.side in spec.info.point_sides or (
-            spec.info.aliases.get(args.side, args.side) in spec.info.point_sides)
-        boxes = synthetic_boxes(Domain(spec.sizes, max_levels=spec.max_levels),
-                                count, seed=args.data_seed, degenerate=degenerate)
-
+    boxes = _ingest_boxes(args, spec)
     service.ingest(args.name, boxes, side=args.side, kind=args.kind)
     report = service.flush()
     service.save(args.snapshot, format=args.format)
@@ -305,10 +409,8 @@ def _read_batch_queries(path: str, dimension: int):
     return _boxes_from_rows(rows, dimension)
 
 
-def _run_estimate_batch(service, args) -> int:
-    spec = service.spec(args.name)
-    queries = _read_batch_queries(args.batch_file, spec.dimension)
-    results = service.estimate_batch(args.name, queries, workers=args.workers)
+def _write_batch_results(results, args) -> None:
+    """JSON-lines batch output, shared by the offline and remote paths."""
     out = (sys.stdout if args.batch_output in (None, "-")
            else open(args.batch_output, "w", encoding="utf-8"))
     try:
@@ -320,12 +422,56 @@ def _run_estimate_batch(service, args) -> int:
             out.close()
         else:
             out.flush()
+
+
+def _run_estimate_batch(service, args) -> int:
+    spec = service.spec(args.name)
+    queries = _read_batch_queries(args.batch_file, spec.dimension)
+    results = service.estimate_batch(args.name, queries, workers=args.workers)
+    _write_batch_results(results, args)
+    return 0
+
+
+def _parse_query_arg(text: str) -> BoxSet:
+    coords = [int(c) for c in text.split(",") if c]
+    if len(coords) % 2:
+        raise ReproError("--query needs lo_1,..,lo_d,hi_1,..,hi_d")
+    return _boxes_from_rows([coords], len(coords) // 2)
+
+
+def _run_estimate_remote(args) -> int:
+    """Satellite path: reuse a running server instead of restoring a snapshot."""
+    from repro.service import EstimatorSpec
+
+    if args.workers is not None:
+        raise ReproError("--workers applies to the offline --snapshot path; "
+                         "a running server batches through its coalescer")
+    with _connect_client(args) as client:
+        if args.batch_file is not None:
+            if args.query is not None:
+                raise ReproError("--query and --batch-file are mutually exclusive")
+            estimators = client.stats()["estimators"]
+            if args.name not in estimators:
+                raise ReproError(f"estimator {args.name!r} is not on the server")
+            spec = EstimatorSpec.from_dict(estimators[args.name])
+            queries = _read_batch_queries(args.batch_file, spec.dimension)
+            results = client.estimate_many(args.name, queries)
+            _write_batch_results(results, args)
+            return 0
+        if args.batch_output is not None:
+            raise ReproError("--batch-output requires --batch-file")
+        query = _parse_query_arg(args.query) if args.query is not None else None
+        result = client.estimate(args.name, query)
+        print(json.dumps({"name": args.name, **_estimate_payload(result)}))
     return 0
 
 
 def _run_estimate(args) -> int:
     from repro.service import EstimationService
 
+    _require_target(args)
+    if args.connect is not None:
+        return _run_estimate_remote(args)
     service = EstimationService.load(args.snapshot)
     if args.batch_file is not None:
         if args.query is not None:
@@ -333,13 +479,7 @@ def _run_estimate(args) -> int:
         return _run_estimate_batch(service, args)
     if args.batch_output is not None or args.workers is not None:
         raise ReproError("--batch-output and --workers require --batch-file")
-    query = None
-    if args.query is not None:
-        coords = [int(c) for c in args.query.split(",") if c]
-        if len(coords) % 2:
-            raise ReproError("--query needs lo_1,..,lo_d,hi_1,..,hi_d")
-        d = len(coords) // 2
-        query = _boxes_from_rows([coords], d)
+    query = _parse_query_arg(args.query) if args.query is not None else None
     result = service.estimate(args.name, query)
     print(json.dumps({"name": args.name, **_estimate_payload(result)}))
     return 0
@@ -427,8 +567,42 @@ def service_command_loop(service, in_stream, out_stream, *,
     return 0
 
 
+def _run_serve_listen(args, service) -> int:
+    import asyncio
+
+    from repro.server import ServerConfig, serve
+
+    host, port = _parse_hostport(args.listen)
+    config = ServerConfig(host=host, port=port, max_batch=args.max_batch,
+                          max_delay=args.max_delay_ms / 1000.0,
+                          max_queue=args.max_queue)
+
+    started = {}
+
+    def announce(server) -> None:
+        started["server"] = server
+        print(json.dumps({"listening": f"{host}:{server.port}",
+                          "estimators": service.names(),
+                          "max_batch": args.max_batch,
+                          "max_queue": args.max_queue}), flush=True)
+
+    try:
+        asyncio.run(serve(service, config=config, snapshot_path=args.snapshot,
+                          snapshot_format=args.format, ready=announce))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if args.save_on_exit and args.snapshot:
+            # A reload may have hot-swapped the service; save the live one.
+            current = started["server"].service if "server" in started else service
+            current.save(args.snapshot, format=args.format)
+    return 0
+
+
 def _run_serve(args) -> int:
     service, _ = _load_or_create_service(args.snapshot, args.shards)
+    if args.listen is not None:
+        return _run_serve_listen(args, service)
     return service_command_loop(service, sys.stdin, sys.stdout,
                                 snapshot_path=args.snapshot,
                                 save_on_exit=args.save_on_exit,

@@ -1,0 +1,207 @@
+"""Synchronous client for the network sketch server.
+
+:class:`ServiceClient` keeps **one TCP connection open** across calls
+(connection reuse — no reconnect or snapshot restore per request) and
+mirrors the :class:`~repro.service.service.EstimationService` verbs:
+
+::
+
+    with ServiceClient("127.0.0.1", 7007) as client:
+        client.register("join", family="rectangle", sizes=(1024, 1024))
+        client.ingest("join", [[0, 0, 10, 10]], side="left")
+        result = client.estimate("join")
+        many = client.estimate_many("ranges", query_rows)   # pipelined
+
+Because the server answers in request order, :meth:`estimate_many`
+*pipelines*: it writes every request before reading any reply, so the
+server's coalescer sees the whole burst at once and answers it through a
+handful of batched engine calls.
+
+Failures come back as typed exceptions: :class:`~repro.errors.OverloadedError`
+when the server sheds load (retryable), :class:`~repro.errors.ServerError`
+for other request failures, :class:`~repro.errors.ProtocolError` when the
+connection breaks mid-frame.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ProtocolError
+from repro.geometry.boxset import BoxSet
+from repro.server import protocol
+
+DEFAULT_PORT = 7007
+
+
+@dataclass(frozen=True)
+class RemoteEstimate:
+    """Client-side projection of an :class:`EstimateResult`.
+
+    ``estimate`` round-trips the server's IEEE double exactly (JSON floats
+    are serialised via ``repr``), so it is bit-identical to the value a
+    local :meth:`EstimationService.estimate` call would produce.
+    """
+
+    estimate: float
+    selectivity: float
+    left_count: int
+    right_count: int
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "RemoteEstimate":
+        return cls(estimate=float(payload["estimate"]),
+                   selectivity=float(payload["selectivity"]),
+                   left_count=int(payload["left_count"]),
+                   right_count=int(payload["right_count"]))
+
+    def __float__(self) -> float:
+        return float(self.estimate)
+
+
+def _query_row(query) -> list[int] | None:
+    """One wire query row from ``None``, a row sequence, or a 1-box BoxSet."""
+    if query is None:
+        return None
+    if isinstance(query, BoxSet):
+        rows = protocol.boxes_to_rows(query)
+        if len(rows) != 1:
+            raise ProtocolError("a query must be exactly one rectangle")
+        return rows[0]
+    return [int(c) for c in query]
+
+
+class ServiceClient:
+    """A persistent, pipelining connection to one sketch server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
+                 timeout: float | None = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # -- framing ------------------------------------------------------------------
+
+    def _read_response(self) -> dict:
+        line = self._reader.readline(protocol.MAX_LINE_BYTES + 1)
+        if not line:
+            raise ProtocolError("server closed the connection")
+        if len(line) > protocol.MAX_LINE_BYTES:
+            raise ProtocolError("response line exceeds the frame limit")
+        return protocol.decode(line)
+
+    def request(self, payload: Mapping[str, Any]) -> dict:
+        """One request/response round trip; raises typed errors on failure."""
+        self._sock.sendall(protocol.encode(payload))
+        return protocol.raise_for_response(self._read_response())
+
+    def request_many(self, payloads: Sequence[Mapping[str, Any]]
+                     ) -> list[dict]:
+        """Pipelined round trip: write all requests, then read all replies.
+
+        Raw responses are returned (not raised on), so one ``overloaded``
+        reply in a burst does not lose the replies behind it; use
+        :func:`repro.server.protocol.raise_for_response` per entry.
+        """
+        if not payloads:
+            return []
+        self._sock.sendall(b"".join(protocol.encode(p) for p in payloads))
+        return [self._read_response() for _ in payloads]
+
+    # -- verbs --------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def register(self, name: str, *, family: str, sizes: Sequence[int],
+                 instances: int = 256, seed: int = 0,
+                 **options: Any) -> dict:
+        return self.request({"op": "register", "name": name, "family": family,
+                             "sizes": list(sizes), "instances": instances,
+                             "seed": seed, "options": options})
+
+    def ingest(self, name: str, boxes, *, side: str = "left",
+               kind: str = "insert") -> dict:
+        """Stream a batch of boxes (a :class:`BoxSet` or row lists)."""
+        rows = (protocol.boxes_to_rows(boxes)
+                if isinstance(boxes, BoxSet) else list(boxes))
+        return self.request({"op": "ingest", "name": name, "boxes": rows,
+                             "side": side, "kind": kind})
+
+    def estimate(self, name: str, query=None) -> RemoteEstimate:
+        response = self.request({"op": "estimate", "name": name,
+                                 "query": _query_row(query)})
+        return RemoteEstimate.from_payload(response)
+
+    def estimate_many(self, name: str, queries) -> list[RemoteEstimate]:
+        """Batch helper: pipeline one request per query in a single write.
+
+        The server coalesces the burst into batched engine calls; replies
+        come back in query order.
+        """
+        requests = [{"op": "estimate", "name": name, "query": _query_row(q)}
+                    for q in _iter_queries(queries)]
+        responses = self.request_many(requests)
+        return [RemoteEstimate.from_payload(protocol.raise_for_response(r))
+                for r in responses]
+
+    def flush(self) -> dict:
+        return self.request({"op": "flush"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def metrics(self) -> str:
+        """The server's plain-text metrics exposition."""
+        return str(self.request({"op": "metrics"})["text"])
+
+    def snapshot(self, path: str | None = None, *,
+                 format: str = "auto") -> dict:
+        payload: dict[str, Any] = {"op": "snapshot", "format": format}
+        if path is not None:
+            payload["path"] = str(path)
+        return self.request(payload)
+
+    def reload(self, path: str | None = None) -> dict:
+        """Hot-swap the server's service from a snapshot file."""
+        payload: dict[str, Any] = {"op": "reload"}
+        if path is not None:
+            payload["path"] = str(path)
+        return self.request(payload)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def quit(self) -> None:
+        try:
+            self.request({"op": "quit"})
+        except (ProtocolError, OSError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceClient({self.host!r}, {self.port})"
+
+
+def _iter_queries(queries) -> list:
+    """Normalise an estimate_many batch into a list of per-query values."""
+    if queries is None:
+        raise ProtocolError("estimate_many needs a query list or a count")
+    if isinstance(queries, int):
+        return [None] * queries
+    if isinstance(queries, BoxSet):
+        return [row for row in protocol.boxes_to_rows(queries)]
+    return list(queries)

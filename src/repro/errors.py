@@ -65,3 +65,36 @@ class ServiceError(ReproError):
 
 class SnapshotError(ReproError):
     """A service snapshot is malformed or incompatible with this build."""
+
+
+class ServerError(ReproError):
+    """The network serving layer failed to process a request.
+
+    Raised client-side when a server replies ``ok: false``; the protocol
+    error code is preserved in :attr:`code` so callers can branch without
+    parsing messages.
+    """
+
+    def __init__(self, message: str, *, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ProtocolError(ServerError):
+    """A network frame could not be parsed (bad JSON, oversized line, EOF)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="protocol")
+
+
+class OverloadedError(ServerError):
+    """The server's admission queue is full; retry later.
+
+    This is the graceful-degradation path: instead of queueing without
+    bound (and eventually stalling every connection), the server answers
+    immediately with a structured ``overloaded`` error.
+    """
+
+    def __init__(self, message: str = "server overloaded: admission queue full"
+                 ) -> None:
+        super().__init__(message, code="overloaded")

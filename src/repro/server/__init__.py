@@ -1,0 +1,57 @@
+"""Async network serving layer for the sketch service.
+
+The package puts a long-lived :class:`~repro.service.service.EstimationService`
+behind an asyncio TCP server speaking newline-delimited JSON
+(:mod:`repro.server.protocol`), with three load-bearing pieces:
+
+* :class:`~repro.server.coalescer.EstimateCoalescer` — micro-batches
+  concurrent ``estimate`` requests into single ``estimate_batch`` engine
+  calls (bit-identical results, ~one scalar call's cost per batch),
+* :class:`~repro.server.server.SketchServer` — pipelined in-order
+  connections, executor-offloaded ingest, admission control with
+  structured ``overloaded`` errors, and live ``reload`` hot-swaps from
+  binary snapshots without dropping connections,
+* :class:`~repro.server.runner.ThreadedServer` — a synchronous handle
+  that drives the server on a background event-loop thread.
+
+The matching synchronous client lives in :mod:`repro.client`.
+"""
+
+from repro.server.coalescer import CoalescerStats, EstimateCoalescer
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    boxes_from_rows,
+    boxes_to_rows,
+    decode,
+    encode,
+    error_payload,
+    estimate_fields,
+    ok_payload,
+    raise_for_response,
+)
+from repro.server.runner import ThreadedServer
+from repro.server.server import ServerConfig, SketchServer, serve
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "encode",
+    "decode",
+    "ok_payload",
+    "error_payload",
+    "estimate_fields",
+    "boxes_from_rows",
+    "boxes_to_rows",
+    "raise_for_response",
+    "EstimateCoalescer",
+    "CoalescerStats",
+    "ServerMetrics",
+    "ServerConfig",
+    "SketchServer",
+    "serve",
+    "ThreadedServer",
+]

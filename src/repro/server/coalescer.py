@@ -1,0 +1,242 @@
+"""Micro-batching of concurrent estimate requests.
+
+Individually, network estimate requests would each pay a full scalar
+``estimate`` call.  The PR-2 batch kernels answer a whole query batch for
+barely more than one scalar call, so the serving layer *coalesces*:
+concurrent in-flight ``estimate`` requests for the same estimator are
+gathered into one bucket and answered through a single
+:meth:`~repro.service.service.EstimationService.estimate_batch` engine
+call.  Result ``j`` of a batch is bit-identical to the scalar estimate of
+query ``j`` (a PR-2 invariant), so coalescing is invisible to clients
+except in latency.
+
+A bucket dispatches when either
+
+* it reaches ``max_batch`` queued queries (size trigger), or
+* ``max_delay`` seconds elapsed since its first query (timer trigger) —
+  the knob trading a little latency for a larger coalesce factor.
+
+Admission control bounds the total number of queries that are queued or
+in flight at ``max_queue``; beyond that, :meth:`submit` raises
+:class:`~repro.errors.OverloadedError` *immediately* instead of queueing
+without bound, so an overloaded server answers with fast structured errors
+rather than stalling every connection.
+
+All methods must be called from the event-loop thread; the actual engine
+call runs on a thread-pool executor so the loop stays responsive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.result import EstimateResult
+from repro.errors import OverloadedError, ServiceError
+from repro.geometry.boxset import BoxSet
+
+
+@dataclass
+class CoalescerStats:
+    """Lifetime counters of one coalescer (event-loop thread only)."""
+
+    submitted: int = 0
+    rejected: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    size_dispatches: int = 0
+    timer_dispatches: int = 0
+    largest_batch: int = 0
+
+    @property
+    def coalesce_factor(self) -> float:
+        """Average queries answered per engine call (1.0 = no coalescing)."""
+        return self.batched_queries / self.batches if self.batches else 0.0
+
+    def copy(self) -> "CoalescerStats":
+        return replace(self)
+
+
+@dataclass
+class _Bucket:
+    entries: list[tuple[BoxSet | None, asyncio.Future]] = field(default_factory=list)
+    timer: asyncio.TimerHandle | None = None
+
+
+class EstimateCoalescer:
+    """Gathers concurrent estimate requests into batched engine calls.
+
+    Parameters
+    ----------
+    get_service:
+        Zero-argument callable returning the *current*
+        :class:`EstimationService`.  Resolved at dispatch time, so a
+        snapshot hot-reload swaps the backing service without touching
+        queued requests.
+    max_batch:
+        Size trigger: a bucket with this many queries dispatches at once.
+        ``1`` disables coalescing (every request becomes its own engine
+        call) — the "naive" baseline of the latency benchmark.
+    max_delay:
+        Timer trigger, in seconds: the longest a queued query waits for
+        companions before its bucket dispatches anyway.
+    max_queue:
+        Admission cap on queued-plus-in-flight queries; beyond it,
+        :meth:`submit` raises :class:`OverloadedError`.
+    executor:
+        Thread pool the engine calls run on (``None`` uses the loop's
+        default executor).
+    """
+
+    def __init__(self, get_service: Callable[[], Any], *, max_batch: int = 64,
+                 max_delay: float = 0.002, max_queue: int = 1024,
+                 executor: Executor | None = None) -> None:
+        if max_batch < 1:
+            raise ServiceError("max_batch must be positive")
+        if max_delay < 0:
+            raise ServiceError("max_delay must be non-negative")
+        if max_queue < 1:
+            raise ServiceError("max_queue must be positive")
+        self._get_service = get_service
+        self._max_batch = int(max_batch)
+        self._max_delay = float(max_delay)
+        self._max_queue = int(max_queue)
+        self._executor = executor
+        self._buckets: dict[str, _Bucket] = {}
+        self._queued = 0
+        self._inflight = 0
+        self._tasks: set[asyncio.Task] = set()
+        self._stats = CoalescerStats()
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries currently queued or in flight (the admission level)."""
+        return self._queued + self._inflight
+
+    @property
+    def max_batch(self) -> int:
+        return self._max_batch
+
+    @property
+    def stats(self) -> CoalescerStats:
+        return self._stats.copy()
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, name: str, query: BoxSet | None
+               ) -> "asyncio.Future[EstimateResult]":
+        """Queue one estimate; the returned future resolves with its result.
+
+        ``query`` is a single-row :class:`BoxSet` for queryable families or
+        ``None`` for query-less ones (the caller validates against the
+        family).  Raises :class:`OverloadedError` synchronously when the
+        admission queue is full.
+        """
+        if self.queue_depth >= self._max_queue:
+            self._stats.rejected += 1
+            raise OverloadedError()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        bucket = self._buckets.get(name)
+        if bucket is None:
+            bucket = self._buckets[name] = _Bucket()
+        bucket.entries.append((query, future))
+        self._queued += 1
+        self._stats.submitted += 1
+        if len(bucket.entries) >= self._max_batch:
+            self._dispatch(name, "size")
+        elif bucket.timer is None:
+            bucket.timer = loop.call_later(self._max_delay, self._dispatch,
+                                           name, "timer")
+        return future
+
+    # -- dispatching --------------------------------------------------------------
+
+    def _dispatch(self, name: str, reason: str) -> None:
+        bucket = self._buckets.get(name)
+        if bucket is None or not bucket.entries:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+            bucket.timer = None
+        entries = bucket.entries[:self._max_batch]
+        del bucket.entries[:self._max_batch]
+        if bucket.entries:
+            # Leftovers (only possible after a burst larger than max_batch):
+            # dispatch them on the next loop iteration rather than waiting
+            # a full delay window again.
+            loop = asyncio.get_running_loop()
+            bucket.timer = loop.call_later(0, self._dispatch, name, reason)
+        else:
+            del self._buckets[name]
+        self._queued -= len(entries)
+        self._inflight += len(entries)
+        self._stats.batches += 1
+        self._stats.batched_queries += len(entries)
+        self._stats.largest_batch = max(self._stats.largest_batch, len(entries))
+        if reason == "size":
+            self._stats.size_dispatches += 1
+        else:
+            self._stats.timer_dispatches += 1
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(name, entries))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, name: str,
+                         entries: list[tuple[BoxSet | None, asyncio.Future]]
+                         ) -> None:
+        queries = self._batch_queries(entries)
+        service = self._get_service()
+        loop = asyncio.get_running_loop()
+
+        def answer():
+            # record_coalesced takes the service lock, so it stays on the
+            # executor thread with the engine call — the event loop never
+            # waits on that lock.
+            results = service.estimate_batch(name, queries)
+            service.record_coalesced(len(entries))
+            return results
+
+        try:
+            results = await loop.run_in_executor(self._executor, answer)
+        except Exception as exc:
+            for _, future in entries:
+                if not future.done():
+                    future.set_exception(exc)
+        else:
+            for (_, future), result in zip(entries, results):
+                if not future.done():
+                    future.set_result(result)
+        finally:
+            self._inflight -= len(entries)
+
+    @staticmethod
+    def _batch_queries(entries: list[tuple[BoxSet | None, asyncio.Future]]):
+        """One estimate_batch argument from a bucket's queued queries."""
+        if entries[0][0] is None:
+            # Query-less family: a count-shaped batch.  Mixed buckets cannot
+            # occur — the server validates the query against the family
+            # before submitting.
+            return [None] * len(entries)
+        lows = np.concatenate([query.lows for query, _ in entries])
+        highs = np.concatenate([query.highs for query, _ in entries])
+        return BoxSet(lows, highs, validate=False)
+
+    # -- shutdown -----------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Dispatch everything queued and wait for in-flight batches."""
+        while self._buckets or self._tasks:
+            for name in list(self._buckets):
+                self._dispatch(name, "timer")
+            if self._tasks:
+                await asyncio.gather(*list(self._tasks), return_exceptions=True)
+            else:
+                await asyncio.sleep(0)

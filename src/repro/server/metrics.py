@@ -1,0 +1,127 @@
+"""Serving-side metrics: request counters, latency quantiles, coalesce factor.
+
+:class:`ServerMetrics` is mutated only from the event-loop thread (request
+accounting happens in the connection handlers), so it needs no locking.
+The ``metrics`` protocol verb renders it — together with an atomic
+:class:`~repro.service.service.ServiceStats` copy and the coalescer
+counters — as a Prometheus-style plain-text exposition.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import Counter, deque
+
+from repro.server.coalescer import CoalescerStats
+from repro.service.service import ServiceStats
+
+#: How many recent estimate latencies back the quantiles and the qps gauge.
+SAMPLE_WINDOW = 4096
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending list (0 for an empty one)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[rank]
+
+
+class ServerMetrics:
+    """Counters and latency samples of one running server."""
+
+    def __init__(self, *, window: int = SAMPLE_WINDOW) -> None:
+        self.started_at = time.monotonic()
+        self.requests: Counter[str] = Counter()
+        self.errors: Counter[str] = Counter()
+        self.connections_opened = 0
+        self.connections_active = 0
+        self.reloads = 0
+        # (monotonic completion time, latency seconds) of recent estimates.
+        self._samples: deque[tuple[float, float]] = deque(maxlen=window)
+
+    # -- recording ----------------------------------------------------------------
+
+    def record_request(self, op: str) -> None:
+        self.requests[op or "unknown"] += 1
+
+    def record_error(self, code: str) -> None:
+        self.errors[code or "error"] += 1
+
+    def record_estimate_latency(self, seconds: float) -> None:
+        self._samples.append((time.monotonic(), seconds))
+
+    # -- derived gauges -----------------------------------------------------------
+
+    @property
+    def uptime(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def latency_quantiles(self, qs: tuple[float, ...] = (0.5, 0.99)
+                          ) -> dict[float, float]:
+        ordered = sorted(latency for _, latency in self._samples)
+        return {q: quantile(ordered, q) for q in qs}
+
+    def estimate_qps(self, window: float = 30.0) -> float:
+        """Estimates per second over the recent window.
+
+        The horizon is clamped to the uptime and — when the sample deque
+        has wrapped — to the age of the oldest *retained* sample, so a
+        busy server (more than ``maxlen`` estimates inside the window)
+        reports its true rate instead of ``maxlen / window``.
+        """
+        if not self._samples:
+            return 0.0
+        now = time.monotonic()
+        horizon = min(window, max(self.uptime, 1e-9))
+        if len(self._samples) == self._samples.maxlen:
+            oldest_age = now - self._samples[0][0]
+            horizon = min(horizon, max(oldest_age, 1e-9))
+        recent = sum(1 for when, _ in self._samples if now - when <= horizon)
+        return recent / horizon
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render_text(self, *, service_stats: ServiceStats,
+                    coalescer_stats: CoalescerStats,
+                    queue_depth: int) -> str:
+        """The plain-text exposition served by the ``metrics`` verb."""
+        lines = ["# repro sketch server metrics",
+                 f"repro_server_uptime_seconds {self.uptime:.3f}",
+                 f"repro_server_connections_opened_total {self.connections_opened}",
+                 f"repro_server_connections_active {self.connections_active}",
+                 f"repro_server_reloads_total {self.reloads}"]
+        for op in sorted(self.requests):
+            lines.append(
+                f'repro_server_requests_total{{op="{op}"}} {self.requests[op]}')
+        for code in sorted(self.errors):
+            lines.append(
+                f'repro_server_errors_total{{code="{code}"}} {self.errors[code]}')
+        quantiles = self.latency_quantiles()
+        lines.append(f"repro_server_estimate_qps {self.estimate_qps():.3f}")
+        for q, seconds in sorted(quantiles.items()):
+            lines.append(f'repro_server_estimate_latency_ms{{quantile="{q}"}} '
+                         f"{seconds * 1000.0:.3f}")
+        lines.append(f"repro_server_queue_depth {queue_depth}")
+        lines.append(
+            f"repro_server_coalesce_batches_total {coalescer_stats.batches}")
+        lines.append("repro_server_coalesced_queries_total "
+                     f"{coalescer_stats.batched_queries}")
+        lines.append("repro_server_coalesce_rejected_total "
+                     f"{coalescer_stats.rejected}")
+        lines.append(
+            f"repro_server_coalesce_factor {coalescer_stats.coalesce_factor:.3f}")
+        cache_reads = service_stats.cache_hits + service_stats.cache_misses
+        hit_rate = service_stats.cache_hits / cache_reads if cache_reads else 0.0
+        lines.append(f"repro_service_cache_hit_rate {hit_rate:.3f}")
+        lines.append(
+            f"repro_service_view_evictions_total {service_stats.evictions}")
+        lines.append(f"repro_service_estimates_total {service_stats.estimates}")
+        lines.append(
+            f"repro_service_batch_estimates_total {service_stats.batch_estimates}")
+        lines.append("repro_service_coalesced_queries_total "
+                     f"{service_stats.coalesced_queries}")
+        lines.append(
+            f"repro_service_ingested_boxes_total {service_stats.ingested_boxes}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,158 @@
+"""Wire protocol of the network serving layer.
+
+The server speaks **newline-delimited JSON** over TCP: every request is one
+JSON object on one line, every response is one JSON object on one line, and
+responses of a connection come back **in request order** (which is what
+makes client-side pipelining trivial — write *n* requests, read *n*
+replies).
+
+Requests carry an ``op`` field and op-specific arguments::
+
+    {"op": "register", "name": ..., "family": ..., "sizes": [..],
+     "instances": 256, "seed": 0, "options": {...}}
+    {"op": "ingest",   "name": ..., "side": "left", "kind": "insert",
+     "boxes": [[lo_1..lo_d, hi_1..hi_d], ...]}
+    {"op": "estimate", "name": ..., "query": [lo_1..lo_d, hi_1..hi_d]}
+    {"op": "flush"} | {"op": "stats"} | {"op": "metrics"} | {"op": "ping"}
+    {"op": "snapshot", "path": ..., "format": "auto" | "binary" | "json"}
+    {"op": "reload",   "path": ...}
+    {"op": "quit"}
+
+An optional ``"id"`` field is echoed back verbatim.  Successful responses
+have ``"ok": true``; failures have ``"ok": false`` plus a human-readable
+``"error"`` and a machine-readable ``"error_code"`` (one of
+:data:`ERROR_CODES` — notably ``"overloaded"``, which clients should treat
+as retryable backpressure rather than a hard failure).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import (
+    OverloadedError,
+    ProtocolError,
+    ReproError,
+    ServerError,
+)
+from repro.geometry.boxset import BoxSet
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one request/response line (framing guard; an ingest of
+#: ~100k two-dimensional boxes still fits comfortably).
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: Machine-readable failure categories.
+ERROR_CODES = ("bad_request", "unknown_op", "overloaded", "protocol",
+               "internal", "error")
+
+#: Operations the server understands (``save`` is an alias of ``snapshot``).
+OPS = ("register", "ingest", "estimate", "flush", "stats", "metrics",
+       "snapshot", "save", "reload", "ping", "quit")
+
+
+def encode(payload: Mapping[str, Any]) -> bytes:
+    """One protocol frame: compact JSON plus the line terminator."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one frame; raises :class:`ProtocolError` on malformed input."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not valid UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def ok_payload(op: str, request: Mapping | None = None, **fields: Any) -> dict:
+    """A success response, echoing the request ``id`` when present."""
+    payload: dict[str, Any] = {"ok": True, "op": op}
+    if request is not None and request.get("id") is not None:
+        payload["id"] = request["id"]
+    payload.update(fields)
+    return payload
+
+
+def error_payload(message: str, *, code: str = "error", op: str | None = None,
+                  request: Mapping | None = None) -> dict:
+    """A failure response with both human and machine readable fields."""
+    payload: dict[str, Any] = {"ok": False, "error": message,
+                               "error_code": code}
+    if op is not None:
+        payload["op"] = op
+    if request is not None and request.get("id") is not None:
+        payload["id"] = request["id"]
+    return payload
+
+
+def error_payload_for(exc: BaseException, *, op: str | None = None,
+                      request: Mapping | None = None) -> dict:
+    """Map an exception onto the wire error taxonomy."""
+    if isinstance(exc, ServerError):
+        code = exc.code
+    elif isinstance(exc, (ReproError, KeyError, TypeError, ValueError)):
+        code = "bad_request"
+    else:
+        code = "internal"
+    message = f"{type(exc).__name__}: {exc}"
+    return error_payload(message, code=code, op=op, request=request)
+
+
+def boxes_from_rows(rows, dimension: int | None = None) -> BoxSet:
+    """Rows of ``[lo_1..lo_d, hi_1..hi_d]`` as a validated :class:`BoxSet`.
+
+    This is the single wire decoder for box payloads — the server's ingest
+    and estimate ops and the CLI's offline paths all parse through it.
+    """
+    array = np.asarray(rows, dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] % 2 or array.shape[1] == 0:
+        raise ReproError("box rows must be [lo_1..lo_d, hi_1..hi_d] lists")
+    d = array.shape[1] // 2
+    if dimension is not None and d != dimension:
+        raise ReproError(f"box rows are {d}-dimensional, expected {dimension}")
+    return BoxSet(array[:, :d], array[:, d:])
+
+
+def boxes_to_rows(boxes: BoxSet) -> list[list[int]]:
+    """The inverse of :func:`boxes_from_rows`, for client-side encoding."""
+    return np.hstack([boxes.lows, boxes.highs]).tolist()
+
+
+def estimate_fields(result) -> dict:
+    """The JSON projection of an :class:`~repro.core.result.EstimateResult`.
+
+    ``json`` serialises floats via ``repr``, which round-trips IEEE
+    doubles exactly — remote estimates are bit-identical to local ones.
+    """
+    return {
+        "estimate": result.estimate,
+        "selectivity": result.selectivity,
+        "left_count": result.left_count,
+        "right_count": result.right_count,
+    }
+
+
+def raise_for_response(response: Mapping[str, Any]) -> dict:
+    """Client-side check: return the response or raise its typed error."""
+    if response.get("ok"):
+        return dict(response)
+    message = str(response.get("error", "unknown server error"))
+    code = str(response.get("error_code", "error"))
+    if code == "overloaded":
+        raise OverloadedError(message)
+    if code == "protocol":
+        raise ProtocolError(message)
+    raise ServerError(message, code=code)

@@ -1,0 +1,425 @@
+"""The asyncio TCP sketch server.
+
+:class:`SketchServer` puts a long-lived
+:class:`~repro.service.service.EstimationService` behind the
+newline-delimited JSON protocol of :mod:`repro.server.protocol`:
+
+* ``estimate`` requests flow through the request coalescer
+  (:mod:`repro.server.coalescer`) — concurrent queries for one estimator
+  are answered by a single batched engine call,
+* ``ingest`` / ``flush`` / ``snapshot`` run on a thread-pool executor so
+  NumPy-heavy work never blocks the event loop,
+* ``reload`` hot-swaps the backing service from a snapshot file (binary v2
+  snapshots restore via ``np.memmap``) **without dropping connections** —
+  handlers resolve :attr:`service` per request,
+* per-connection pipelining with **in-order replies**: a reader task turns
+  lines into request tasks, a writer task writes each reply as soon as its
+  request finishes, preserving submission order; a per-connection in-flight
+  cap provides backpressure (the reader simply stops reading, so TCP flow
+  control pushes back on the client).
+
+Overload degrades gracefully: when the coalescer's admission queue is
+full, requests get an immediate structured ``overloaded`` error instead of
+queueing without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import ReproError, ServiceError
+from repro.server import protocol
+from repro.server.coalescer import EstimateCoalescer
+from repro.server.metrics import ServerMetrics
+from repro.service.service import EstimationService
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`SketchServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the OS pick (the bound port is on the server)
+    max_batch: int = 64
+    max_delay: float = 0.002  # seconds a query waits for batch companions
+    max_queue: int = 1024  # admission cap (queued + in-flight queries)
+    max_inflight_per_connection: int = 128
+    max_line_bytes: int = protocol.MAX_LINE_BYTES
+    executor_workers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServiceError("max_batch must be positive")
+        if self.max_queue < 1:
+            raise ServiceError("max_queue must be positive")
+        if self.max_inflight_per_connection < 1:
+            raise ServiceError("max_inflight_per_connection must be positive")
+
+
+class _ConnectionState:
+    """Per-connection in-flight accounting shared by reader and writer."""
+
+    __slots__ = ("inflight", "slot_free")
+
+    def __init__(self) -> None:
+        self.inflight = 0
+        self.slot_free = asyncio.Event()
+
+
+class SketchServer:
+    """Serves one :class:`EstimationService` over TCP.
+
+    Parameters
+    ----------
+    service:
+        The backing service; replaced atomically by the ``reload`` verb.
+    config:
+        Network and coalescing tunables.
+    snapshot_path / snapshot_format:
+        Defaults for ``snapshot``/``reload`` requests that omit a path.
+    """
+
+    def __init__(self, service: EstimationService, *,
+                 config: ServerConfig | None = None,
+                 snapshot_path: str | None = None,
+                 snapshot_format: str = "auto") -> None:
+        self._service = service
+        self.config = config or ServerConfig()
+        self.metrics = ServerMetrics()
+        self._snapshot_path = snapshot_path
+        self._snapshot_format = snapshot_format
+        self._executor: ThreadPoolExecutor | None = None
+        self._coalescer: EstimateCoalescer | None = None
+        self._tcp_server: asyncio.base_events.Server | None = None
+        self._reload_lock: asyncio.Lock | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def service(self) -> EstimationService:
+        """The *current* backing service (``reload`` swaps it)."""
+        return self._service
+
+    @property
+    def coalescer(self) -> EstimateCoalescer:
+        if self._coalescer is None:
+            raise ServiceError("server is not started")
+        return self._coalescer
+
+    @property
+    def port(self) -> int:
+        """The actually-bound TCP port (useful with ``port=0``)."""
+        if self._tcp_server is None:
+            raise ServiceError("server is not started")
+        return self._tcp_server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "SketchServer":
+        cfg = self.config
+        self._executor = ThreadPoolExecutor(
+            max_workers=cfg.executor_workers,
+            thread_name_prefix="sketch-server")
+        self._coalescer = EstimateCoalescer(
+            lambda: self._service, max_batch=cfg.max_batch,
+            max_delay=cfg.max_delay, max_queue=cfg.max_queue,
+            executor=self._executor)
+        self._reload_lock = asyncio.Lock()
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, host=cfg.host, port=cfg.port,
+            limit=cfg.max_line_bytes)
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._tcp_server is None:
+            await self.start()
+        assert self._tcp_server is not None
+        await self._tcp_server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting connections and drain in-flight work.
+
+        Established connections are closed (their readers see EOF, so
+        handlers finish any requests already admitted); clients observe a
+        clean disconnect instead of a dangling socket.
+        """
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+        while self._connections:
+            await asyncio.sleep(0.01)
+        if self._coalescer is not None:
+            await self._coalescer.drain()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    async def _run_blocking(self, func, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, func, *args)
+
+    # -- connection handling ------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.metrics.connections_opened += 1
+        self.metrics.connections_active += 1
+        self._connections.add(writer)
+        replies: asyncio.Queue = asyncio.Queue()
+        # In-flight accounting is a plain counter + wakeup event rather than
+        # a semaphore: the common (uncontended) path then costs no awaits.
+        # The slot is freed by the WRITER once the reply has been written
+        # (not when the request task completes), so the cap bounds the
+        # replies queue and the transport buffer too: a client that sends
+        # fast but reads slowly stalls the writer in drain(), slots stay
+        # taken, and the reader stops consuming — true end-to-end
+        # backpressure, at most max_inflight replies buffered.
+        state = _ConnectionState()
+        writer_task = asyncio.create_task(
+            self._write_replies(replies, writer, state))
+        loop = asyncio.get_running_loop()
+
+        def done(payload: dict) -> asyncio.Future:
+            future = loop.create_future()
+            future.set_result(payload)
+            return future
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Oversized frame: framing is lost, reply and hang up.
+                    replies.put_nowait((done(protocol.error_payload(
+                        f"request line exceeds "
+                        f"{self.config.max_line_bytes} bytes",
+                        code="protocol")), False))
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = protocol.decode(line)
+                except ReproError as exc:
+                    replies.put_nowait((done(protocol.error_payload_for(exc)),
+                                        False))
+                    continue
+                op = request.get("op")
+                self.metrics.record_request(str(op))
+                if op == "quit":
+                    replies.put_nowait((done(protocol.ok_payload("quit",
+                                                                 request)),
+                                        False))
+                    break
+                while state.inflight >= self.config.max_inflight_per_connection:
+                    state.slot_free.clear()
+                    await state.slot_free.wait()
+                state.inflight += 1
+                task = asyncio.create_task(self._process(request))
+                replies.put_nowait((task, True))
+        finally:
+            replies.put_nowait(None)
+            try:
+                await writer_task
+            finally:
+                self.metrics.connections_active -= 1
+                self._connections.discard(writer)
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def _write_replies(self, replies: asyncio.Queue,
+                             writer: asyncio.StreamWriter,
+                             state: "_ConnectionState") -> None:
+        """Write replies in request order as their tasks complete."""
+        while True:
+            entry = await replies.get()
+            if entry is None:
+                return
+            item, counted = entry
+            try:
+                try:
+                    payload = await item
+                except Exception as exc:  # _process shouldn't leak; be safe
+                    payload = protocol.error_payload_for(exc)
+                if not payload.get("ok"):
+                    self.metrics.record_error(payload.get("error_code",
+                                                          "error"))
+                try:
+                    writer.write(protocol.encode(payload))
+                    if replies.empty():
+                        # Batch kernel writes: drain once per burst of ready
+                        # replies instead of once per reply.
+                        await writer.drain()
+                except (ConnectionError, OSError):
+                    # The client went away mid-reply; keep consuming the
+                    # queue so pending request tasks still get awaited.
+                    pass
+            finally:
+                if counted:
+                    state.inflight -= 1
+                    state.slot_free.set()
+
+    # -- request dispatch ---------------------------------------------------------
+
+    async def _process(self, request: dict) -> dict:
+        op = str(request.get("op"))
+        try:
+            handler = self._HANDLERS.get(op)
+            if handler is None:
+                return protocol.error_payload(f"unknown op {op!r}",
+                                              code="unknown_op", op=op,
+                                              request=request)
+            return await handler(self, request)
+        except Exception as exc:
+            return protocol.error_payload_for(exc, op=op, request=request)
+
+    async def _op_ping(self, request: dict) -> dict:
+        return protocol.ok_payload("ping", request,
+                                   version=protocol.PROTOCOL_VERSION)
+
+    async def _op_register(self, request: dict) -> dict:
+        from repro.service.specs import EstimatorSpec
+
+        spec = EstimatorSpec.create(
+            request["family"], request["sizes"],
+            int(request.get("instances", 256)),
+            seed=int(request.get("seed", 0)),
+            **request.get("options", {}))
+        self._service.register(request["name"], spec)
+        return protocol.ok_payload("register", request, name=request["name"],
+                                   spec=spec.to_dict())
+
+    async def _op_ingest(self, request: dict) -> dict:
+        def apply() -> tuple[int, int]:
+            service = self._service
+            spec = service.spec(request["name"])
+            boxes = protocol.boxes_from_rows(request["boxes"], spec.dimension)
+            pending = service.ingest(request["name"], boxes,
+                                     side=request.get("side", "left"),
+                                     kind=request.get("kind", "insert"))
+            return len(boxes), pending
+
+        count, pending = await self._run_blocking(apply)
+        return protocol.ok_payload("ingest", request, boxes=count,
+                                   pending=pending)
+
+    async def _op_estimate(self, request: dict) -> dict:
+        service = self._service
+        name = request["name"]
+        spec = service.spec(name)
+        row = request.get("query")
+        query = None
+        if spec.info.queryable:
+            if row is None:
+                raise ServiceError(
+                    f"family {spec.family!r} estimates need a query rectangle")
+            query = protocol.boxes_from_rows([row], spec.dimension)
+        elif row is not None:
+            raise ServiceError(
+                f"family {spec.family!r} does not take a query argument")
+        start = time.perf_counter()
+        result = await self.coalescer.submit(name, query)
+        self.metrics.record_estimate_latency(time.perf_counter() - start)
+        return protocol.ok_payload("estimate", request, name=name,
+                                   **protocol.estimate_fields(result))
+
+    async def _op_flush(self, request: dict) -> dict:
+        report = await self._run_blocking(self._service.flush)
+        return protocol.ok_payload("flush", request, boxes=report.boxes,
+                                   batches=report.batches)
+
+    async def _op_stats(self, request: dict) -> dict:
+        # describe() takes the service lock, which an executor thread may
+        # hold across heavy NumPy work (snapshot save, merge) — so this
+        # read runs on the executor too, keeping the event loop responsive.
+        description = await self._run_blocking(self._service.describe)
+        coalescer = self.coalescer
+        description["server"] = {
+            "connections_active": self.metrics.connections_active,
+            "queue_depth": coalescer.queue_depth,
+            "coalesce_batches": coalescer.stats.batches,
+            "coalesce_factor": coalescer.stats.coalesce_factor,
+            "reloads": self.metrics.reloads,
+        }
+        return protocol.ok_payload("stats", request, **description)
+
+    async def _op_metrics(self, request: dict) -> dict:
+        # service.stats takes the service lock; read it off the loop (see
+        # _op_stats).  The server-side counters are loop-owned and safe.
+        service_stats = await self._run_blocking(lambda: self._service.stats)
+        coalescer = self.coalescer
+        text = self.metrics.render_text(
+            service_stats=service_stats,
+            coalescer_stats=coalescer.stats,
+            queue_depth=coalescer.queue_depth)
+        return protocol.ok_payload("metrics", request, text=text)
+
+    async def _op_snapshot(self, request: dict) -> dict:
+        path = request.get("path", self._snapshot_path)
+        if not path:
+            raise ServiceError(
+                "snapshot needs a path (or start the server with one)")
+        format = request.get("format", self._snapshot_format)
+        service = self._service
+        await self._run_blocking(lambda: service.save(path, format=format))
+        return protocol.ok_payload("snapshot", request, path=str(path))
+
+    async def _op_reload(self, request: dict) -> dict:
+        path = request.get("path", self._snapshot_path)
+        if not path:
+            raise ServiceError(
+                "reload needs a path (or start the server with one)")
+        assert self._reload_lock is not None
+        async with self._reload_lock:
+            fresh = await self._run_blocking(EstimationService.load, path)
+            # Atomic swap: requests already queued keep their futures;
+            # everything dispatched from here answers from the new state.
+            self._service = fresh
+        self.metrics.reloads += 1
+        return protocol.ok_payload("reload", request, path=str(path),
+                                   estimators=fresh.names())
+
+    _HANDLERS = {
+        "ping": _op_ping,
+        "register": _op_register,
+        "ingest": _op_ingest,
+        "estimate": _op_estimate,
+        "flush": _op_flush,
+        "stats": _op_stats,
+        "metrics": _op_metrics,
+        "snapshot": _op_snapshot,
+        "save": _op_snapshot,
+        "reload": _op_reload,
+    }
+
+
+async def serve(service: EstimationService, *,
+                config: ServerConfig | None = None,
+                snapshot_path: str | None = None,
+                snapshot_format: str = "auto",
+                ready=None) -> None:
+    """Start a server and run until cancelled (the CLI's ``--listen`` loop).
+
+    ``ready``, when given, is a callable invoked with the started server
+    (used to print the bound address and by tests to capture the port).
+    """
+    server = SketchServer(service, config=config, snapshot_path=snapshot_path,
+                          snapshot_format=snapshot_format)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
 from repro.core.result import EstimateResult
@@ -39,12 +39,24 @@ from repro.service.store import ShardedSketchStore
 
 @dataclass
 class ServiceStats:
-    """Counters describing a service's lifetime."""
+    """Counters describing a service's lifetime.
+
+    Instances handed out by :attr:`EstimationService.stats` are immutable
+    copies taken under the service lock, so a reader never observes a
+    half-updated set of counters (e.g. ``estimates`` bumped but
+    ``batch_estimates`` not yet).
+    """
 
     ingested_boxes: int = 0
     estimates: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    evictions: int = 0
+    batch_estimates: int = 0
+    coalesced_queries: int = 0
+
+    def copy(self) -> "ServiceStats":
+        return replace(self)
 
     def as_dict(self) -> dict:
         return {
@@ -52,6 +64,9 @@ class ServiceStats:
             "estimates": self.estimates,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+            "batch_estimates": self.batch_estimates,
+            "coalesced_queries": self.coalesced_queries,
         }
 
 
@@ -110,7 +125,14 @@ class EstimationService:
 
     @property
     def stats(self) -> ServiceStats:
-        return self._stats
+        """An atomic copy of the lifetime counters.
+
+        The live counters are mutated under the service lock; returning
+        them directly would let readers see torn multi-field updates, so
+        this snapshot-copies them under ``_lock`` instead.
+        """
+        with self._lock:
+            return self._stats.copy()
 
     def names(self) -> list[str]:
         return self._store.names()
@@ -228,6 +250,7 @@ class EstimationService:
                 self._views.move_to_end(name)
                 while len(self._views) > self._cache_size:
                     self._views.popitem(last=False)
+                    self._stats.evictions += 1
         return view, version
 
     def estimate(self, name: str, query: Rect | BoxSet | None = None
@@ -263,6 +286,7 @@ class EstimationService:
             cache_key=(name, version))
         with self._lock:
             self._stats.estimates += len(results)
+            self._stats.batch_estimates += 1
         return results
 
     def record_estimates(self, count: int = 1) -> None:
@@ -274,6 +298,14 @@ class EstimationService:
         """
         with self._lock:
             self._stats.estimates += count
+
+    def record_coalesced(self, count: int) -> None:
+        """Count queries that a serving layer answered through coalesced
+        batches (see :mod:`repro.server`); the metrics verb derives the
+        coalesce factor as ``coalesced_queries / batch_estimates``.
+        """
+        with self._lock:
+            self._stats.coalesced_queries += count
 
     def estimate_cardinality(self, name: str,
                              query: Rect | BoxSet | None = None) -> float:
