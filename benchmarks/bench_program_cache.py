@@ -1,0 +1,188 @@
+"""Program-executor benchmark: mixed-estimator dispatch vs per-family batches.
+
+This is the perf-regression gate of the compiled-program layer: a hot mixed
+workload — four estimator families interleaved, the same request set
+arriving round after round (the shape a serving layer sees from optimizer
+probes and dashboard queries) — answered through
+
+* the **per-family path**: each round grouped by estimator and answered by
+  one batched engine call per family (intra-batch letter-sum sharing, no
+  cross-round reuse — the pre-program-layer serving cost), and
+* the **mixed path**: each round answered by a single
+  ``EstimationService.estimate_multi`` dispatch on the service's caching
+  :class:`~repro.core.program.ProgramExecutor`, so letter-sum work is
+  shared across queries, estimator families *and* rounds,
+
+and the mixed path must be **at least 2x** faster over the whole workload.
+Results are asserted bit-identical between the two paths.
+
+Besides the human-readable record under ``benchmarks/results/``, the run
+writes ``BENCH_program.json`` at the repository root; CI consumes that file
+and fails the perf-smoke job when the speedup drops below 2x.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.core.domain import Domain
+from repro.core.program import ProgramExecutor
+from repro.service import EstimationService, synthetic_boxes, synthetic_queries
+from repro.service.specs import run_estimate_batch
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_program.json"
+
+DOMAIN = Domain.square(65536, dimension=2)
+NUM_INSTANCES = 192
+DATA_BOXES = 4000
+ROUNDS = 6
+RANGE_REQUESTS_PER_ROUND = 512
+QUERYLESS_REQUESTS_PER_ROUND = 48  # per query-less family, per round
+MIN_SPEEDUP = 2.0
+
+FAMILY_NAMES = ("ranges", "join", "eps", "contain")
+
+
+def _make_service() -> EstimationService:
+    service = EstimationService(num_shards=4, flush_threshold=None)
+    service.register("ranges", family="range", domain=DOMAIN,
+                     num_instances=NUM_INSTANCES, seed=11)
+    service.register("join", family="rectangle", domain=DOMAIN,
+                     num_instances=NUM_INSTANCES, seed=12)
+    service.register("eps", family="epsilon", domain=DOMAIN,
+                     num_instances=NUM_INSTANCES, seed=13, epsilon=4)
+    service.register("contain", family="containment", domain=DOMAIN,
+                     num_instances=NUM_INSTANCES, seed=14)
+    boxes = synthetic_boxes(DOMAIN, DATA_BOXES, seed=1)
+    points = synthetic_boxes(DOMAIN, DATA_BOXES // 4, seed=2, degenerate=True)
+    service.ingest("ranges", boxes, side="data")
+    service.ingest("join", boxes, side="left")
+    service.ingest("join", synthetic_boxes(DOMAIN, DATA_BOXES, seed=3),
+                   side="right")
+    service.ingest("eps", points, side="left")
+    service.ingest("eps", synthetic_boxes(DOMAIN, DATA_BOXES // 4, seed=4,
+                                          degenerate=True), side="right")
+    service.ingest("contain", boxes, side="outer")
+    service.ingest("contain", synthetic_boxes(DOMAIN, DATA_BOXES, seed=5),
+                   side="inner")
+    service.flush()
+    # Warm the merged-view LRU so both paths measure estimation, not the
+    # first view build.
+    for name in FAMILY_NAMES:
+        service.merged_view(name)
+    return service
+
+
+def _round_requests(queries) -> list[tuple[str, object]]:
+    """One round of the mixed workload: 4 families interleaved."""
+    requests: list[tuple[str, object]] = []
+    queryless = 0
+    for index in range(len(queries)):
+        requests.append(("ranges", queries[index:index + 1]))
+        if index % 10 == 0 and queryless < 3 * QUERYLESS_REQUESTS_PER_ROUND:
+            for name in ("join", "eps", "contain"):
+                requests.append((name, None))
+            queryless += 3
+    return requests
+
+
+def _per_family_round(service, requests, executor) -> list:
+    """The baseline: one batched engine call per family, no cross-round reuse."""
+    grouped: dict[str, list] = {}
+    order: dict[str, list[int]] = {}
+    for index, (name, query) in enumerate(requests):
+        grouped.setdefault(name, []).append(query)
+        order.setdefault(name, []).append(index)
+    results: list = [None] * len(requests)
+    for name, queries in grouped.items():
+        batch = run_estimate_batch(service.spec(name),
+                                   service.merged_view(name), queries,
+                                   executor=executor)
+        for position, index in enumerate(order[name]):
+            results[index] = batch[position]
+    return results
+
+
+def test_mixed_dispatch_at_least_2x_per_family_path(benchmark):
+    """The acceptance gate: mixed-workload dispatch >= 2x per-family batches."""
+    service = _make_service()
+    queries = synthetic_queries(DOMAIN, RANGE_REQUESTS_PER_ROUND, seed=7)
+    requests = _round_requests(queries)
+    num_families = len({name for name, _ in requests})
+    assert num_families == 4
+
+    baseline_executor = ProgramExecutor(cache_size=0)
+
+    def run_per_family() -> float:
+        start = time.perf_counter()
+        for _ in range(ROUNDS):
+            _per_family_round(service, requests, baseline_executor)
+        return time.perf_counter() - start
+
+    def run_mixed() -> float:
+        start = time.perf_counter()
+        for _ in range(ROUNDS):
+            service.estimate_multi(requests)
+        return time.perf_counter() - start
+
+    per_family_seconds = run_per_family()
+    mixed_seconds = benchmark.pedantic(run_mixed, rounds=1, iterations=1)
+
+    # Bit-identity between the two paths (and with the scalar estimates the
+    # property suite pins them to).
+    baseline = _per_family_round(service, requests,
+                                 ProgramExecutor(cache_size=0))
+    mixed = service.estimate_multi(requests)
+    assert [r.estimate for r in mixed] == [r.estimate for r in baseline]
+
+    speedup = per_family_seconds / mixed_seconds
+    executor_stats = service.program_executor.stats
+    total_requests = ROUNDS * len(requests)
+
+    report = {
+        "domain": list(DOMAIN.requested_sizes),
+        "num_instances": NUM_INSTANCES,
+        "mixed_vs_per_family": {
+            "families": num_families,
+            "rounds": ROUNDS,
+            "requests_per_round": len(requests),
+            "total_requests": total_requests,
+            "per_family_seconds": per_family_seconds,
+            "mixed_seconds": mixed_seconds,
+            "per_family_qps": total_requests / per_family_seconds,
+            "mixed_qps": total_requests / mixed_seconds,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+        },
+        "executor": {
+            "cache_hits": executor_stats.cache_hits,
+            "letter_sums_requested": executor_stats.letter_sums_requested,
+            "letter_sums_computed": executor_stats.letter_sums_computed,
+            "kernel_calls": executor_stats.kernel_calls,
+        },
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"program executor: {ROUNDS} rounds x {len(requests)} mixed requests "
+        f"({num_families} families, {NUM_INSTANCES} instances)",
+        f"per-family path: {per_family_seconds:8.3f} s "
+        f"({total_requests / per_family_seconds:10.0f} q/s)",
+        f"mixed dispatch : {mixed_seconds:8.3f} s "
+        f"({total_requests / mixed_seconds:10.0f} q/s)",
+        f"speedup        : {speedup:8.1f}x (gate: >= {MIN_SPEEDUP}x)",
+        f"letter sums    : {executor_stats.letter_sums_computed} computed / "
+        f"{executor_stats.letter_sums_requested} requested "
+        f"({executor_stats.cache_hits} cache hits, "
+        f"{executor_stats.kernel_calls} kernel calls)",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    (RESULTS_DIR / "bench_program_cache.txt").write_text(text + "\n",
+                                                         encoding="utf-8")
+    assert speedup >= MIN_SPEEDUP

@@ -15,6 +15,8 @@ It also drives the sharded sketch service (:mod:`repro.service`)::
     repro-spatial estimate --snapshot svc.snap --name join
     repro-spatial estimate --snapshot svc.snap --name ranges \\
         --batch-file queries.jsonl --workers 4    # JSON-lines in/out
+    repro-spatial estimate --snapshot svc.snap --name ranges \\
+        --query 0,0,63,63 --explain               # print the compiled program
     repro-spatial serve --snapshot svc.snap        # JSON-lines loop on stdio
     repro-spatial serve --snapshot svc.snap --listen 127.0.0.1:7007  # TCP
 
@@ -36,6 +38,7 @@ import json
 import os
 import sys
 import time
+from contextlib import contextmanager
 from typing import Sequence
 
 
@@ -137,6 +140,12 @@ def _build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--workers", type=int, default=None,
                           help="fan a batch out to this many worker processes "
                                "(threads when no process pool is available)")
+    estimate.add_argument("--explain", action="store_true",
+                          help="print the compiled sketch program(s) — word "
+                               "products, letter-sum requests with dyadic "
+                               "cover sizes, and the reduction plan — "
+                               "instead of estimating (offline --snapshot "
+                               "path only)")
 
     serve = sub.add_parser(
         "serve", help="serve estimates over stdio JSON-lines, or over TCP "
@@ -409,19 +418,26 @@ def _read_batch_queries(path: str, dimension: int):
     return _boxes_from_rows(rows, dimension)
 
 
-def _write_batch_results(results, args) -> None:
-    """JSON-lines batch output, shared by the offline and remote paths."""
-    out = (sys.stdout if args.batch_output in (None, "-")
-           else open(args.batch_output, "w", encoding="utf-8"))
+@contextmanager
+def _jsonl_sink(path: str | None):
+    """A JSON-lines output stream: stdout for ``None``/``-``, else a file."""
+    out = (sys.stdout if path in (None, "-")
+           else open(path, "w", encoding="utf-8"))
     try:
-        for index, result in enumerate(results):
-            out.write(json.dumps({"index": index, "name": args.name,
-                                  **_estimate_payload(result)}) + "\n")
+        yield out
     finally:
         if out is not sys.stdout:
             out.close()
         else:
             out.flush()
+
+
+def _write_batch_results(results, args) -> None:
+    """JSON-lines batch output, shared by the offline and remote paths."""
+    with _jsonl_sink(args.batch_output) as out:
+        for index, result in enumerate(results):
+            out.write(json.dumps({"index": index, "name": args.name,
+                                  **_estimate_payload(result)}) + "\n")
 
 
 def _run_estimate_batch(service, args) -> int:
@@ -466,13 +482,60 @@ def _run_estimate_remote(args) -> int:
     return 0
 
 
+def _run_explain(service, args) -> int:
+    """``estimate --explain``: print the compiled program(s) as JSON lines.
+
+    Shows what the estimate *is* before it runs: one JSON object per
+    program with the word-product terms, every letter-sum request (with
+    its dyadic cover size) and the median-of-means reduction plan — the
+    exact batch the ProgramExecutor would execute.
+    """
+    from repro.core.program import describe_program
+    from repro.service.specs import compile_programs
+
+    spec = service.spec(args.name)
+    if args.batch_file is not None:
+        if args.query is not None:
+            raise ReproError("--query and --batch-file are mutually exclusive")
+        queries = _read_batch_queries(args.batch_file, spec.dimension)
+    elif spec.info.queryable:
+        if args.query is None:
+            raise ReproError(
+                f"family {spec.family!r} programs compile per query; pass "
+                f"--query or --batch-file")
+        queries = _parse_query_arg(args.query)
+    else:
+        if args.query is not None:
+            raise ReproError(
+                f"family {spec.family!r} does not take a query argument")
+        queries = 1
+    view = service.merged_view(args.name)
+    programs = compile_programs(spec, view, queries)
+    with _jsonl_sink(args.batch_output) as out:
+        for index, program in enumerate(programs):
+            out.write(json.dumps({
+                "index": index,
+                "name": args.name,
+                "family": spec.family,
+                "program": describe_program(program),
+            }) + "\n")
+    return 0
+
+
 def _run_estimate(args) -> int:
     from repro.service import EstimationService
 
     _require_target(args)
     if args.connect is not None:
+        if args.explain:
+            raise ReproError("--explain inspects a local snapshot; it does "
+                             "not apply to --connect")
         return _run_estimate_remote(args)
     service = EstimationService.load(args.snapshot)
+    if args.explain:
+        if args.workers is not None:
+            raise ReproError("--workers does not apply to --explain")
+        return _run_explain(service, args)
     if args.batch_file is not None:
         if args.query is not None:
             raise ReproError("--query and --batch-file are mutually exclusive")

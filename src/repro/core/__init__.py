@@ -13,6 +13,10 @@ Public entry points re-exported here:
   :class:`~repro.core.join_containment.ContainmentJoinEstimator`,
   :class:`~repro.core.epsilon_join.EpsilonJoinEstimator`,
   :class:`~repro.core.range_query.RangeQueryEstimator`.
+* The compiled-program layer in :mod:`repro.core.program`:
+  :class:`~repro.core.program.SketchProgram` (the shared estimator IR every
+  family lowers to) and :class:`~repro.core.program.ProgramExecutor` (the
+  vectorised executor with cross-query letter-sum sharing).
 * Boosting helpers in :mod:`repro.core.boosting` and space accounting in
   :mod:`repro.core.space`.
 """
@@ -26,6 +30,15 @@ from repro.core.boosting import (
     median_of_means,
     median_of_means_batch,
     plan_boosting,
+)
+from repro.core.program import (
+    CounterRef,
+    LetterSumRef,
+    ProgramExecutor,
+    ProgramTerm,
+    SketchProgram,
+    default_executor,
+    describe_program,
 )
 from repro.core.selfjoin import self_join_size, dataset_self_join_size
 from repro.core.join_interval import IntervalJoinEstimator
@@ -55,6 +68,13 @@ __all__ = [
     "median_of_means",
     "median_of_means_batch",
     "plan_boosting",
+    "CounterRef",
+    "LetterSumRef",
+    "ProgramExecutor",
+    "ProgramTerm",
+    "SketchProgram",
+    "default_executor",
+    "describe_program",
     "self_join_size",
     "dataset_self_join_size",
     "IntervalJoinEstimator",

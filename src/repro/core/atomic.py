@@ -146,7 +146,9 @@ class SketchBank:
         }
         self._matrix = np.zeros((self._num_instances, len(self._words)),
                                 dtype=np.float64)
-        self._updates = 0
+        # Net weighted box count (see num_updates); float so that fractional
+        # update weights account exactly like the counters they feed.
+        self._updates = 0.0
 
     # -- introspection --------------------------------------------------------
 
@@ -171,9 +173,19 @@ class SketchBank:
         return self._xi
 
     @property
-    def num_updates(self) -> int:
-        """Number of boxes inserted minus boxes deleted so far."""
-        return self._updates
+    def num_updates(self) -> int | float:
+        """Net weighted box count: inserts minus deletes, scaled by weight.
+
+        A plain insert moves this by ``+count``, a delete by ``-count``, and
+        a weighted update by ``weight * count`` — the accounting follows the
+        linear-projection semantics, where inserting with ``weight=w`` is
+        exactly inserting ``w`` copies of every box.  Integral totals (the
+        norm under ±1 streaming updates) are returned as ``int`` so that
+        snapshots and comparisons keep their historical integer shape.
+        """
+        if float(self._updates).is_integer():
+            return int(self._updates)
+        return float(self._updates)
 
     @property
     def counter_tensor(self) -> np.ndarray:
@@ -265,7 +277,7 @@ class SketchBank:
         """
         state: dict = {
             "num_instances": self._num_instances,
-            "updates": self._updates,
+            "updates": self.num_updates,
             "domain": [list(pair) for pair in self._domain.signature()],
             "words": ["".join(letter.value for letter in word) for word in self._words],
         }
@@ -339,7 +351,7 @@ class SketchBank:
                     raise MergeCompatibilityError("snapshot counter shape mismatch")
                 matrix[:, self._word_index[word]] = values
             self._matrix = matrix
-        self._updates = int(state["updates"])
+        self._updates = float(state["updates"])
 
     # -- updates -----------------------------------------------------------------
 
@@ -373,7 +385,7 @@ class SketchBank:
         for start in range(0, count, chunk):
             stop = min(start + chunk, count)
             self._insert_chunk(sources, start, stop, weight)
-        self._updates += int(round(weight)) * count if weight in (1.0, -1.0) else count
+        self._updates += float(weight) * count
 
     def delete(self, boxes: BoxSet, *,
                letter_boxes: Mapping[Letter, BoxSet] | None = None) -> None:
@@ -432,6 +444,26 @@ class SketchBank:
                 term *= sums[(dim, word[dim])]
             products[word] = term
         return products
+
+    def letter_sums(self, dim: int, letter: Letter, lows: np.ndarray,
+                    highs: np.ndarray) -> np.ndarray:
+        """Vectorised per-instance xi sums for one letter over many intervals.
+
+        Returns a ``(num_instances, len(lows))`` matrix whose column ``j``
+        is the letter sum ``s(dim, letter, [lows[j], highs[j]])`` — the
+        query-side kernel that :class:`~repro.core.program.ProgramExecutor`
+        batches across programs.  Column ``j`` is bit-identical to a
+        single-interval call: the per-interval covers reduce independently.
+        The result depends only on this bank's xi families and domain,
+        never on its counters.
+        """
+        if not 0 <= int(dim) < self.dimension:
+            raise DimensionalityError(
+                f"dimension {dim} out of range for a {self.dimension}-dimensional bank"
+            )
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        return self._letter_sums(int(dim), letter, lows, highs)
 
     # -- internals ----------------------------------------------------------------
 
@@ -524,5 +556,5 @@ class SketchBank:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SketchBank(d={self.dimension}, words={len(self._words)}, "
-            f"instances={self._num_instances}, updates={self._updates})"
+            f"instances={self._num_instances}, updates={self.num_updates})"
         )

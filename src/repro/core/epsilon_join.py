@@ -19,9 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.atomic import Letter, SketchBank
-from repro.core.boosting import BoostingPlan, median_of_means
+from repro.core.boosting import BoostingPlan
 from repro.core.domain import Domain
-from repro.core.result import EstimateResult
+from repro.core.program import CounterRef, ProgramTerm, QuerylessProgramEstimator
 from repro.errors import (
     DomainError,
     EstimationError,
@@ -31,8 +31,14 @@ from repro.errors import (
 from repro.geometry.boxset import BoxSet, PointSet
 
 
-class EpsilonJoinEstimator:
-    """Estimates ``|A join_eps B|`` under the L-infinity distance."""
+class EpsilonJoinEstimator(QuerylessProgramEstimator):
+    """Estimates ``|A join_eps B|`` under the L-infinity distance.
+
+    Lowers to a single-term :class:`~repro.core.program.SketchProgram`
+    (``Z = X_E * Y_I``) executed on the shared program executor; the
+    estimate surface (``estimate`` / ``estimate_batch`` / shorthands) is
+    inherited from :class:`QuerylessProgramEstimator`.
+    """
 
     def __init__(self, domain: Domain, epsilon: int, num_instances: int, *, seed=0,
                  boosting: BoostingPlan | None = None) -> None:
@@ -150,38 +156,18 @@ class EpsilonJoinEstimator:
         self._left_count = int(state["left_count"])
         self._right_count = int(state["right_count"])
 
-    # -- estimation -----------------------------------------------------------------
+    # -- lowering (estimation itself is inherited from the program layer) -----------
 
-    def instance_values(self) -> np.ndarray:
-        return (self._point_bank.counter(self._point_word)
-                * self._cube_bank.counter(self._cube_word))
+    def _program_terms(self) -> tuple[ProgramTerm, ...]:
+        return (ProgramTerm(
+            1.0,
+            counters=(CounterRef(self._point_bank, self._point_word),
+                      CounterRef(self._cube_bank, self._cube_word)),
+        ),)
 
-    def estimate(self, *, plan: BoostingPlan | None = None) -> EstimateResult:
+    def _counts(self) -> tuple[int, int]:
+        return self._left_count, self._right_count
+
+    def _require_data(self) -> None:
         if self._left_count == 0 and self._right_count == 0:
             raise EstimationError("estimate requested before any data was inserted")
-        values = self.instance_values()
-        estimate, group_means = median_of_means(values, plan or self._plan)
-        return EstimateResult(
-            estimate=estimate,
-            instance_values=values,
-            group_means=group_means,
-            left_count=self._left_count,
-            right_count=self._right_count,
-        )
-
-    def estimate_batch(self, queries=None, *, plan: BoostingPlan | None = None
-                       ) -> list[EstimateResult]:
-        """Batch counterpart of :meth:`estimate` (see
-        :meth:`repro.core.join_base.PairedSketchJoinEstimator.estimate_batch`)."""
-        from repro.core.join_base import batch_request_count, replicate_estimate
-
-        count = batch_request_count(0 if queries is None else queries)
-        if count == 0:
-            return []
-        return replicate_estimate(self.estimate(plan=plan), count)
-
-    def estimate_cardinality(self) -> float:
-        return self.estimate().estimate
-
-    def estimate_selectivity(self) -> float:
-        return self.estimate().selectivity

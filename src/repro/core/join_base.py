@@ -25,14 +25,27 @@ import itertools
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-import numpy as np
-
 from repro.core.atomic import Letter, SketchBank, Word
-from repro.core.boosting import BoostingPlan, median_of_means, split_instances
+from repro.core.boosting import BoostingPlan, split_instances
 from repro.core.domain import Domain, EndpointTransform
-from repro.core.result import EstimateResult
+from repro.core.program import (
+    CounterRef,
+    ProgramTerm,
+    QuerylessProgramEstimator,
+    batch_request_count,
+    replicate_estimate,
+)
 from repro.errors import EstimationError, MergeCompatibilityError, SketchConfigError
 from repro.geometry.boxset import BoxSet
+
+__all__ = [
+    "PairTerm",
+    "expand_pair_terms",
+    "PairedSketchJoinEstimator",
+    # Re-exported for API stability; the canonical home is repro.core.program.
+    "batch_request_count",
+    "replicate_estimate",
+]
 
 
 @dataclass(frozen=True)
@@ -60,55 +73,15 @@ def expand_pair_terms(pair_terms: Sequence[PairTerm], dimension: int
     return combos
 
 
-def replicate_estimate(result: EstimateResult, count: int) -> list[EstimateResult]:
-    """``count`` independent copies of one estimate.
-
-    Matches the scalar-loop contract: every returned result owns its own
-    arrays, so in-place post-processing of one entry cannot leak into the
-    others.  The estimator values themselves are computed only once.
-    """
-    results = [result]
-    for _ in range(count - 1):
-        results.append(EstimateResult(
-            estimate=result.estimate,
-            instance_values=result.instance_values.copy(),
-            group_means=result.group_means.copy(),
-            left_count=result.left_count,
-            right_count=result.right_count,
-        ))
-    return results
-
-
-def batch_request_count(queries) -> int:
-    """Normalise a batch request for query-less estimators to a result count.
-
-    Join estimators summarise both inputs up front, so a "batched" request
-    is simply *how many* results are wanted: either an integer count or a
-    sequence of ``None`` placeholders (the shape the service layer produces
-    when it routes mixed batches through one API).  Anything non-``None`` in
-    the sequence is an error — these families do not take per-query
-    arguments.
-    """
-    if isinstance(queries, (int, np.integer)):
-        count = int(queries)
-        if count < 0:
-            raise SketchConfigError("batch size must be non-negative")
-        return count
-    entries = list(queries)
-    if any(entry is not None for entry in entries):
-        raise SketchConfigError(
-            "this estimator family does not take a query argument; batch "
-            "entries must all be None (or pass an integer count)"
-        )
-    return len(entries)
-
-
-class PairedSketchJoinEstimator:
+class PairedSketchJoinEstimator(QuerylessProgramEstimator):
     """Base class for estimators over two spatial inputs R (left) and S (right).
 
     Subclasses define the pair terms; this class owns sketch construction,
-    streaming updates (insert/delete), per-instance Z evaluation and
-    boosting.
+    streaming updates (insert/delete) and the *lowering* of the estimator
+    random variable into a :class:`~repro.core.program.SketchProgram` —
+    evaluation and boosting run on the shared
+    :class:`~repro.core.program.ProgramExecutor` (see the inherited
+    estimate surface of :class:`QuerylessProgramEstimator`).
     """
 
     def __init__(self, domain: Domain, pair_terms: Sequence[PairTerm],
@@ -138,6 +111,10 @@ class PairedSketchJoinEstimator:
         self._right_bank = self._left_bank.companion(right_words)
         self._left_count = 0
         self._right_count = 0
+        # Lazily-built program terms: the banks are mutated in place by
+        # updates/merges/restores, so the compiled term tuple stays valid
+        # for the estimator's whole lifetime.
+        self._compiled_terms: tuple[ProgramTerm, ...] | None = None
 
     # -- introspection --------------------------------------------------------
 
@@ -281,55 +258,28 @@ class PairedSketchJoinEstimator:
         self._left_count = int(state["left_count"])
         self._right_count = int(state["right_count"])
 
-    # -- estimation ---------------------------------------------------------------------
+    # -- lowering (estimation itself is inherited from the program layer) ---------------
 
-    def instance_values(self) -> np.ndarray:
-        """The per-instance estimator values Z (before boosting)."""
-        values = np.zeros(self._num_instances, dtype=np.float64)
-        for (left_word, right_word), coefficient in self._combos.items():
-            values += coefficient * (self._left_bank.counter(left_word)
-                                     * self._right_bank.counter(right_word))
-        return values
+    def _program_terms(self) -> tuple[ProgramTerm, ...]:
+        """One term per (left word, right word) combination, in combo order."""
+        if self._compiled_terms is None:
+            self._compiled_terms = tuple(
+                ProgramTerm(
+                    coefficient,
+                    counters=(CounterRef(self._left_bank, left_word),
+                              CounterRef(self._right_bank, right_word)),
+                )
+                for (left_word, right_word), coefficient in self._combos.items()
+            )
+        return self._compiled_terms
 
-    def estimate(self, *, plan: BoostingPlan | None = None) -> EstimateResult:
-        """Boosted estimate of the join cardinality."""
+    def _counts(self) -> tuple[int, int]:
+        return self._left_count, self._right_count
+
+    def _require_data(self) -> None:
         if self._left_count == 0 and self._right_count == 0 and \
                 self._left_bank.num_updates == 0 and self._right_bank.num_updates == 0:
             raise EstimationError("estimate requested before any data was inserted")
-        values = self.instance_values()
-        plan = plan or self._plan
-        estimate, group_means = median_of_means(values, plan)
-        return EstimateResult(
-            estimate=estimate,
-            instance_values=values,
-            group_means=group_means,
-            left_count=self._left_count,
-            right_count=self._right_count,
-        )
-
-    def estimate_batch(self, queries=None, *, plan: BoostingPlan | None = None
-                       ) -> list[EstimateResult]:
-        """A batch of boosted estimates (all of the same join, see below).
-
-        ``queries`` is an integer count or a sequence of ``None`` entries
-        (join estimators take no per-query argument — the uniform signature
-        exists so the service layer can batch mixed estimator families
-        through one API).  The per-instance values Z and the median-of-means
-        reduction are computed *once* for the whole batch; every returned
-        result is bit-identical to a scalar :meth:`estimate` call.
-        """
-        count = batch_request_count(0 if queries is None else queries)
-        if count == 0:
-            return []
-        return replicate_estimate(self.estimate(plan=plan), count)
-
-    def estimate_cardinality(self) -> float:
-        """Shorthand returning only the boosted cardinality estimate."""
-        return self.estimate().estimate
-
-    def estimate_selectivity(self) -> float:
-        """Shorthand returning only the boosted selectivity estimate."""
-        return self.estimate().selectivity
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

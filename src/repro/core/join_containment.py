@@ -20,15 +20,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.atomic import Letter, SketchBank
-from repro.core.boosting import BoostingPlan, median_of_means
+from repro.core.boosting import BoostingPlan
 from repro.core.domain import Domain
-from repro.core.result import EstimateResult
+from repro.core.program import CounterRef, ProgramTerm, QuerylessProgramEstimator
 from repro.errors import EstimationError, MergeCompatibilityError, SketchConfigError
 from repro.geometry.boxset import BoxSet
 
 
-class ContainmentJoinEstimator:
-    """Estimates ``|{(r, s) : s contained in r}|`` for two hyper-rectangle sets."""
+class ContainmentJoinEstimator(QuerylessProgramEstimator):
+    """Estimates ``|{(r, s) : s contained in r}|`` for two hyper-rectangle sets.
+
+    Lowers to a single-term :class:`~repro.core.program.SketchProgram`
+    (``Z = X_outer * Y_inner`` over the doubled domain) executed on the
+    shared program executor; the estimate surface is inherited from
+    :class:`QuerylessProgramEstimator`.
+    """
 
     def __init__(self, domain: Domain, num_instances: int, *, seed=0,
                  boosting: BoostingPlan | None = None) -> None:
@@ -152,38 +158,18 @@ class ContainmentJoinEstimator:
         self._outer_count = int(state["outer_count"])
         self._inner_count = int(state["inner_count"])
 
-    # -- estimation -------------------------------------------------------------------------
+    # -- lowering (estimation itself is inherited from the program layer) ---------------
 
-    def instance_values(self) -> np.ndarray:
-        return (self._outer_bank.counter(self._outer_word)
-                * self._inner_bank.counter(self._inner_word))
+    def _program_terms(self) -> tuple[ProgramTerm, ...]:
+        return (ProgramTerm(
+            1.0,
+            counters=(CounterRef(self._outer_bank, self._outer_word),
+                      CounterRef(self._inner_bank, self._inner_word)),
+        ),)
 
-    def estimate(self, *, plan: BoostingPlan | None = None) -> EstimateResult:
+    def _counts(self) -> tuple[int, int]:
+        return self._outer_count, self._inner_count
+
+    def _require_data(self) -> None:
         if self._outer_count == 0 and self._inner_count == 0:
             raise EstimationError("estimate requested before any data was inserted")
-        values = self.instance_values()
-        estimate, group_means = median_of_means(values, plan or self._plan)
-        return EstimateResult(
-            estimate=estimate,
-            instance_values=values,
-            group_means=group_means,
-            left_count=self._outer_count,
-            right_count=self._inner_count,
-        )
-
-    def estimate_batch(self, queries=None, *, plan: BoostingPlan | None = None
-                       ) -> list[EstimateResult]:
-        """Batch counterpart of :meth:`estimate` (see
-        :meth:`repro.core.join_base.PairedSketchJoinEstimator.estimate_batch`)."""
-        from repro.core.join_base import batch_request_count, replicate_estimate
-
-        count = batch_request_count(0 if queries is None else queries)
-        if count == 0:
-            return []
-        return replicate_estimate(self.estimate(plan=plan), count)
-
-    def estimate_cardinality(self) -> float:
-        return self.estimate().estimate
-
-    def estimate_selectivity(self) -> float:
-        return self.estimate().selectivity

@@ -32,8 +32,15 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.atomic import Letter, SketchBank, Word, all_words
-from repro.core.boosting import BoostingPlan, median_of_means, median_of_means_batch
+from repro.core.boosting import BoostingPlan, split_instances
 from repro.core.domain import Domain, EndpointTransform
+from repro.core.program import (
+    CounterRef,
+    LetterSumRef,
+    ProgramTerm,
+    SketchProgram,
+    default_executor,
+)
 from repro.core.result import EstimateResult
 from repro.errors import (
     DimensionalityError,
@@ -171,13 +178,64 @@ class RangeQueryEstimator:
             for letter in word
         )
 
+    # -- lowering -----------------------------------------------------------------------
+
+    def lower(self, queries: Rect | BoxSet | Sequence[Rect | BoxSet], *,
+              plan: BoostingPlan | None = None) -> list[SketchProgram]:
+        """Compile a batch of range queries into sketch programs.
+
+        Program ``j`` lowers query ``j`` to one term per counter word:
+        the word's counter times the per-dimension letter sums of the
+        *query-side* word (the I <-> U flip), over the (possibly
+        endpoint-transformed) query coordinates.
+        """
+        return self._lower_prepared(self._query_batch(queries), plan=plan)
+
+    def lower_batch(self, queries, *, plan: BoostingPlan | None = None
+                    ) -> list[SketchProgram]:
+        """Batch-request lowering with the historical guards (service entry)."""
+        if not isinstance(queries, Rect) and not len(queries):
+            return []
+        if self._count == 0 and self._bank.num_updates == 0:
+            raise EstimationError("estimate requested before any data was inserted")
+        return self.lower(queries, plan=plan)
+
+    def _lower_prepared(self, query_boxes: BoxSet,
+                        plan: BoostingPlan | None) -> list[SketchProgram]:
+        """Programs for already-transformed queries (one per box row)."""
+        self._bank.domain.validate_boxes(query_boxes, what="query boxes")
+        plan = plan or self._plan or split_instances(self._num_instances)
+        pairs = [(word, self._query_word(word)) for word in self._words]
+        lows = query_boxes.lows
+        highs = query_boxes.highs
+        programs: list[SketchProgram] = []
+        for row in range(len(query_boxes)):
+            terms = tuple(
+                ProgramTerm(
+                    1.0,
+                    counters=(CounterRef(self._bank, word),),
+                    letter_sums=tuple(
+                        LetterSumRef(self._bank, dim, query_word[dim],
+                                     int(lows[row, dim]), int(highs[row, dim]))
+                        for dim in range(self.dimension)
+                    ),
+                )
+                for word, query_word in pairs
+            )
+            programs.append(SketchProgram(
+                terms=terms,
+                num_instances=self._num_instances,
+                plan=plan,
+                left_count=self._count,
+                right_count=1,
+            ))
+        return programs
+
+    # -- estimation ---------------------------------------------------------------------
+
     def instance_values(self, query: Rect | BoxSet) -> np.ndarray:
-        query_box = self._query_box(query)
-        values = np.zeros(self._num_instances, dtype=np.float64)
-        for word in self._words:
-            values += self._bank.counter(word) * self._bank.evaluate(
-                self._query_word(word), query_box)
-        return values
+        program = self._lower_prepared(self._query_box(query), plan=None)[0]
+        return default_executor().run_values([program])[0]
 
     def _query_batch(self, queries: Rect | BoxSet | Sequence[Rect | BoxSet]) -> BoxSet:
         """Normalise a batch of queries to one (validated) BoxSet."""
@@ -209,25 +267,23 @@ class RangeQueryEstimator:
         bit-identical to ``instance_values(queries[j])``; the dyadic covers
         and xi sums of all queries are computed in single NumPy kernels.
         """
-        return self._values_for_prepared(self._query_batch(queries))
+        programs = self._lower_prepared(self._query_batch(queries), plan=None)
+        matrix = np.empty((len(programs), self._num_instances), dtype=np.float64)
+        for row, values in enumerate(default_executor().run_values(programs)):
+            matrix[row] = values
+        return matrix
 
     def estimate(self, query: Rect | BoxSet, *, plan: BoostingPlan | None = None
                  ) -> EstimateResult:
         """Boosted estimate of the number of rectangles selected by ``query``."""
         if self._count == 0 and self._bank.num_updates == 0:
             raise EstimationError("estimate requested before any data was inserted")
-        values = self.instance_values(query)
-        estimate, group_means = median_of_means(values, plan or self._plan)
-        return EstimateResult(
-            estimate=estimate,
-            instance_values=values,
-            group_means=group_means,
-            left_count=self._count,
-            right_count=1,
-        )
+        program = self._lower_prepared(self._query_box(query), plan=plan)[0]
+        return default_executor().run([program])[0]
 
-    #: Queries per vectorised batch kernel; keeps the per-(dim, letter) xi-sum
-    #: matrices (num_instances x chunk) bounded while large batches stream.
+    #: Queries per vectorised executor round; keeps the per-(dim, letter)
+    #: xi-sum matrices (num_instances x chunk) bounded while large batches
+    #: stream.
     _BATCH_CHUNK = 4096
 
     def estimate_batch(self, queries: Rect | BoxSet | Sequence[Rect | BoxSet], *,
@@ -236,44 +292,15 @@ class RangeQueryEstimator:
 
         Result ``j`` is bit-identical to ``estimate(queries[j])`` — the same
         xi sums, the same word/dimension accumulation order and the same
-        median-of-means grouping — but the dyadic covers are computed once
-        per batch and the boosting runs as one median-of-instances reduction
+        median-of-means grouping — but the batch lowers to one program per
+        query and runs on the shared
+        :class:`~repro.core.program.ProgramExecutor`: identical letter-sum
+        requests are computed once per batch, programs evaluate as matrix
+        kernels, and the boosting runs as one median-of-instances reduction
         per batch (see :func:`~repro.core.boosting.median_of_means_batch`).
         """
-        if not isinstance(queries, Rect) and not len(queries):
-            return []
-        if self._count == 0 and self._bank.num_updates == 0:
-            raise EstimationError("estimate requested before any data was inserted")
-        query_boxes = self._query_batch(queries)
-        plan = plan or self._plan
-        results: list[EstimateResult] = []
-        for start in range(0, len(query_boxes), self._BATCH_CHUNK):
-            chunk = query_boxes[start:start + self._BATCH_CHUNK]
-            values = self._values_for_prepared(chunk)
-            estimates, group_means = median_of_means_batch(values, plan)
-            # Per-row copies so a retained result does not pin the whole
-            # chunk matrix in memory (and each result owns its arrays, as
-            # in the scalar path).
-            results.extend(
-                EstimateResult(
-                    estimate=float(estimates[row]),
-                    instance_values=np.ascontiguousarray(values[row]),
-                    group_means=group_means[row].copy(),
-                    left_count=self._count,
-                    right_count=1,
-                )
-                for row in range(values.shape[0])
-            )
-        return results
-
-    def _values_for_prepared(self, query_boxes: BoxSet) -> np.ndarray:
-        """(num_queries, num_instances) values for already-transformed queries."""
-        query_words = [self._query_word(word) for word in self._words]
-        products = self._bank.evaluate_many(query_words, query_boxes)
-        values = np.zeros((self._num_instances, len(query_boxes)), dtype=np.float64)
-        for word, query_word in zip(self._words, query_words):
-            values += self._bank.counter(word)[:, None] * products[query_word]
-        return values.T
+        return default_executor().run(self.lower_batch(queries, plan=plan),
+                                      chunk_size=self._BATCH_CHUNK)
 
     def estimate_cardinality(self, query: Rect | BoxSet) -> float:
         return self.estimate(query).estimate

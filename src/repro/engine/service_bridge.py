@@ -18,9 +18,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
-from repro.core.boosting import median_of_means_batch, split_instances
 from repro.core.domain import Domain
 from repro.core.hashing import stable_seed_offset as pair_seed_offset
 from repro.engine.relation import SpatialRelation
@@ -172,35 +170,32 @@ class ServiceSynopses:
     def estimated_join_cardinalities(
             self, pairs: Sequence[tuple[SpatialRelation, SpatialRelation]]
     ) -> list[float]:
-        """Batched probe across many relation pairs (one median per batch).
+        """Batched probe across many relation pairs (one executor dispatch).
 
         Mirrors :meth:`SynopsisManager.estimated_join_cardinalities`: the
-        merged shard views of every live pair (served from the service's
-        LRU cache) contribute one per-instance Z vector; the stacked matrix
-        is boosted with a single
-        :func:`~repro.core.boosting.median_of_means_batch` reduction.
+        merged shard view of every live pair (served from the service's
+        LRU cache) lowers to one sketch program and the whole probe runs as
+        a single :class:`~repro.core.program.ProgramExecutor` batch.
+        Adopted (snapshot-restored) names may carry different instance
+        counts than this bridge's default; the executor's reduction
+        grouping handles the mix, boosting each ``(instances, plan)`` group
+        with one :func:`~repro.core.boosting.median_of_means_batch` call.
         Bit-identical to per-pair :meth:`estimated_join_cardinality` calls.
         """
+        from repro.core.program import default_executor
+
         results: list[float] = [0.0] * len(pairs)
         live = [index for index, (left, right) in enumerate(pairs)
                 if len(left) and len(right)]
         if not live:
             return results
-        views = [self._service.merged_view(self.join_sketch_name(*pairs[index]))
-                 for index in live]
-        # Adopted (snapshot-restored) names may carry a different instance
-        # count than this bridge's default; batch per instance-count group so
-        # the stacked matrices stay rectangular.
-        by_instances: dict[int, list[int]] = {}
-        for position, view in enumerate(views):
-            by_instances.setdefault(view.num_instances, []).append(position)
-        for num_instances, positions in by_instances.items():
-            matrix = np.stack([views[position].instance_values()
-                               for position in positions])
-            estimates, _ = median_of_means_batch(
-                matrix, split_instances(num_instances))
-            for row, position in enumerate(positions):
-                results[live[position]] = max(0.0, float(estimates[row]))
+        programs = [
+            self._service.merged_view(self.join_sketch_name(*pairs[index])).lower()
+            for index in live
+        ]
+        outcomes = default_executor().run(programs)
+        for position, index in enumerate(live):
+            results[index] = max(0.0, outcomes[position].estimate)
         self._service.record_estimates(len(live))
         return results
 

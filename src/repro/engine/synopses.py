@@ -18,9 +18,8 @@ from __future__ import annotations
 
 from typing import Literal, Sequence
 
-import numpy as np
 
-from repro.core.boosting import median_of_means_batch, split_instances
+from repro.core.boosting import split_instances
 from repro.core.domain import Domain
 from repro.core.hashing import stable_seed_offset
 from repro.core.join_hyperrect import SpatialJoinEstimator
@@ -126,14 +125,17 @@ class SynopsisManager:
     ) -> list[float]:
         """Batched join-cardinality probe for many relation pairs at once.
 
-        All pair sketches of one manager share ``num_instances``, so their
-        per-instance Z vectors stack into one ``(num_pairs, num_instances)``
-        matrix and the whole probe needs a single median-of-means reduction
-        (:func:`~repro.core.boosting.median_of_means_batch`) — this is what
-        lets the optimizer cost a plan space with one batched probe instead
-        of O(pairs) scalar estimate calls.  Results are bit-identical to
-        per-pair :meth:`estimated_join_cardinality` calls.
+        Every live pair sketch *lowers* to one
+        :class:`~repro.core.program.SketchProgram` and the whole probe runs
+        as a single :class:`~repro.core.program.ProgramExecutor` batch: the
+        executor stacks the per-instance Z vectors and boosts them with one
+        :func:`~repro.core.boosting.median_of_means_batch` reduction — this
+        is what lets the optimizer cost a plan space with one batched probe
+        instead of O(pairs) scalar estimate calls.  Results are
+        bit-identical to per-pair :meth:`estimated_join_cardinality` calls.
         """
+        from repro.core.program import default_executor
+
         results: list[float] = [0.0] * len(pairs)
         live: list[int] = [
             index for index, (left, right) in enumerate(pairs)
@@ -141,12 +143,12 @@ class SynopsisManager:
         ]
         if not live:
             return results
-        estimators = [self.join_sketch(*pairs[index]) for index in live]
-        matrix = np.stack([estimator.instance_values() for estimator in estimators])
-        estimates, _ = median_of_means_batch(
-            matrix, split_instances(self._num_instances))
+        plan = split_instances(self._num_instances)
+        programs = [self.join_sketch(*pairs[index]).lower(plan=plan)
+                    for index in live]
+        outcomes = default_executor().run(programs)
         for position, index in enumerate(live):
-            results[index] = max(0.0, float(estimates[position]))
+            results[index] = max(0.0, outcomes[position].estimate)
         return results
 
     # -- range sketches ------------------------------------------------------------------

@@ -1,16 +1,19 @@
-"""Micro-batching of concurrent estimate requests.
+"""Micro-batching of concurrent estimate requests — across estimators.
 
 Individually, network estimate requests would each pay a full scalar
-``estimate`` call.  The PR-2 batch kernels answer a whole query batch for
-barely more than one scalar call, so the serving layer *coalesces*:
-concurrent in-flight ``estimate`` requests for the same estimator are
-gathered into one bucket and answered through a single
-:meth:`~repro.service.service.EstimationService.estimate_batch` engine
-call.  Result ``j`` of a batch is bit-identical to the scalar estimate of
-query ``j`` (a PR-2 invariant), so coalescing is invisible to clients
-except in latency.
+``estimate`` call.  The batch kernels answer a whole query batch for barely
+more than one scalar call, so the serving layer *coalesces*: concurrent
+in-flight ``estimate`` requests are gathered into one bucket and answered
+through a single engine dispatch.  Since the compiled-program layer
+(:mod:`repro.core.program`) the bucket is **cross-estimator**: a mixed
+workload of N requests over K estimators coalesces into *one*
+:meth:`~repro.service.service.EstimationService.estimate_multi` dispatch
+instead of K per-estimator batches — letter-sum work is shared across
+queries and estimator families, and the whole dispatch pays one reduction
+pass.  Result ``j`` of a dispatch is bit-identical to the scalar estimate
+of request ``j``, so coalescing is invisible to clients except in latency.
 
-A bucket dispatches when either
+The shared bucket dispatches when either
 
 * it reaches ``max_batch`` queued queries (size trigger), or
 * ``max_delay`` seconds elapsed since its first query (timer trigger) —
@@ -29,15 +32,27 @@ call runs on a thread-pool executor so the loop stays responsive.
 from __future__ import annotations
 
 import asyncio
+from collections import Counter
 from concurrent.futures import Executor
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
-import numpy as np
-
 from repro.core.result import EstimateResult
 from repro.errors import OverloadedError, ServiceError
 from repro.geometry.boxset import BoxSet
+
+
+@dataclass
+class EstimatorCoalesceStats:
+    """Per-estimator coalescing counters (event-loop thread only)."""
+
+    queries: int = 0      # queries answered for this estimator
+    dispatches: int = 0   # engine dispatches that included this estimator
+
+    @property
+    def coalesce_factor(self) -> float:
+        """Queries this estimator contributed per engine dispatch it rode."""
+        return self.queries / self.dispatches if self.dispatches else 0.0
 
 
 @dataclass
@@ -51,6 +66,10 @@ class CoalescerStats:
     size_dispatches: int = 0
     timer_dispatches: int = 0
     largest_batch: int = 0
+    #: Dispatches whose bucket spanned more than one estimator — the
+    #: cross-estimator coalescing the program executor makes one engine call.
+    cross_dispatches: int = 0
+    per_estimator: dict[str, EstimatorCoalesceStats] = field(default_factory=dict)
 
     @property
     def coalesce_factor(self) -> float:
@@ -58,13 +77,18 @@ class CoalescerStats:
         return self.batched_queries / self.batches if self.batches else 0.0
 
     def copy(self) -> "CoalescerStats":
-        return replace(self)
+        return replace(self, per_estimator={
+            name: replace(stats) for name, stats in self.per_estimator.items()
+        })
 
 
 @dataclass
-class _Bucket:
-    entries: list[tuple[BoxSet | None, asyncio.Future]] = field(default_factory=list)
-    timer: asyncio.TimerHandle | None = None
+class _Pending:
+    """One queued estimate request."""
+
+    name: str
+    query: BoxSet | None
+    future: "asyncio.Future[EstimateResult]"
 
 
 class EstimateCoalescer:
@@ -78,9 +102,10 @@ class EstimateCoalescer:
         snapshot hot-reload swaps the backing service without touching
         queued requests.
     max_batch:
-        Size trigger: a bucket with this many queries dispatches at once.
-        ``1`` disables coalescing (every request becomes its own engine
-        call) — the "naive" baseline of the latency benchmark.
+        Size trigger: the shared bucket dispatches as soon as it holds this
+        many queries (across all estimators).  ``1`` disables coalescing
+        (every request becomes its own engine call) — the "naive" baseline
+        of the latency benchmark.
     max_delay:
         Timer trigger, in seconds: the longest a queued query waits for
         companions before its bucket dispatches anyway.
@@ -106,7 +131,8 @@ class EstimateCoalescer:
         self._max_delay = float(max_delay)
         self._max_queue = int(max_queue)
         self._executor = executor
-        self._buckets: dict[str, _Bucket] = {}
+        self._bucket: list[_Pending] = []
+        self._timer: asyncio.TimerHandle | None = None
         self._queued = 0
         self._inflight = 0
         self._tasks: set[asyncio.Task] = set()
@@ -135,7 +161,9 @@ class EstimateCoalescer:
 
         ``query`` is a single-row :class:`BoxSet` for queryable families or
         ``None`` for query-less ones (the caller validates against the
-        family).  Raises :class:`OverloadedError` synchronously when the
+        family).  Requests for *different* estimators share one bucket —
+        mixed dispatches are answered by a single ``estimate_multi`` engine
+        call.  Raises :class:`OverloadedError` synchronously when the
         admission queue is full.
         """
         if self.queue_depth >= self._max_queue:
@@ -143,38 +171,32 @@ class EstimateCoalescer:
             raise OverloadedError()
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        bucket = self._buckets.get(name)
-        if bucket is None:
-            bucket = self._buckets[name] = _Bucket()
-        bucket.entries.append((query, future))
+        self._bucket.append(_Pending(name, query, future))
         self._queued += 1
         self._stats.submitted += 1
-        if len(bucket.entries) >= self._max_batch:
-            self._dispatch(name, "size")
-        elif bucket.timer is None:
-            bucket.timer = loop.call_later(self._max_delay, self._dispatch,
-                                           name, "timer")
+        if len(self._bucket) >= self._max_batch:
+            self._dispatch("size")
+        elif self._timer is None:
+            self._timer = loop.call_later(self._max_delay, self._dispatch,
+                                          "timer")
         return future
 
     # -- dispatching --------------------------------------------------------------
 
-    def _dispatch(self, name: str, reason: str) -> None:
-        bucket = self._buckets.get(name)
-        if bucket is None or not bucket.entries:
+    def _dispatch(self, reason: str) -> None:
+        if not self._bucket:
             return
-        if bucket.timer is not None:
-            bucket.timer.cancel()
-            bucket.timer = None
-        entries = bucket.entries[:self._max_batch]
-        del bucket.entries[:self._max_batch]
-        if bucket.entries:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        entries = self._bucket[:self._max_batch]
+        del self._bucket[:self._max_batch]
+        if self._bucket:
             # Leftovers (only possible after a burst larger than max_batch):
             # dispatch them on the next loop iteration rather than waiting
             # a full delay window again.
             loop = asyncio.get_running_loop()
-            bucket.timer = loop.call_later(0, self._dispatch, name, reason)
-        else:
-            del self._buckets[name]
+            self._timer = loop.call_later(0, self._dispatch, reason)
         self._queued -= len(entries)
         self._inflight += len(entries)
         self._stats.batches += 1
@@ -184,58 +206,86 @@ class EstimateCoalescer:
             self._stats.size_dispatches += 1
         else:
             self._stats.timer_dispatches += 1
-        task = asyncio.get_running_loop().create_task(
-            self._run_batch(name, entries))
+        per_name = Counter(entry.name for entry in entries)
+        for name, count in per_name.items():
+            stats = self._stats.per_estimator.setdefault(
+                name, EstimatorCoalesceStats())
+            stats.queries += count
+            stats.dispatches += 1
+        if len(per_name) > 1:
+            self._stats.cross_dispatches += 1
+        task = asyncio.get_running_loop().create_task(self._run_batch(entries))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    async def _run_batch(self, name: str,
-                         entries: list[tuple[BoxSet | None, asyncio.Future]]
-                         ) -> None:
-        queries = self._batch_queries(entries)
+    async def _run_batch(self, entries: list[_Pending]) -> None:
         service = self._get_service()
         loop = asyncio.get_running_loop()
 
-        def answer():
+        def answer(batch: list[_Pending]):
             # record_coalesced takes the service lock, so it stays on the
             # executor thread with the engine call — the event loop never
             # waits on that lock.
-            results = service.estimate_batch(name, queries)
-            service.record_coalesced(len(entries))
+            results = service.estimate_multi(
+                [(entry.name, entry.query) for entry in batch])
+            service.record_coalesced(len(batch))
             return results
 
         try:
-            results = await loop.run_in_executor(self._executor, answer)
-        except Exception as exc:
-            for _, future in entries:
-                if not future.done():
-                    future.set_exception(exc)
-        else:
-            for (_, future), result in zip(entries, results):
-                if not future.done():
-                    future.set_result(result)
+            try:
+                results = await loop.run_in_executor(self._executor, answer,
+                                                     entries)
+            except Exception as exc:
+                # A mixed dispatch fails as a whole (one compile error
+                # aborts the engine call), but a bad request for one
+                # estimator must not poison coalesced requests for healthy
+                # ones — per-name buckets used to isolate this.  Retry per
+                # estimator so only the offending name's requests see the
+                # error.
+                groups: dict[str, list[_Pending]] = {}
+                for entry in entries:
+                    groups.setdefault(entry.name, []).append(entry)
+                if len(groups) == 1:
+                    self._fail(entries, exc)
+                else:
+                    # The failed joint attempt died in compilation (before
+                    # any kernel ran), so the extra cost here is the
+                    # concurrent per-name re-dispatches, not doubled
+                    # engine work.
+                    async def retry(batch: list[_Pending]) -> None:
+                        try:
+                            retried = await loop.run_in_executor(
+                                self._executor, answer, batch)
+                        except Exception as inner:
+                            self._fail(batch, inner)
+                        else:
+                            self._resolve(batch, retried)
+
+                    await asyncio.gather(*(retry(batch)
+                                           for batch in groups.values()))
+            else:
+                self._resolve(entries, results)
         finally:
             self._inflight -= len(entries)
 
     @staticmethod
-    def _batch_queries(entries: list[tuple[BoxSet | None, asyncio.Future]]):
-        """One estimate_batch argument from a bucket's queued queries."""
-        if entries[0][0] is None:
-            # Query-less family: a count-shaped batch.  Mixed buckets cannot
-            # occur — the server validates the query against the family
-            # before submitting.
-            return [None] * len(entries)
-        lows = np.concatenate([query.lows for query, _ in entries])
-        highs = np.concatenate([query.highs for query, _ in entries])
-        return BoxSet(lows, highs, validate=False)
+    def _resolve(entries: list[_Pending], results) -> None:
+        for entry, result in zip(entries, results):
+            if not entry.future.done():
+                entry.future.set_result(result)
+
+    @staticmethod
+    def _fail(entries: list[_Pending], exc: Exception) -> None:
+        for entry in entries:
+            if not entry.future.done():
+                entry.future.set_exception(exc)
 
     # -- shutdown -----------------------------------------------------------------
 
     async def drain(self) -> None:
         """Dispatch everything queued and wait for in-flight batches."""
-        while self._buckets or self._tasks:
-            for name in list(self._buckets):
-                self._dispatch(name, "timer")
+        while self._bucket or self._tasks:
+            self._dispatch("timer")
             if self._tasks:
                 await asyncio.gather(*list(self._tasks), return_exceptions=True)
             else:

@@ -1,10 +1,13 @@
-"""Serving-side metrics: request counters, latency quantiles, coalesce factor.
+"""Serving-side metrics: request counters, latency quantiles, coalesce factors.
 
 :class:`ServerMetrics` is mutated only from the event-loop thread (request
 accounting happens in the connection handlers), so it needs no locking.
 The ``metrics`` protocol verb renders it — together with an atomic
 :class:`~repro.service.service.ServiceStats` copy and the coalescer
-counters — as a Prometheus-style plain-text exposition.
+counters — as a Prometheus-style plain-text exposition.  Coalescing is
+reported both in aggregate and per estimator (labelled
+``repro_server_estimator_coalesce_factor{name=...}`` gauges), alongside
+the cross-estimator dispatch count of the shared request bucket.
 """
 
 from __future__ import annotations
@@ -26,6 +29,11 @@ def quantile(sorted_values: list[float], q: float) -> float:
         return 0.0
     rank = max(0, math.ceil(q * len(sorted_values)) - 1)
     return sorted_values[rank]
+
+
+def label_value(value: str) -> str:
+    """Escape a string for use inside a Prometheus label value."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
 
 
 class ServerMetrics:
@@ -93,11 +101,11 @@ class ServerMetrics:
                  f"repro_server_connections_active {self.connections_active}",
                  f"repro_server_reloads_total {self.reloads}"]
         for op in sorted(self.requests):
-            lines.append(
-                f'repro_server_requests_total{{op="{op}"}} {self.requests[op]}')
+            lines.append(f'repro_server_requests_total{{op="{label_value(op)}"}} '
+                         f"{self.requests[op]}")
         for code in sorted(self.errors):
-            lines.append(
-                f'repro_server_errors_total{{code="{code}"}} {self.errors[code]}')
+            lines.append(f'repro_server_errors_total{{code="{label_value(code)}"}} '
+                         f"{self.errors[code]}")
         quantiles = self.latency_quantiles()
         lines.append(f"repro_server_estimate_qps {self.estimate_qps():.3f}")
         for q, seconds in sorted(quantiles.items()):
@@ -112,6 +120,27 @@ class ServerMetrics:
                      f"{coalescer_stats.rejected}")
         lines.append(
             f"repro_server_coalesce_factor {coalescer_stats.coalesce_factor:.3f}")
+        lines.append("repro_server_coalesce_cross_estimator_dispatches_total "
+                     f"{coalescer_stats.cross_dispatches}")
+        # Per-estimator series use their own metric names (never the
+        # aggregate ones above): Prometheus metric families must be
+        # contiguous, and sharing a name would double-count on sum().
+        ordered = sorted(coalescer_stats.per_estimator)
+        for name in ordered:
+            per = coalescer_stats.per_estimator[name]
+            lines.append(
+                "repro_server_estimator_coalesced_queries_total"
+                f'{{name="{label_value(name)}"}} {per.queries}')
+        for name in ordered:
+            per = coalescer_stats.per_estimator[name]
+            lines.append(
+                "repro_server_estimator_coalesce_dispatches_total"
+                f'{{name="{label_value(name)}"}} {per.dispatches}')
+        for name in ordered:
+            per = coalescer_stats.per_estimator[name]
+            lines.append(
+                "repro_server_estimator_coalesce_factor"
+                f'{{name="{label_value(name)}"}} {per.coalesce_factor:.3f}')
         cache_reads = service_stats.cache_hits + service_stats.cache_misses
         hit_rate = service_stats.cache_hits / cache_reads if cache_reads else 0.0
         lines.append(f"repro_service_cache_hit_rate {hit_rate:.3f}")

@@ -343,11 +343,13 @@ class SketchServer:
         # read runs on the executor too, keeping the event loop responsive.
         description = await self._run_blocking(self._service.describe)
         coalescer = self.coalescer
+        coalescer_stats = coalescer.stats
         description["server"] = {
             "connections_active": self.metrics.connections_active,
             "queue_depth": coalescer.queue_depth,
-            "coalesce_batches": coalescer.stats.batches,
-            "coalesce_factor": coalescer.stats.coalesce_factor,
+            "coalesce_batches": coalescer_stats.batches,
+            "coalesce_factor": coalescer_stats.coalesce_factor,
+            "cross_estimator_dispatches": coalescer_stats.cross_dispatches,
             "reloads": self.metrics.reloads,
         }
         return protocol.ok_payload("stats", request, **description)

@@ -405,14 +405,34 @@ def normalise_query_batch(spec: EstimatorSpec, queries) -> BoxSet | int:
     return len(entries)
 
 
-def run_estimate_batch(spec: EstimatorSpec, estimator: Any,
-                       queries) -> list[EstimateResult]:
+def compile_programs(spec: EstimatorSpec, estimator: Any,
+                     queries) -> list:
+    """Lower one estimator's batch request into sketch programs.
+
+    The returned :class:`~repro.core.program.SketchProgram` list expands —
+    once executed — to exactly one result per requested query: queryable
+    families compile one program per query rectangle, query-less families a
+    single program whose ``replicas`` equals the requested count.  This is
+    the compilation step the mixed-estimator paths share: programs of
+    different estimators (and different families) concatenate into one
+    executor batch.
+    """
+    return estimator.lower_batch(normalise_query_batch(spec, queries))
+
+
+def run_estimate_batch(spec: EstimatorSpec, estimator: Any, queries, *,
+                       executor: Any = None) -> list[EstimateResult]:
     """Batched :func:`run_estimate`: one result per requested query.
 
     For queryable families ``queries`` is a :class:`BoxSet` (one row per
-    query) or a sequence of rectangles, answered through the estimator's
-    vectorised ``estimate_batch`` kernel.  For query-less families it is an
-    integer count or a sequence of ``None`` placeholders.  Every result is
-    bit-identical to the corresponding scalar :func:`run_estimate` call.
+    query) or a sequence of rectangles; for query-less families it is an
+    integer count or a sequence of ``None`` placeholders.  The batch is
+    compiled with :func:`compile_programs` and run on ``executor`` (the
+    shared default :func:`~repro.core.program.default_executor` when
+    omitted).  Every result is bit-identical to the corresponding scalar
+    :func:`run_estimate` call.
     """
-    return estimator.estimate_batch(normalise_query_batch(spec, queries))
+    from repro.core.program import default_executor
+
+    runner = executor if executor is not None else default_executor()
+    return runner.run(compile_programs(spec, estimator, queries))

@@ -137,6 +137,49 @@ class TestIngestEstimateCommands:
         result = json.loads(capsys.readouterr().out)
         assert result["left_count"] == 3
 
+    def test_estimate_explain_prints_compiled_program(self, tmp_path, capsys):
+        """Satellite: --explain shows the program a query compiles to."""
+        snapshot = str(tmp_path / "svc.json")
+        assert main(["ingest", "--snapshot", snapshot, "--name", "rq",
+                     "--family", "range", "--sizes", "256,256",
+                     "--instances", "16", "--side", "data",
+                     "--count", "20"]) == 0
+        capsys.readouterr()
+        assert main(["estimate", "--snapshot", snapshot, "--name", "rq",
+                     "--query", "0,0,128,128", "--explain"]) == 0
+        explained = json.loads(capsys.readouterr().out)
+        assert explained["name"] == "rq" and explained["family"] == "range"
+        program = explained["program"]
+        assert program["num_instances"] == 16
+        assert len(program["terms"]) == 4  # {I, U}^2 counter words
+        assert all(request["cover_size"] >= 1
+                   for request in program["letter_sum_requests"])
+        reduction = program["reduction"]
+        assert reduction["group_size"] * reduction["num_groups"] == \
+            reduction["total_instances"]
+
+    def test_explain_queryless_family_and_query_rejection(self, tmp_path,
+                                                          capsys):
+        snapshot = str(tmp_path / "svc.json")
+        assert main(["ingest", "--snapshot", snapshot, "--name", "join",
+                     "--family", "rectangle", "--sizes", "256x256",
+                     "--instances", "16", "--count", "10"]) == 0
+        capsys.readouterr()
+        assert main(["estimate", "--snapshot", snapshot, "--name", "join",
+                     "--explain"]) == 0
+        explained = json.loads(capsys.readouterr().out)
+        assert explained["program"]["letter_sum_requests"] == []
+        assert len(explained["program"]["terms"]) == 4  # {I, E}^2 pairs
+        # A queryable family needs a query to compile.
+        assert main(["ingest", "--snapshot", snapshot, "--name", "rq",
+                     "--family", "range", "--sizes", "256x256",
+                     "--instances", "16", "--side", "data",
+                     "--count", "10"]) == 0
+        capsys.readouterr()
+        assert main(["estimate", "--snapshot", snapshot, "--name", "rq",
+                     "--explain"]) == 1
+        assert "pass --query" in capsys.readouterr().err
+
     def test_unregistered_name_needs_family(self, tmp_path, capsys):
         snapshot = str(tmp_path / "svc.json")
         assert main(["ingest", "--snapshot", snapshot, "--name", "ghost",

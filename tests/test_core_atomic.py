@@ -113,6 +113,42 @@ class TestUpdates:
         bank.insert(BoxSet.empty(1))
         assert bank.num_updates == 0
 
+    def test_update_accounting_scales_with_weight(self, domain_1d, rng):
+        """num_updates is the net *weighted* box count, not the raw count.
+
+        Historically any non-unit weight bumped the counter by +count
+        regardless of magnitude or sign; the accounting now follows the
+        linear-projection semantics (weight w == w copies of every box).
+        """
+        bank = SketchBank(domain_1d, IE_1D, num_instances=4, seed=1)
+        boxes = random_boxes(rng, 3, 256, 1)
+        bank.insert(boxes)
+        assert bank.num_updates == 3
+        assert isinstance(bank.num_updates, int)  # integral stays int
+        bank.insert(boxes, weight=2.0)
+        assert bank.num_updates == 9  # 3 + 2 * 3
+        bank.insert(boxes, weight=-2.0)
+        assert bank.num_updates == 3
+        bank.insert(boxes, weight=0.5)
+        assert bank.num_updates == 4.5  # fractional weights account exactly
+        bank.delete(boxes)
+        assert bank.num_updates == 1.5
+        # The weighted total round-trips through snapshots.
+        clone = SketchBank(domain_1d, IE_1D, num_instances=4, seed=1)
+        clone.load_state_dict(bank.state_dict())
+        assert clone.num_updates == 1.5
+
+    def test_weighted_insert_equals_repeated_inserts(self, domain_1d, rng):
+        boxes = random_boxes(rng, 5, 256, 1)
+        weighted = SketchBank(domain_1d, IE_1D, num_instances=4, seed=2)
+        repeated = SketchBank(domain_1d, IE_1D, num_instances=4, seed=2)
+        weighted.insert(boxes, weight=2.0)
+        repeated.insert(boxes)
+        repeated.insert(boxes)
+        assert weighted.num_updates == repeated.num_updates == 10
+        for word in IE_1D:
+            assert np.allclose(weighted.counter(word), repeated.counter(word))
+
     def test_letter_boxes_override(self, domain_1d, rng):
         words = [(Letter.LOWER_LEAF,), (Letter.INTERVAL,)]
         boxes = random_boxes(rng, 10, 200, 1)

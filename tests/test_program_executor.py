@@ -1,0 +1,312 @@
+"""Property tests for the compiled-program layer (core/program.py).
+
+The tentpole guarantee of the shared estimator IR: for every one of the
+eight estimator families — over random workloads with deletions, sharding
+and merged shard views — the program executor must return *exactly* what
+the pre-refactor scalar pipeline computed, with the cross-batch letter-sum
+cache on **and** off.  The reference implementations below rebuild the
+historical scalar math straight from the sketch-bank primitives (counters,
+``evaluate``), so the executor is checked against an independent oracle,
+not against itself.
+
+Also covered: the mixed-estimator ``estimate_multi`` dispatch (one executor
+batch over several estimators, results in request order), reduction
+grouping across unequal instance counts, replica expansion, program
+introspection (``describe_program``) and executor cache behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boosting import median_of_means, split_instances
+from repro.core.program import (
+    ProgramExecutor,
+    SketchProgram,
+    describe_program,
+)
+from repro.core.range_query import RangeQueryEstimator
+from repro.errors import SketchConfigError
+from repro.geometry.boxset import BoxSet
+from repro.service import EstimationService, EstimatorSpec
+from repro.service.specs import compile_programs
+
+#: Family -> (domain sizes, update sides, extra spec options).
+FAMILY_CASES = {
+    "interval": ((64,), ("left", "right"), {}),
+    "rectangle": ((32, 32), ("left", "right"), {}),
+    "hyperrect": ((16, 16, 16), ("left", "right"), {}),
+    "extended_overlap": ((32, 32), ("left", "right"), {}),
+    "common_endpoint": ((32, 32), ("left", "right"), {}),
+    "containment": ((32, 32), ("outer", "inner"), {}),
+    "epsilon": ((32, 32), ("left", "right"), {"epsilon": 2}),
+    "range": ((32, 32), ("data",), {}),
+}
+
+PAIRED_FAMILIES = {"interval", "rectangle", "hyperrect", "extended_overlap",
+                   "common_endpoint"}
+
+NUM_INSTANCES = 9  # 3 groups of 3 under split_instances
+
+
+def _boxes(rng: np.random.Generator, count: int, sizes: tuple[int, ...],
+           *, degenerate: bool) -> BoxSet:
+    if degenerate:
+        lows = np.column_stack(
+            [rng.integers(0, size, size=count) for size in sizes])
+        return BoxSet(lows, lows.copy(), validate=False)
+    lows = np.column_stack(
+        [rng.integers(0, size - 1, size=count) for size in sizes])
+    extents = np.column_stack(
+        [rng.integers(1, max(2, size // 3), size=count) for size in sizes])
+    highs = np.minimum(lows + extents, np.asarray(sizes, dtype=np.int64) - 1)
+    return BoxSet(lows, highs, validate=False)
+
+
+def reference_scalar_estimate(family: str, view, query=None):
+    """The pre-refactor scalar pipeline, rebuilt from bank primitives.
+
+    Returns ``(estimate, instance_values, group_means, left, right)``
+    computed with the exact historical accumulation order: per-term counter
+    products summed into a zero-initialised value vector, boosted with
+    :func:`median_of_means` under the ``split_instances`` default plan.
+    """
+    if family in PAIRED_FAMILIES:
+        values = np.zeros(view.num_instances, dtype=np.float64)
+        for (left_word, right_word), coefficient in view._combos.items():
+            values += coefficient * (view.left_bank.counter(left_word)
+                                     * view.right_bank.counter(right_word))
+        left, right = view.left_count, view.right_count
+    elif family == "epsilon":
+        values = (view._point_bank.counter(view._point_word)
+                  * view._cube_bank.counter(view._cube_word))
+        left, right = view.left_count, view.right_count
+    elif family == "containment":
+        values = (view._outer_bank.counter(view._outer_word)
+                  * view._inner_bank.counter(view._inner_word))
+        left, right = view.outer_count, view.inner_count
+    elif family == "range":
+        query_box = view._query_box(query)
+        values = np.zeros(view.num_instances, dtype=np.float64)
+        for word in view._words:
+            values += view._bank.counter(word) * view._bank.evaluate(
+                view._query_word(word), query_box)
+        left, right = view.count, 1
+    else:  # pragma: no cover - defensive
+        raise AssertionError(f"unknown family {family!r}")
+    estimate, group_means = median_of_means(
+        values, split_instances(view.num_instances))
+    return estimate, values, group_means, left, right
+
+
+def _build_service(family: str, case: dict) -> tuple[EstimationService, tuple]:
+    sizes, sides, options = FAMILY_CASES[family]
+    rng = np.random.default_rng(case["seed"])
+    degenerate = family == "epsilon"
+    service = EstimationService(num_shards=case["num_shards"],
+                                flush_threshold=None)
+    spec = EstimatorSpec.create(family, sizes, NUM_INSTANCES,
+                                seed=case["seed"] % 1000, **options)
+    service.register("est", spec)
+    for side in sides:
+        inserted = _boxes(rng, case["inserts"], sizes, degenerate=degenerate)
+        service.ingest("est", inserted, side=side, kind="insert")
+        deletions = int(case["delete_fraction"] * (case["inserts"] - 1))
+        if deletions:
+            service.ingest("est", inserted[:deletions], side=side,
+                           kind="delete")
+    service.flush()
+    return service, (sizes, rng)
+
+
+workload = st.fixed_dictionaries({
+    "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    "num_shards": st.integers(min_value=1, max_value=3),
+    "inserts": st.integers(min_value=2, max_value=30),
+    "delete_fraction": st.floats(min_value=0.0, max_value=0.75),
+    "num_queries": st.integers(min_value=1, max_value=5),
+})
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_CASES))
+@settings(max_examples=8, deadline=None)
+@given(case=workload)
+def test_executor_matches_prerefactor_scalar_cache_on_and_off(family, case):
+    """Cache on == cache off == the historical scalar math, bit for bit."""
+    service, (sizes, rng) = _build_service(family, case)
+    spec = service.spec("est")
+    view = service.merged_view("est")
+
+    if family == "range":
+        queries = _boxes(rng, case["num_queries"], sizes, degenerate=False)
+        scalar_queries = [queries[j] for j in range(len(queries))]
+    else:
+        queries = case["num_queries"]
+        scalar_queries = [None] * case["num_queries"]
+
+    cached = ProgramExecutor(cache_size=4096)
+    uncached = ProgramExecutor(cache_size=0)
+    with_cache = cached.run(compile_programs(spec, view, queries))
+    without_cache = uncached.run(compile_programs(spec, view, queries))
+    # A second cached run must hit the cache and still agree bit for bit.
+    rerun = cached.run(compile_programs(spec, view, queries))
+
+    assert len(with_cache) == case["num_queries"]
+    for j, scalar_query in enumerate(scalar_queries):
+        estimate, values, group_means, left, right = reference_scalar_estimate(
+            family, view, scalar_query)
+        for result in (with_cache[j], without_cache[j], rerun[j]):
+            assert result.estimate == estimate
+            assert np.array_equal(result.instance_values, values)
+            assert np.array_equal(result.group_means, group_means)
+            assert result.left_count == left
+            assert result.right_count == right
+
+    if family == "range":
+        assert cached.stats.cache_hits > 0
+        assert uncached.stats.cache_hits == 0
+        # Intra-batch sharing is structural: at most one kernel call per
+        # (dim, letter) pair regardless of batch size or cache policy.
+        letters_in_use = 2 * len(sizes)
+        assert uncached.stats.kernel_calls <= 2 * letters_in_use
+
+
+@settings(max_examples=8, deadline=None)
+@given(case=workload)
+def test_estimate_multi_mixed_families_matches_scalar(case):
+    """One estimate_multi dispatch over 4 families == per-request scalars."""
+    sizes = (32, 32)
+    rng = np.random.default_rng(case["seed"])
+    service = EstimationService(num_shards=case["num_shards"],
+                                flush_threshold=None)
+    service.register("ranges", family="range", domain=sizes,
+                     num_instances=NUM_INSTANCES, seed=1)
+    service.register("join", family="rectangle", domain=sizes,
+                     num_instances=NUM_INSTANCES, seed=2)
+    service.register("contain", family="containment", domain=sizes,
+                     num_instances=NUM_INSTANCES, seed=3)
+    service.register("eps", family="epsilon", domain=sizes,
+                     num_instances=NUM_INSTANCES, seed=4, epsilon=2)
+    data = _boxes(rng, case["inserts"] + 2, sizes, degenerate=False)
+    points = _boxes(rng, case["inserts"] + 2, sizes, degenerate=True)
+    service.ingest("ranges", data, side="data")
+    service.ingest("join", data, side="left")
+    service.ingest("join", data, side="right")
+    service.ingest("contain", data, side="outer")
+    service.ingest("contain", data, side="inner")
+    service.ingest("eps", points, side="left")
+    service.ingest("eps", points, side="right")
+    service.flush()
+
+    queries = _boxes(rng, case["num_queries"], sizes, degenerate=False)
+    requests = []
+    for j in range(case["num_queries"]):
+        requests.append(("ranges", queries[j]))
+        requests.append(("join", None))
+        requests.append(("contain", None))
+        requests.append(("eps", None))
+
+    before = service.stats.batch_estimates
+    multi = service.estimate_multi(requests)
+    assert service.stats.batch_estimates == before + 1  # ONE engine dispatch
+
+    assert len(multi) == len(requests)
+    for (name, query), result in zip(requests, multi):
+        scalar = service.estimate(name, query)
+        assert result.estimate == scalar.estimate
+        assert np.array_equal(result.instance_values, scalar.instance_values)
+        assert np.array_equal(result.group_means, scalar.group_means)
+        assert result.left_count == scalar.left_count
+        assert result.right_count == scalar.right_count
+
+
+class TestExecutorUnit:
+    def test_reduction_groups_span_unequal_instance_counts(self, rng):
+        """One run may mix programs with different (instances, plan) pairs."""
+        domain_sizes = (64, 64)
+        from repro.core.domain import Domain
+
+        domain = Domain(domain_sizes)
+        first = RangeQueryEstimator(domain, 6, seed=1)
+        second = RangeQueryEstimator(domain, 10, seed=2)
+        boxes = _boxes(rng, 40, domain_sizes, degenerate=False)
+        first.insert(boxes)
+        second.insert(boxes)
+        queries = _boxes(rng, 5, domain_sizes, degenerate=False)
+        programs = first.lower(queries) + second.lower(queries)
+        results = ProgramExecutor(cache_size=0).run(programs)
+        for j in range(5):
+            assert results[j].estimate == first.estimate(queries[j]).estimate
+            assert results[5 + j].estimate == \
+                second.estimate(queries[j]).estimate
+
+    def test_replicas_expand_to_owned_results(self, rng):
+        from repro.core.domain import Domain
+        from repro.core.join_rect import RectangleJoinEstimator
+
+        estimator = RectangleJoinEstimator(Domain((32, 32)), 6, seed=3)
+        estimator.insert_left(_boxes(rng, 10, (32, 32), degenerate=False))
+        estimator.insert_right(_boxes(rng, 10, (32, 32), degenerate=False))
+        results = ProgramExecutor(cache_size=0).run(
+            [estimator.lower(replicas=3)])
+        assert len(results) == 3
+        assert results[0].instance_values is not results[1].instance_values
+        results[0].instance_values[0] += 1.0
+        assert results[1].instance_values[0] != results[0].instance_values[0]
+
+    def test_program_validation(self):
+        with pytest.raises(SketchConfigError):
+            SketchProgram(terms=(), num_instances=4,
+                          plan=split_instances(4), left_count=0)
+        with pytest.raises(SketchConfigError):
+            ProgramExecutor(cache_size=-1)
+
+    def test_describe_program_reports_covers_and_reduction(self, rng):
+        from repro.core.domain import Domain
+
+        estimator = RangeQueryEstimator(Domain((64, 64)), 8, seed=1)
+        estimator.insert(_boxes(rng, 20, (64, 64), degenerate=False))
+        program = estimator.lower(_boxes(rng, 1, (64, 64),
+                                         degenerate=False))[0]
+        description = describe_program(program)
+        assert description["num_instances"] == 8
+        assert len(description["terms"]) == 4  # {I, U}^2 counter words
+        assert all(len(term["letter_sums"]) == 2
+                   for term in description["terms"])
+        assert description["letter_sum_requests"], "deduped requests expected"
+        assert all(request["cover_size"] >= 1
+                   for request in description["letter_sum_requests"])
+        reduction = description["reduction"]
+        assert reduction["group_size"] * reduction["num_groups"] == \
+            reduction["total_instances"]
+
+    def test_letter_sum_cache_does_not_pin_banks(self, rng):
+        """Cache keys hold weak bank refs: replaced views stay collectable."""
+        import gc
+        import weakref
+
+        from repro.core.domain import Domain
+
+        estimator = RangeQueryEstimator(Domain((64, 64)), 4, seed=1)
+        estimator.insert(_boxes(rng, 10, (64, 64), degenerate=False))
+        executor = ProgramExecutor(cache_size=64)
+        queries = _boxes(rng, 6, (64, 64), degenerate=False)
+        executor.run(estimator.lower(queries))
+        assert executor.cache_entries > 0
+        bank_ref = weakref.ref(estimator.bank)
+        del estimator
+        gc.collect()
+        assert bank_ref() is None  # cached vectors must not pin the bank
+
+    def test_letter_sum_cache_is_bounded(self, rng):
+        from repro.core.domain import Domain
+
+        estimator = RangeQueryEstimator(Domain((64, 64)), 4, seed=1)
+        estimator.insert(_boxes(rng, 10, (64, 64), degenerate=False))
+        executor = ProgramExecutor(cache_size=8)
+        executor.run(estimator.lower(_boxes(rng, 50, (64, 64),
+                                            degenerate=False)))
+        assert executor.cache_entries <= 8

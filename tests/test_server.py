@@ -143,6 +143,128 @@ def test_pipelined_connection_keeps_reply_order():
     assert [r["estimate"] for r in replies] == expected
 
 
+def test_mixed_estimator_requests_coalesce_across_families():
+    """Satellite: N requests over K estimators -> fewer than K dispatches.
+
+    The shared request bucket batches *across* estimators: a mixed workload
+    of range + join requests dispatches as one ``estimate_multi`` engine
+    call (not one batch per estimator), and every reply stays bit-identical
+    to its scalar estimate.
+    """
+    service = make_service()
+    queries = synthetic_queries(DOMAIN, 16, seed=9)
+    expected_range = [service.estimate("ranges", queries[i]).estimate
+                      for i in range(16)]
+    expected_join = service.estimate("join").estimate
+
+    dispatches = []
+    inner = service.estimate_multi
+
+    def counting(requests, **kwargs):
+        dispatches.append([name for name, _ in requests])
+        return inner(requests, **kwargs)
+
+    service.estimate_multi = counting
+
+    async def main():
+        # One big batch window so the whole mixed burst coalesces together.
+        server = await start_server(service, max_batch=64, max_delay=0.05)
+        try:
+            conn = await Connection.open(server.port)
+            rows = protocol.boxes_to_rows(queries)
+            for index, row in enumerate(rows):
+                await conn.send({"op": "estimate", "name": "ranges",
+                                 "query": row, "id": 2 * index})
+                await conn.send({"op": "estimate", "name": "join",
+                                 "id": 2 * index + 1})
+            replies = [await conn.recv() for _ in range(32)]
+            await conn.close()
+            return replies
+        finally:
+            await server.close()
+
+    replies = asyncio.run(main())
+    assert all(reply["ok"] for reply in replies)
+    assert [reply["id"] for reply in replies] == list(range(32))
+    for index, reply in enumerate(replies):
+        if reply["name"] == "ranges":
+            assert reply["estimate"] == expected_range[index // 2]
+        else:
+            assert reply["estimate"] == expected_join
+    # 32 requests over 2 estimators: strictly fewer engine dispatches than
+    # estimators x batches — the whole mixed burst rides one dispatch.
+    assert len(dispatches) == 1
+    assert set(dispatches[0]) == {"ranges", "join"}
+    stats = service.stats
+    assert stats.batch_estimates == 1
+    assert stats.coalesced_queries == 32
+
+
+def test_mixed_bucket_isolates_failures_per_estimator():
+    """A bad request for one estimator must not poison the shared bucket."""
+    service = make_service()
+    service.register("empty", family="rectangle", domain=DOMAIN,
+                     num_instances=8, seed=99)  # registered, never ingested
+    queries = synthetic_queries(DOMAIN, 4, seed=5)
+    expected = [service.estimate("ranges", queries[i]).estimate
+                for i in range(4)]
+
+    async def main():
+        server = await start_server(service, max_batch=64, max_delay=0.05)
+        try:
+            conn = await Connection.open(server.port)
+            for index, row in enumerate(protocol.boxes_to_rows(queries)):
+                await conn.send({"op": "estimate", "name": "ranges",
+                                 "query": row, "id": 2 * index})
+                await conn.send({"op": "estimate", "name": "empty",
+                                 "id": 2 * index + 1})
+            replies = [await conn.recv() for _ in range(8)]
+            await conn.close()
+            return replies
+        finally:
+            await server.close()
+
+    replies = asyncio.run(main())
+    good = [r for r in replies if r["id"] % 2 == 0]
+    bad = [r for r in replies if r["id"] % 2 == 1]
+    assert all(r["ok"] for r in good), good
+    assert [r["estimate"] for r in good] == expected
+    assert all(not r["ok"] for r in bad)
+    assert all("EstimationError" in r["error"] for r in bad)
+
+
+def test_mixed_coalescing_reports_per_estimator_metrics():
+    """Satellite: metrics verb exposes per-estimator coalesce factors and
+    the cross-estimator dispatch count."""
+    service = make_service()
+    queries = synthetic_queries(DOMAIN, 8, seed=3)
+
+    async def main():
+        server = await start_server(service, max_batch=64, max_delay=0.05)
+        try:
+            conn = await Connection.open(server.port)
+            for index, row in enumerate(protocol.boxes_to_rows(queries)):
+                await conn.send({"op": "estimate", "name": "ranges",
+                                 "query": row})
+                await conn.send({"op": "estimate", "name": "join"})
+            for _ in range(16):
+                await conn.recv()
+            metrics = await conn.round_trip({"op": "metrics"})
+            stats = await conn.round_trip({"op": "stats"})
+            await conn.close()
+            return metrics["text"], stats
+        finally:
+            await server.close()
+
+    text, stats = asyncio.run(main())
+    assert "repro_server_coalesce_cross_estimator_dispatches_total 1" in text
+    assert 'repro_server_estimator_coalesce_factor{name="ranges"} 8.000' in text
+    assert 'repro_server_estimator_coalesce_factor{name="join"} 8.000' in text
+    assert 'repro_server_estimator_coalesced_queries_total{name="ranges"} 8' \
+        in text
+    assert stats["server"]["cross_estimator_dispatches"] == 1
+
+
 def test_queryless_family_estimates_coalesce():
     service = make_service()
     expected = service.estimate("join").estimate
