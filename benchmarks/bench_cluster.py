@@ -1,0 +1,170 @@
+"""Cluster scaling benchmark: 1 worker vs an owner plus 3 read replicas.
+
+The cluster's scaling claim is that read replicas multiply estimate
+throughput: every replica holds a bit-identical mirror of its owner's
+counters (writes fan to the whole owner group), so the router can
+round-robin estimates across N processes — N cores answering instead of
+one.  This benchmark measures exactly that:
+
+* **baseline** — one worker subprocess behind a router, and
+* **scaled** — the same snapshot served by 4 worker subprocesses (the
+  owner plus 3 replicas bootstrapped over the wire),
+
+under an identical pipelined estimate workload, and reports the
+throughput ratio.  Replies are checked bit-identical across scenarios —
+scaling must not change a single answer.
+
+The run writes ``BENCH_cluster.json`` at the repository root; CI's
+perf-smoke job (4 vCPUs) fails when the speedup drops below 2.5x.  The
+in-test assertion only fires when the machine has at least 4 CPUs —
+subprocess workers cannot scale past the physical core count, so on
+smaller hosts the file records the measurement without gating.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.client import ServiceClient
+from repro.cluster import RouterConfig, ThreadedClusterRouter
+from repro.cluster.fleet import LocalFleet
+from repro.core.domain import Domain
+from repro.server import protocol
+from repro.service import EstimationService, synthetic_boxes, synthetic_queries
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_cluster.json"
+
+DOMAIN = Domain.square(1024, dimension=2)
+NUM_INSTANCES = 512
+DATA_BOXES = 4000
+CONNECTIONS = 8
+QUERIES_PER_CONNECTION = 48
+SCALED_WORKERS = 4
+MIN_SPEEDUP = 2.5
+MIN_CPUS_TO_GATE = 4
+
+
+def _make_snapshot(directory: str) -> str:
+    service = EstimationService(num_shards=4, flush_threshold=None)
+    service.register("ranges", family="range", domain=DOMAIN,
+                     num_instances=NUM_INSTANCES, seed=11)
+    service.ingest("ranges", synthetic_boxes(DOMAIN, DATA_BOXES, seed=1),
+                   side="data")
+    service.flush()
+    path = os.path.join(directory, "bench_cluster.sketch")
+    service.save(path, format="binary")
+    return path
+
+
+async def _drive_clients(port: int, request_lines: bytes) -> list[float]:
+    """Pipeline the workload over CONNECTIONS connections to the router."""
+    estimates: list[list[float]] = [[] for _ in range(CONNECTIONS)]
+
+    async def one_connection(index: int) -> None:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(request_lines)
+        await writer.drain()
+        for _ in range(QUERIES_PER_CONNECTION):
+            reply = json.loads(await reader.readline())
+            assert reply["ok"], reply
+            estimates[index].append(reply["estimate"])
+        writer.close()
+        await writer.wait_closed()
+
+    await asyncio.gather(*(one_connection(i) for i in range(CONNECTIONS)))
+    flat = [value for per_connection in estimates for value in per_connection]
+    return flat
+
+
+def _drive(snapshot: str, workers: int) -> dict:
+    """One scenario: a fleet of `workers` processes serving one snapshot."""
+    queries = synthetic_queries(DOMAIN, QUERIES_PER_CONNECTION, seed=7)
+    request_lines = b"".join(
+        protocol.encode({"op": "estimate", "name": "ranges", "query": row})
+        for row in protocol.boxes_to_rows(queries))
+
+    with LocalFleet(1, snapshot=snapshot) as fleet:
+        for _ in range(workers - 1):
+            fleet.spawn_extra(snapshot=None)
+        owner_address = fleet.addresses()[0]
+        with ThreadedClusterRouter([owner_address],
+                                   config=RouterConfig(),
+                                   start_heartbeat=False) as handle:
+            for index, worker in enumerate(fleet.workers[1:], start=1):
+                handle.run(handle.router.bootstrap_replica(
+                    f"r{index}", worker.host, worker.port, source="w0"))
+            # Warm every worker's merged-view cache outside the clock.
+            with ServiceClient("127.0.0.1", handle.port) as client:
+                for _ in range(workers):
+                    client.estimate("ranges",
+                                    synthetic_queries(DOMAIN, 1, seed=99))
+            start = time.perf_counter()
+            estimates = asyncio.run(_drive_clients(handle.port,
+                                                   request_lines))
+            elapsed = time.perf_counter() - start
+
+    requests = CONNECTIONS * QUERIES_PER_CONNECTION
+    return {
+        "workers": workers,
+        "requests": requests,
+        "seconds": elapsed,
+        "throughput_rps": requests / elapsed,
+        "estimates": estimates,
+    }
+
+
+def _record(name: str, lines: list[str]) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print("\n" + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def test_replica_fleet_scales_estimate_throughput(benchmark):
+    """Acceptance: 4-worker estimate throughput >= 2.5x one worker (CI gate)."""
+    cpu_count = os.cpu_count() or 1
+    with tempfile.TemporaryDirectory() as directory:
+        snapshot = _make_snapshot(directory)
+        baseline = _drive(snapshot, workers=1)
+        scaled = benchmark.pedantic(
+            lambda: _drive(snapshot, workers=SCALED_WORKERS),
+            rounds=1, iterations=1)
+
+    # Scaling must be invisible to correctness: every reply bit-identical.
+    assert scaled["estimates"] == baseline["estimates"]
+    speedup = scaled["throughput_rps"] / baseline["throughput_rps"]
+    report = {
+        "cluster_scaling": {
+            "cpu_count": cpu_count,
+            "requests": baseline["requests"],
+            "connections": CONNECTIONS,
+            "num_instances": NUM_INSTANCES,
+            "baseline": {k: v for k, v in baseline.items()
+                         if k != "estimates"},
+            "scaled": {k: v for k, v in scaled.items() if k != "estimates"},
+            "speedup": speedup,
+            "gate_enforced_locally": cpu_count >= MIN_CPUS_TO_GATE,
+        },
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+
+    _record("bench_cluster", [
+        f"cluster scaling: {baseline['requests']} pipelined estimates over "
+        f"{CONNECTIONS} connections ({cpu_count} CPUs)",
+        f"1 worker             {baseline['throughput_rps']:10.0f} rps",
+        f"{SCALED_WORKERS} workers (replicas) {scaled['throughput_rps']:10.0f} rps",
+        f"speedup: {speedup:.1f}x (gate: >= {MIN_SPEEDUP}x on >= "
+        f"{MIN_CPUS_TO_GATE} CPUs; CI enforces unconditionally)",
+        f"report: {REPORT_PATH.name}",
+    ])
+
+    if cpu_count >= MIN_CPUS_TO_GATE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"replica scaling regressed: {speedup:.1f}x < {MIN_SPEEDUP}x")

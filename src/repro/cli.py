@@ -171,7 +171,50 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="admission cap on queued+in-flight estimates; "
                             "beyond it requests get fast 'overloaded' errors "
                             "(default: 1024)")
+    serve.add_argument("--snapshot-on-exit", action="store_true",
+                       help="with --listen: on SIGTERM/SIGINT stop accepting, "
+                            "drain in-flight requests and flush a final "
+                            "snapshot to --snapshot before exiting")
     add_format_arg(serve)
+
+    # -- cluster commands ---------------------------------------------------------
+
+    cluster = sub.add_parser(
+        "cluster", help="run many workers as one logical sketch service")
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cserve = csub.add_parser(
+        "serve", help="spawn N local worker processes and a router over them")
+    cserve.add_argument("--workers", type=int, default=2,
+                        help="worker subprocess count (default: 2)")
+    cserve.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                        help="router listen address (default: 127.0.0.1:0 — "
+                             "a free port, announced on stdout)")
+    cserve.add_argument("--snapshot", default=None,
+                        help="bootstrap mode: worker 0 loads this snapshot "
+                             "and the others become bit-identical read "
+                             "replicas of it (omit for N empty shard workers)")
+    cserve.add_argument("--slots", type=int, default=64,
+                        help="cluster shard slots on the hash ring (default: 64)")
+    cserve.add_argument("--max-batch", type=int, default=64,
+                        help="per-worker coalescer batch size (default: 64)")
+    cserve.add_argument("--max-delay-ms", type=float, default=2.0,
+                        help="per-worker coalescer delay in ms (default: 2)")
+
+    croute = csub.add_parser(
+        "route", help="route over already-running workers (no spawning)")
+    croute.add_argument("--worker", action="append", required=True,
+                        metavar="HOST:PORT", dest="workers",
+                        help="a running worker's address (repeatable)")
+    croute.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                        help="router listen address (default: 127.0.0.1:0)")
+    croute.add_argument("--slots", type=int, default=64,
+                        help="cluster shard slots on the hash ring (default: 64)")
+
+    cstatus = csub.add_parser(
+        "status", help="print a running router's cluster topology as JSON")
+    cstatus.add_argument("--connect", required=True, metavar="HOST:PORT",
+                         help="the router's address")
     return parser
 
 
@@ -650,12 +693,18 @@ def _run_serve_listen(args, service) -> int:
                           "max_queue": args.max_queue}), flush=True)
 
     try:
+        # Signal handlers make SIGTERM/SIGINT a graceful drain: the server
+        # stops accepting, finishes in-flight coalescer buckets, then serve()
+        # returns normally so the final snapshot below reflects every
+        # acknowledged write.  KeyboardInterrupt stays as a fallback for
+        # platforms without loop signal-handler support.
         asyncio.run(serve(service, config=config, snapshot_path=args.snapshot,
-                          snapshot_format=args.format, ready=announce))
+                          snapshot_format=args.format, ready=announce,
+                          install_signal_handlers=True))
     except KeyboardInterrupt:
         pass
     finally:
-        if args.save_on_exit and args.snapshot:
+        if (args.save_on_exit or args.snapshot_on_exit) and args.snapshot:
             # A reload may have hot-swapped the service; save the live one.
             current = started["server"].service if "server" in started else service
             current.save(args.snapshot, format=args.format)
@@ -670,6 +719,112 @@ def _run_serve(args) -> int:
                                 snapshot_path=args.snapshot,
                                 save_on_exit=args.save_on_exit,
                                 snapshot_format=args.format)
+
+
+# -- cluster commands ----------------------------------------------------------------
+
+
+def _announce_router(router, *, workers, mode) -> None:
+    """The router's stdout banner (same shape fleet tooling parses)."""
+    print(json.dumps({"listening": f"{router.config.host}:{router.port}",
+                      "mode": mode,
+                      "workers": workers,
+                      "estimators": router.estimators()}), flush=True)
+
+
+def _run_cluster_serve(args) -> int:
+    """Spawn N local workers, wire a router over them, serve until signalled."""
+    import asyncio
+
+    from repro.cluster import ClusterRouter, RouterConfig
+    from repro.cluster.fleet import spawn_worker
+    from repro.cluster.router import serve_router
+
+    if args.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    host, port = _parse_hostport(args.listen)
+    processes = []
+    try:
+        for index in range(args.workers):
+            snapshot = args.snapshot if index == 0 else None
+            processes.append(spawn_worker(snapshot=snapshot,
+                                          max_batch=args.max_batch,
+                                          max_delay_ms=args.max_delay_ms))
+        router = ClusterRouter(config=RouterConfig(host=host, port=port,
+                                                   num_slots=args.slots))
+
+        async def run() -> None:
+            await router.attach("w0", processes[0].host, processes[0].port)
+            for index, worker in enumerate(processes[1:], start=1):
+                if args.snapshot:
+                    # Bootstrap mode: replicas mirror worker 0's snapshot
+                    # bit-identically, scaling estimate throughput.
+                    await router.bootstrap_replica(f"r{index}", worker.host,
+                                                   worker.port, source="w0")
+                else:
+                    await router.attach(f"w{index}", worker.host, worker.port)
+
+            def announce(started) -> None:
+                _announce_router(
+                    started, workers=[w.address for w in processes],
+                    mode="replicas" if args.snapshot else "shards")
+
+            await serve_router(router, ready=announce,
+                               install_signal_handlers=True)
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            pass
+    finally:
+        for worker in processes:
+            worker.stop()
+    return 0
+
+
+def _run_cluster_route(args) -> int:
+    """Route over an externally-managed fleet of running workers."""
+    import asyncio
+
+    from repro.cluster import ClusterRouter, RouterConfig
+    from repro.cluster.router import serve_router
+
+    host, port = _parse_hostport(args.listen)
+    targets = [_parse_hostport(text) for text in args.workers]
+    router = ClusterRouter(config=RouterConfig(host=host, port=port,
+                                               num_slots=args.slots))
+
+    async def run() -> None:
+        for index, (whost, wport) in enumerate(targets):
+            await router.attach(f"w{index}", whost, wport)
+
+        def announce(started) -> None:
+            _announce_router(started,
+                             workers=[f"{h}:{p}" for h, p in targets],
+                             mode="shards")
+
+        await serve_router(router, ready=announce,
+                           install_signal_handlers=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_cluster_status(args) -> int:
+    with _connect_client(args) as client:
+        print(json.dumps(client.cluster_status(), indent=2, sort_keys=True))
+    return 0
+
+
+def _run_cluster(args) -> int:
+    if args.cluster_command == "serve":
+        return _run_cluster_serve(args)
+    if args.cluster_command == "route":
+        return _run_cluster_route(args)
+    return _run_cluster_status(args)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -701,6 +856,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_estimate(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "cluster":
+            return _run_cluster(args)
     except FileNotFoundError as exc:
         print(f"error: no such file: {exc.filename or exc}", file=sys.stderr)
         return 1

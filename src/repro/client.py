@@ -21,6 +21,13 @@ Failures come back as typed exceptions: :class:`~repro.errors.OverloadedError`
 when the server sheds load (retryable), :class:`~repro.errors.ServerError`
 for other request failures, :class:`~repro.errors.ProtocolError` when the
 connection breaks mid-frame.
+
+A **dropped connection** (server restart, idle timeout, router failover) is
+healed transparently for idempotent verbs: :meth:`ServiceClient.request`
+reconnects once and resends.  Non-idempotent verbs (``ingest``,
+``register``) are never retried — a resend could double-apply updates
+whose first copy did land — and surface
+:class:`~repro.errors.ConnectionLostError` instead.
 """
 
 from __future__ import annotations
@@ -29,11 +36,21 @@ import socket
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
-from repro.errors import ProtocolError
+from repro.errors import ConnectionLostError, ProtocolError
 from repro.geometry.boxset import BoxSet
 from repro.server import protocol
 
 DEFAULT_PORT = 7007
+
+#: Verbs safe to resend after a reconnect: re-running them cannot change
+#: service state beyond what the (possibly applied) first copy did.
+IDEMPOTENT_OPS = frozenset({"ping", "estimate", "stats", "metrics",
+                            "snapshot", "reload", "flush", "cluster_status"})
+
+#: Failures that mean "the connection is gone" rather than "the request
+#: is bad" — the only ones a reconnect can heal.
+_RETRYABLE_ERRORS = (ConnectionLostError, ConnectionResetError,
+                     BrokenPipeError)
 
 
 @dataclass(frozen=True)
@@ -80,23 +97,50 @@ class ServiceClient:
                  timeout: float | None = 60.0) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.timeout = timeout
+        self.reconnects = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout)
         self._reader = self._sock.makefile("rb")
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+        self.reconnects += 1
 
     # -- framing ------------------------------------------------------------------
 
     def _read_response(self) -> dict:
         line = self._reader.readline(protocol.MAX_LINE_BYTES + 1)
         if not line:
-            raise ProtocolError("server closed the connection")
+            raise ConnectionLostError("server closed the connection")
         if len(line) > protocol.MAX_LINE_BYTES:
             raise ProtocolError("response line exceeds the frame limit")
         return protocol.decode(line)
 
-    def request(self, payload: Mapping[str, Any]) -> dict:
-        """One request/response round trip; raises typed errors on failure."""
+    def _round_trip(self, payload: Mapping[str, Any]) -> dict:
         self._sock.sendall(protocol.encode(payload))
-        return protocol.raise_for_response(self._read_response())
+        return self._read_response()
+
+    def request(self, payload: Mapping[str, Any]) -> dict:
+        """One request/response round trip; raises typed errors on failure.
+
+        If the connection drops mid-request and the verb is idempotent
+        (:data:`IDEMPOTENT_OPS`), the client reconnects **once** and
+        resends; non-idempotent verbs surface the failure so callers can
+        decide whether a resend risks double-applying.
+        """
+        try:
+            response = self._round_trip(payload)
+        except _RETRYABLE_ERRORS:
+            if payload.get("op") not in IDEMPOTENT_OPS:
+                raise
+            self._reconnect()
+            response = self._round_trip(payload)
+        return protocol.raise_for_response(response)
 
     def request_many(self, payloads: Sequence[Mapping[str, Any]]
                      ) -> list[dict]:
@@ -171,6 +215,10 @@ class ServiceClient:
         if path is not None:
             payload["path"] = str(path)
         return self.request(payload)
+
+    def cluster_status(self) -> dict:
+        """Fleet topology of a cluster router (see :mod:`repro.cluster`)."""
+        return self.request({"op": "cluster_status"})
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -1,0 +1,58 @@
+"""Cluster scale-out: many sketch workers behind one logical service.
+
+The package turns N independent :class:`~repro.server.server.SketchServer`
+worker processes into one service a plain
+:class:`~repro.client.ServiceClient` can talk to, following the
+grid-federation shape (autonomous worker nodes, one logical catalog at the
+router):
+
+* :class:`~repro.cluster.ring.HashRing` — a consistent-hash ring mapping
+  shard slots to worker names (stable blake2b hashing, virtual nodes;
+  adding a worker remaps only ~1/N of the slots),
+* :class:`~repro.cluster.connection.WorkerLink` — one pipelined asyncio
+  NDJSON connection to a worker,
+* :class:`~repro.cluster.manager.ClusterManager` — topology: worker
+  registration, heartbeat health checks, read-replica bootstrap from a
+  binary snapshot shipped over the wire, degraded-mode accounting,
+* :class:`~repro.cluster.router.ClusterRouter` — the scatter-gather
+  router.  It speaks the existing NDJSON protocol on both sides, so one
+  client library works against a single server and a whole fleet:
+  ``ingest`` partitions by the same shard hash the
+  :class:`~repro.service.store.ShardedSketchStore` uses and fans out in
+  parallel; ``estimate`` gathers shard-local partial states and reduces
+  them with one vectorised merge — bit-identical to a single-node service,
+* :mod:`~repro.cluster.fleet` — spawn local worker subprocesses (the CLI's
+  ``cluster serve`` and the benchmarks).
+
+The sketch math makes the reduction exact by construction: counter updates
+are integer-valued, so float64 addition is exact and order-independent,
+and merging worker states is the same linear fold the sharded store
+already performs in-process.
+"""
+
+from repro.cluster.connection import WorkerLink
+from repro.cluster.fleet import LocalFleet, spawn_worker
+from repro.cluster.manager import ClusterManager, HeartbeatConfig, WorkerInfo
+from repro.cluster.partial import merge_partial_states, reduce_partials
+from repro.cluster.ring import HashRing, stable_hash
+from repro.cluster.router import (
+    ClusterRouter,
+    RouterConfig,
+    ThreadedClusterRouter,
+)
+
+__all__ = [
+    "HashRing",
+    "stable_hash",
+    "WorkerLink",
+    "ClusterManager",
+    "HeartbeatConfig",
+    "WorkerInfo",
+    "merge_partial_states",
+    "reduce_partials",
+    "ClusterRouter",
+    "RouterConfig",
+    "ThreadedClusterRouter",
+    "LocalFleet",
+    "spawn_worker",
+]

@@ -1,0 +1,143 @@
+"""One pipelined asyncio NDJSON connection from the router to a worker.
+
+:class:`WorkerLink` mirrors what :class:`~repro.client.ServiceClient` does
+synchronously: because a sketch server answers **in request order**, a
+single connection pipelines — writes append a future to a FIFO, one reader
+task resolves futures as reply lines arrive.  The router keeps exactly one
+link per worker and multiplexes every scatter over it; a connection loss
+fails all in-flight futures with
+:class:`~repro.errors.ConnectionLostError` so the health checker can react.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.errors import ConnectionLostError
+from repro.server import protocol
+
+
+class WorkerLink:
+    """A persistent, pipelining connection to one worker server."""
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: deque[asyncio.Future] = deque()
+        self._closed = False
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and not self._closed
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def connect(self) -> "WorkerLink":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=protocol.MAX_LINE_BYTES)
+        self._closed = False
+        self._reader_task = asyncio.create_task(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionLostError(
+                        f"worker {self.address} closed the connection")
+                if self._pending:
+                    future = self._pending.popleft()
+                    # A future may already be cancelled (request timeout);
+                    # its in-order reply still had to be consumed to keep
+                    # later replies aligned with later futures.
+                    if not future.done():
+                        future.set_result(line)
+        except asyncio.CancelledError:
+            self._fail_pending(ConnectionLostError(
+                f"link to worker {self.address} was closed"))
+            raise
+        except Exception as exc:
+            self._fail_pending(exc if isinstance(exc, ConnectionLostError)
+                               else ConnectionLostError(
+                                   f"worker {self.address} connection failed: "
+                                   f"{exc}"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        self._closed = True
+        while self._pending:
+            future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(exc)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self._fail_pending(ConnectionLostError(
+            f"link to worker {self.address} was closed"))
+
+    # -- requests -----------------------------------------------------------------
+
+    async def request_raw(self, line: bytes,
+                          timeout: float | None = None) -> bytes:
+        """Send one pre-encoded frame; await its raw reply line.
+
+        This is the router's passthrough fast path: a request forwarded
+        byte-for-byte comes back byte-for-byte, so single-owner estimates
+        carry the worker's exact JSON rendering to the client.
+        """
+        if self._writer is None or self._closed:
+            raise ConnectionLostError(
+                f"link to worker {self.address} is not connected")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        # Append before the first await so replies stay aligned with the
+        # FIFO even when several coroutines write concurrently.
+        self._pending.append(future)
+        try:
+            self._writer.write(line)
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            if not future.done():
+                future.set_exception(ConnectionLostError(
+                    f"worker {self.address} connection failed: {exc}"))
+        return await asyncio.wait_for(future, timeout or self.timeout)
+
+    async def request(self, payload: dict,
+                      timeout: float | None = None) -> dict:
+        """One decoded (but unchecked) request/response round trip."""
+        line = await self.request_raw(protocol.encode(payload), timeout)
+        return protocol.decode(line)
+
+    async def request_ok(self, payload: dict,
+                         timeout: float | None = None) -> dict:
+        """Round trip that raises the typed error of an ``ok: false`` reply."""
+        return protocol.raise_for_response(await self.request(payload,
+                                                              timeout))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "connected" if self.connected else "disconnected"
+        return f"WorkerLink({self.address}, {state})"

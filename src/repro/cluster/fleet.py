@@ -1,0 +1,139 @@
+"""Spawn local worker subprocesses for a cluster.
+
+The CLI's ``cluster serve``, the cluster benchmark, and the demo all need
+the same primitive: start ``repro.cli serve --listen 127.0.0.1:0`` in a
+subprocess, parse the JSON banner it prints for the bound port, and tear
+it down afterwards.  :func:`spawn_worker` does one; :class:`LocalFleet`
+manages N as a context manager.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+
+
+def _worker_env() -> dict[str, str]:
+    """A subprocess environment that can ``import repro`` like we can."""
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (package_root + os.pathsep + existing
+                         if existing else package_root)
+    return env
+
+
+@dataclass
+class WorkerProcess:
+    """One spawned worker: the subprocess plus its bound address."""
+
+    process: subprocess.Popen
+    host: str
+    port: int
+    banner: dict = field(default_factory=dict)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.wait(timeout=timeout)
+
+
+def spawn_worker(*, snapshot: str | None = None, shards: int = 4,
+                 max_batch: int = 64, max_delay_ms: float = 2.0,
+                 host: str = "127.0.0.1",
+                 extra_args: tuple[str, ...] = ()) -> WorkerProcess:
+    """Start one ``serve --listen`` worker subprocess on a free port."""
+    command = [sys.executable, "-m", "repro.cli", "serve",
+               "--listen", f"{host}:0", "--shards", str(shards),
+               "--max-batch", str(max_batch),
+               "--max-delay-ms", str(max_delay_ms)]
+    if snapshot is not None:
+        command += ["--snapshot", str(snapshot)]
+    command += list(extra_args)
+    process = subprocess.Popen(command, stdout=subprocess.PIPE,
+                               stderr=subprocess.DEVNULL, env=_worker_env(),
+                               text=True)
+    assert process.stdout is not None
+    line = process.stdout.readline()
+    if not line:
+        process.terminate()
+        process.wait(timeout=30)
+        raise ServiceError("worker subprocess exited before announcing "
+                           "its port")
+    try:
+        banner = json.loads(line)
+        port = int(str(banner["listening"]).rsplit(":", 1)[1])
+    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        process.terminate()
+        process.wait(timeout=30)
+        raise ServiceError(f"malformed worker banner {line!r}: {exc}") from exc
+    return WorkerProcess(process=process, host=host, port=port, banner=banner)
+
+
+class LocalFleet:
+    """N worker subprocesses with deterministic teardown.
+
+    ::
+
+        with LocalFleet(3, snapshot="svc.sketch") as fleet:
+            handle = ThreadedClusterRouter(fleet.addresses())
+            ...
+    """
+
+    def __init__(self, count: int, *, snapshot: str | None = None,
+                 shards: int = 4, max_batch: int = 64,
+                 max_delay_ms: float = 2.0,
+                 extra_args: tuple[str, ...] = ()) -> None:
+        if count < 1:
+            raise ServiceError("a fleet needs at least one worker")
+        self.count = int(count)
+        self._spawn_kwargs = dict(snapshot=snapshot, shards=shards,
+                                  max_batch=max_batch,
+                                  max_delay_ms=max_delay_ms,
+                                  extra_args=extra_args)
+        self.workers: list[WorkerProcess] = []
+
+    def start(self) -> "LocalFleet":
+        try:
+            for _ in range(self.count):
+                self.workers.append(spawn_worker(**self._spawn_kwargs))
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def spawn_extra(self, **overrides) -> WorkerProcess:
+        """One more worker (e.g. an empty process to bootstrap as replica)."""
+        kwargs = dict(self._spawn_kwargs)
+        kwargs.update(overrides)
+        worker = spawn_worker(**kwargs)
+        self.workers.append(worker)
+        return worker
+
+    def addresses(self) -> list[tuple[str, int]]:
+        return [(worker.host, worker.port) for worker in self.workers]
+
+    def stop(self) -> None:
+        for worker in self.workers:
+            worker.stop()
+        self.workers.clear()
+
+    def __enter__(self) -> "LocalFleet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

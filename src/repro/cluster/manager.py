@@ -1,0 +1,289 @@
+"""Cluster topology: registration, heartbeats, replicas, degraded mode.
+
+:class:`ClusterManager` owns the worker table and the consistent-hash
+ring.  Two worker roles exist:
+
+* **shard** workers own ring slots; ingest for their slots lands on them,
+* **replica** workers mirror one shard worker (``replica_of``): every
+  write fanned to the shard worker also goes to its replicas — linear
+  sketches make replicas *bit-identical* mirrors, so reads round-robin
+  across the whole owner group and estimate QPS scales with replica count
+  independently of ingest.
+
+New replicas bootstrap over the wire: the manager fetches the source
+worker's binary v2 snapshot (``snapshot`` with ``fetch: true``) and ships
+it into the fresh worker (``reload`` with inline ``data``) — no shared
+filesystem needed.  A heartbeat loop pings every worker; after
+``max_failures`` consecutive misses a worker is marked unhealthy, taking
+it out of read/write fan-outs (degraded mode) until it recovers or is
+replaced via :meth:`ClusterManager.replace_worker`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.cluster.connection import WorkerLink
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.errors import ReproError, ServiceError
+
+WORKER_ROLES = ("shard", "replica")
+
+
+@dataclass
+class WorkerInfo:
+    """One worker's identity, role, link and health."""
+
+    name: str
+    host: str
+    port: int
+    link: WorkerLink
+    role: str = "shard"
+    replica_of: str | None = None
+    healthy: bool = True
+    failures: int = 0
+    generation: int = 0  # bumped by replace_worker
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def owner(self) -> str:
+        """The ring name of the owner group this worker serves."""
+        return self.replica_of if self.replica_of is not None else self.name
+
+
+@dataclass
+class HeartbeatConfig:
+    interval: float = 1.0
+    max_failures: int = 3
+    timeout: float = 5.0
+
+
+class ClusterManager:
+    """Topology and health of one worker fleet."""
+
+    def __init__(self, *, vnodes: int = DEFAULT_VNODES,
+                 heartbeat: HeartbeatConfig | None = None,
+                 request_timeout: float = 60.0) -> None:
+        self.ring = HashRing(vnodes=vnodes)
+        self.heartbeat = heartbeat or HeartbeatConfig()
+        self.request_timeout = request_timeout
+        self._workers: dict[str, WorkerInfo] = {}
+        self._round_robin: dict[str, int] = {}
+        self._heartbeat_task: asyncio.Task | None = None
+
+    # -- membership ---------------------------------------------------------------
+
+    def worker(self, name: str) -> WorkerInfo:
+        try:
+            return self._workers[name]
+        except KeyError as exc:
+            raise ServiceError(f"unknown worker {name!r}; known: "
+                               f"{sorted(self._workers)}") from exc
+
+    def workers(self) -> list[WorkerInfo]:
+        return [self._workers[name] for name in sorted(self._workers)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._workers
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    async def add_worker(self, name: str, host: str, port: int, *,
+                         role: str = "shard",
+                         replica_of: str | None = None) -> WorkerInfo:
+        """Connect, health-check and register one worker."""
+        if role not in WORKER_ROLES:
+            raise ServiceError(f"worker role must be one of {WORKER_ROLES}, "
+                               f"got {role!r}")
+        if name in self._workers:
+            raise ServiceError(f"worker {name!r} is already registered")
+        if role == "replica":
+            if replica_of is None:
+                raise ServiceError("replica workers need replica_of=")
+            self.worker(replica_of)  # raises for unknown sources
+        elif replica_of is not None:
+            raise ServiceError("replica_of applies to replica workers only")
+        link = WorkerLink(host, port, timeout=self.request_timeout)
+        await link.connect()
+        await link.request_ok({"op": "ping"}, timeout=self.heartbeat.timeout)
+        info = WorkerInfo(name=name, host=host, port=int(port), link=link,
+                          role=role, replica_of=replica_of)
+        self._workers[name] = info
+        if role == "shard":
+            self.ring.add(name)
+        return info
+
+    async def remove_worker(self, name: str) -> None:
+        """Forget a worker entirely (its ring slots remap to the others)."""
+        info = self.worker(name)
+        del self._workers[name]
+        if info.role == "shard" and name in self.ring:
+            self.ring.remove(name)
+        await info.link.close()
+
+    async def replace_worker(self, name: str, host: str, port: int, *,
+                             data: str | None = None) -> WorkerInfo:
+        """Point a (typically dead) worker name at a replacement process.
+
+        The ring is keyed by *name*, so replacing keeps every slot
+        assignment — no data movement on the surviving workers.  ``data``
+        (base64 snapshot bytes, e.g. fetched earlier or from a healthy
+        replica) is reloaded into the replacement before it goes live.
+        """
+        old = self.worker(name)
+        link = WorkerLink(host, port, timeout=self.request_timeout)
+        await link.connect()
+        await link.request_ok({"op": "ping"}, timeout=self.heartbeat.timeout)
+        if data is not None:
+            await link.request_ok({"op": "reload", "data": data})
+        await old.link.close()
+        fresh = WorkerInfo(name=name, host=host, port=int(port), link=link,
+                           role=old.role, replica_of=old.replica_of,
+                           healthy=True, failures=0,
+                           generation=old.generation + 1)
+        self._workers[name] = fresh
+        return fresh
+
+    # -- replica bootstrap --------------------------------------------------------
+
+    async def fetch_snapshot(self, source: str) -> str:
+        """A worker's binary v2 snapshot as base64 text (wire form)."""
+        reply = await self.worker(source).link.request_ok(
+            {"op": "snapshot", "fetch": True})
+        return str(reply["data"])
+
+    async def bootstrap_replica(self, name: str, host: str, port: int, *,
+                                source: str) -> WorkerInfo:
+        """Attach a fresh worker as a read replica of ``source``.
+
+        The source's snapshot is fetched over the wire and reloaded into
+        the new worker, after which the replica is a bit-identical mirror
+        and joins the owner group's read rotation.
+        """
+        source_info = self.worker(source)
+        if source_info.role != "shard":
+            raise ServiceError(
+                f"replicas mirror shard workers; {source!r} is a "
+                f"{source_info.role}")
+        data = await self.fetch_snapshot(source)
+        info = await self.add_worker(name, host, port, role="replica",
+                                     replica_of=source)
+        try:
+            await info.link.request_ok({"op": "reload", "data": data})
+        except ReproError:
+            await self.remove_worker(name)
+            raise
+        return info
+
+    # -- owner groups -------------------------------------------------------------
+
+    def owner_group(self, owner: str) -> list[WorkerInfo]:
+        """All registered members of one owner group (primary first)."""
+        members = [info for info in self.workers() if info.owner == owner]
+        return sorted(members, key=lambda info: (info.role != "shard",
+                                                 info.name))
+
+    def writers(self, owner: str) -> list[WorkerInfo]:
+        """Healthy members that must all receive a write.
+
+        Writes fan to the primary *and* every healthy replica — that is
+        what keeps replicas bit-identical mirrors.  (A replica that missed
+        writes while unhealthy must be re-bootstrapped before rejoining.)
+        """
+        return [info for info in self.owner_group(owner) if info.healthy]
+
+    def reader(self, owner: str) -> WorkerInfo | None:
+        """Round-robin over the owner group's healthy members."""
+        members = self.writers(owner)
+        if not members:
+            return None
+        index = self._round_robin.get(owner, 0)
+        self._round_robin[owner] = index + 1
+        return members[index % len(members)]
+
+    # -- health -------------------------------------------------------------------
+
+    async def heartbeat_once(self) -> dict[str, bool]:
+        """Ping every worker once; update health; return name -> healthy."""
+        async def ping(info: WorkerInfo) -> None:
+            try:
+                await info.link.request_ok({"op": "ping"},
+                                           timeout=self.heartbeat.timeout)
+            except Exception:
+                info.failures += 1
+                if info.failures >= self.heartbeat.max_failures:
+                    info.healthy = False
+            else:
+                if info.healthy:
+                    info.failures = 0
+                # Once unhealthy a worker stays out — it may have missed
+                # writes, so only replace_worker / bootstrap_replica (which
+                # reload a current snapshot) bring a name back into
+                # rotation.  Mere ping recovery cannot prove state.
+
+        workers = self.workers()
+        await asyncio.gather(*(ping(info) for info in workers))
+        return {info.name: info.healthy for info in workers}
+
+    def start_heartbeat(self) -> None:
+        if self._heartbeat_task is None:
+            self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat.interval)
+            with contextlib.suppress(Exception):
+                await self.heartbeat_once()
+
+    async def stop_heartbeat(self) -> None:
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._heartbeat_task
+            self._heartbeat_task = None
+
+    # -- fan-out helpers ----------------------------------------------------------
+
+    async def broadcast(self, payload: dict, *,
+                        healthy_only: bool = True) -> dict[str, dict]:
+        """Send one request to every (healthy) worker; gather typed replies."""
+        targets = [info for info in self.workers()
+                   if info.healthy or not healthy_only]
+
+        async def ask(info: WorkerInfo) -> tuple[str, dict]:
+            return info.name, await info.link.request_ok(dict(payload))
+
+        return dict(await asyncio.gather(*(ask(info) for info in targets)))
+
+    # -- introspection ------------------------------------------------------------
+
+    def status(self) -> dict:
+        """A JSON-friendly topology report (the ``cluster_status`` verb)."""
+        return {
+            "workers": [
+                {
+                    "name": info.name,
+                    "address": info.address,
+                    "role": info.role,
+                    "replica_of": info.replica_of,
+                    "healthy": info.healthy,
+                    "failures": info.failures,
+                    "generation": info.generation,
+                }
+                for info in self.workers()
+            ],
+            "ring": self.ring.workers(),
+            "healthy_workers": sum(info.healthy for info in self.workers()),
+        }
+
+    async def close(self) -> None:
+        await self.stop_heartbeat()
+        for info in self.workers():
+            await info.link.close()
+        self._workers.clear()

@@ -1,0 +1,50 @@
+"""Reduce shard-local partial results into one exact estimate.
+
+A worker's ``estimate`` with ``partial: true`` returns its merged-view
+estimator **state** — counter tensors plus stream counts — rather than a
+finished number.  Shipping state (not outputs) is what keeps the reduction
+exact for *every* family: join estimators are bilinear in their two banks,
+so per-worker estimate outputs do **not** sum across workers, but counter
+tensors are linear projections of the input stream and always do.
+
+The router folds the partial states with the same vectorised
+:meth:`~repro.core.atomic.SketchBank.merge` the sharded store uses
+in-process (one tensor add per worker, exact float64 integer sums), then
+runs the ordinary boosted reduction — bit-identical to a single-node
+service over the union of the boxes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.core.result import EstimateResult
+from repro.errors import ServerError
+from repro.service.specs import EstimatorSpec, run_estimate
+
+
+def merge_partial_states(spec: EstimatorSpec,
+                         states: Iterable[Mapping]) -> Any:
+    """One merged estimator from per-worker ``state_dict`` payloads.
+
+    Every state is loaded into a fresh estimator built from the shared
+    spec (which fixes the xi seeds, hence merge compatibility) and folded
+    into the accumulator — the cluster-level analogue of
+    :meth:`~repro.service.store.ShardedSketchStore.merge_view`.
+    """
+    merged = spec.build()
+    for state in states:
+        part = spec.build()
+        try:
+            part.load_state_dict(state)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServerError(
+                f"malformed partial state from worker: {exc}") from exc
+        merged.merge(part)
+    return merged
+
+
+def reduce_partials(spec: EstimatorSpec, states: Iterable[Mapping],
+                    query=None) -> EstimateResult:
+    """Estimate from gathered partial states (merge, then boosted reduce)."""
+    return run_estimate(spec, merge_partial_states(spec, states), query)

@@ -1,0 +1,114 @@
+"""A consistent-hash ring mapping shard slots to workers.
+
+The router hash-partitions boxes into ``num_slots`` shard slots with the
+exact same deterministic mix the in-process
+:class:`~repro.service.store.ShardedSketchStore` uses
+(:func:`repro.service.store.shard_ids`), then resolves each slot to a
+worker through this ring.  Consistent hashing gives the two properties a
+growing fleet needs:
+
+* **stability** — the assignment is a pure function of the worker *set*
+  (never of insertion order or process state): every router instance, and
+  every restart, derives the identical slot map,
+* **minimal movement** — adding a worker steals slots only *for the new
+  worker*; the expected moved fraction is ~1/N, so rebalancing a fleet of
+  N workers never reshuffles the other N-1.
+
+Hashes come from blake2b, never from Python's per-process-salted
+``hash()``.  Each worker contributes ``vnodes`` points ("virtual nodes"),
+which evens out assignment skew between workers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator
+
+from repro.errors import ServiceError
+
+#: Virtual nodes per worker: more points = smoother slot balance, at the
+#: cost of a (still tiny) sorted point list.
+DEFAULT_VNODES = 64
+
+
+def stable_hash(text: str) -> int:
+    """A process-stable 64-bit hash of a string (blake2b, not ``hash()``)."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing of integer shard slots onto named workers."""
+
+    def __init__(self, workers: Iterable[str] = (), *,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ServiceError("a hash ring needs at least one vnode per worker")
+        self._vnodes = int(vnodes)
+        self._workers: set[str] = set()
+        # Ascending (point hash, worker) pairs; rebuilt keys for bisect.
+        self._points: list[tuple[int, str]] = []
+        self._keys: list[int] = []
+        for worker in workers:
+            self.add(worker)
+
+    # -- membership ---------------------------------------------------------------
+
+    def add(self, worker: str) -> None:
+        if not worker:
+            raise ServiceError("worker names must be non-empty")
+        if worker in self._workers:
+            raise ServiceError(f"worker {worker!r} is already on the ring")
+        self._workers.add(worker)
+        for index in range(self._vnodes):
+            point = stable_hash(f"{worker}#{index}")
+            position = bisect.bisect_left(self._keys, point)
+            # Equal hash points are ordered by worker name so ties resolve
+            # identically on every router instance.
+            while (position < len(self._points)
+                   and self._points[position][0] == point
+                   and self._points[position][1] < worker):
+                position += 1
+            self._points.insert(position, (point, worker))
+            self._keys.insert(position, point)
+
+    def remove(self, worker: str) -> None:
+        if worker not in self._workers:
+            raise ServiceError(f"worker {worker!r} is not on the ring")
+        self._workers.discard(worker)
+        self._points = [entry for entry in self._points if entry[1] != worker]
+        self._keys = [point for point, _ in self._points]
+
+    def workers(self) -> list[str]:
+        return sorted(self._workers)
+
+    def __contains__(self, worker: str) -> bool:
+        return worker in self._workers
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.workers())
+
+    # -- assignment ---------------------------------------------------------------
+
+    def owner(self, slot: int) -> str:
+        """The worker owning one shard slot (first ring point clockwise)."""
+        if not self._points:
+            raise ServiceError("the hash ring has no workers")
+        point = stable_hash(f"slot:{int(slot)}")
+        index = bisect.bisect_right(self._keys, point)
+        if index == len(self._points):
+            index = 0  # wrap around the ring
+        return self._points[index][1]
+
+    def assignments(self, num_slots: int) -> list[str]:
+        """Owner of every slot in ``range(num_slots)``."""
+        if num_slots < 1:
+            raise ServiceError("num_slots must be at least 1")
+        return [self.owner(slot) for slot in range(num_slots)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashRing(workers={self.workers()}, vnodes={self._vnodes})"

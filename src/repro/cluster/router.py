@@ -1,0 +1,731 @@
+"""The scatter-gather cluster router.
+
+:class:`ClusterRouter` is an asyncio TCP server that speaks the exact
+NDJSON protocol of :mod:`repro.server.protocol` on its client side and
+drives a fleet of :class:`~repro.server.server.SketchServer` workers over
+the same protocol on the other — one :class:`~repro.client.ServiceClient`
+works unchanged against a single server or a whole cluster.
+
+Request routing:
+
+* ``ingest`` — boxes are hash-partitioned into ``num_slots`` shard slots
+  with the *same* deterministic mix the in-process sharded store uses
+  (:func:`repro.service.store.shard_ids`), slots resolve to owner groups
+  through the consistent-hash ring, and each owner's sub-batch is fanned
+  to the owner **and every healthy replica** in parallel (linear sketches
+  keep the mirrors bit-identical).
+* ``estimate`` — one owner group means one worker already holds all data:
+  the request is forwarded to a round-robin reader (replica reads are what
+  scale estimate QPS).  Several owner groups scatter ``partial: true``
+  estimates, gather shard-local merged counter states, and reduce them at
+  the router with one vectorised merge before the ordinary boosted
+  reduction — bit-identical to a single-node service (see
+  :mod:`repro.cluster.partial`).
+* degraded mode — when an owner group has no healthy member, ingest
+  applies the surviving portion and reports a structured ``degraded``
+  error (applied/dropped counts, down owners); estimates touching the dead
+  group fail with the same taxonomy until a replacement is bootstrapped.
+
+The per-connection pipelining (in-order replies, bounded in-flight
+requests) mirrors :class:`~repro.server.server.SketchServer`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cluster.manager import ClusterManager, HeartbeatConfig, WorkerInfo
+from repro.cluster.partial import reduce_partials
+from repro.cluster.ring import DEFAULT_VNODES
+from repro.errors import (
+    ConnectionLostError,
+    ReproError,
+    ServiceError,
+)
+from repro.server import protocol
+from repro.server.metrics import ServerMetrics, label_value
+from repro.service.specs import EstimatorSpec
+from repro.service.store import shard_ids
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tunables of one :class:`ClusterRouter`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the OS pick
+    num_slots: int = 64  # shard slots hashed onto the ring
+    vnodes: int = DEFAULT_VNODES
+    request_timeout: float = 60.0
+    max_inflight_per_connection: int = 128
+    max_line_bytes: int = protocol.MAX_LINE_BYTES
+    executor_workers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_slots < 1:
+            raise ServiceError("num_slots must be positive")
+        if self.max_inflight_per_connection < 1:
+            raise ServiceError("max_inflight_per_connection must be positive")
+
+
+class _ConnectionState:
+    """Per-connection in-flight accounting (see SketchServer)."""
+
+    __slots__ = ("inflight", "slot_free")
+
+    def __init__(self) -> None:
+        self.inflight = 0
+        self.slot_free = asyncio.Event()
+
+
+class ClusterRouter:
+    """N sketch workers behind one protocol-compatible endpoint."""
+
+    def __init__(self, *, config: RouterConfig | None = None,
+                 manager: ClusterManager | None = None,
+                 heartbeat: HeartbeatConfig | None = None) -> None:
+        self.config = config or RouterConfig()
+        self.manager = manager or ClusterManager(
+            vnodes=self.config.vnodes, heartbeat=heartbeat,
+            request_timeout=self.config.request_timeout)
+        self.metrics = ServerMetrics()
+        self._specs: dict[str, EstimatorSpec] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._tcp_server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        # (ring membership, slot -> owner list) assignment cache.
+        self._assignment_cache: tuple[tuple[str, ...], list[str]] | None = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._tcp_server is None:
+            raise ServiceError("router is not started")
+        return self._tcp_server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "ClusterRouter":
+        cfg = self.config
+        self._executor = ThreadPoolExecutor(
+            max_workers=cfg.executor_workers,
+            thread_name_prefix="cluster-router")
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, host=cfg.host, port=cfg.port,
+            limit=cfg.max_line_bytes)
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._tcp_server is None:
+            await self.start()
+        assert self._tcp_server is not None
+        await self._tcp_server.serve_forever()
+
+    async def close(self) -> None:
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+        while self._connections:
+            await asyncio.sleep(0.01)
+        await self.manager.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    async def _run_blocking(self, func, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, func, *args)
+
+    # -- topology -----------------------------------------------------------------
+
+    async def attach(self, name: str, host: str, port: int) -> WorkerInfo:
+        """Register a shard worker, reconciling estimator specs both ways.
+
+        Specs the worker serves (e.g. loaded from a snapshot) are adopted
+        by the router; specs the router already knows are registered on
+        the worker as empty estimators — an empty sketch contributes zero
+        counters, so the scatter-gather reduction stays exact across a
+        fleet attached in any order.
+        """
+        info = await self.manager.add_worker(name, host, port, role="shard")
+        self._assignment_cache = None
+        await self._reconcile_specs(info)
+        return info
+
+    async def bootstrap_replica(self, name: str, host: str, port: int, *,
+                                source: str) -> WorkerInfo:
+        """Attach a read replica bootstrapped from a shard worker."""
+        return await self.manager.bootstrap_replica(name, host, port,
+                                                    source=source)
+
+    async def _reconcile_specs(self, info: WorkerInfo) -> None:
+        stats = await info.link.request_ok({"op": "stats"})
+        served = set()
+        for name, spec_dict in stats.get("estimators", {}).items():
+            served.add(name)
+            self._specs.setdefault(name, EstimatorSpec.from_dict(spec_dict))
+        for name, spec in self._specs.items():
+            if name not in served:
+                await info.link.request_ok({
+                    "op": "register", "name": name, "family": spec.family,
+                    "sizes": list(spec.sizes),
+                    "instances": spec.num_instances, "seed": spec.seed,
+                    "options": dict(spec.options)})
+
+    async def refresh_specs(self) -> dict[str, EstimatorSpec]:
+        """Adopt estimator specs from the whole fleet (snapshot starts)."""
+        for info in self.manager.workers():
+            if not info.healthy:
+                continue
+            try:
+                stats = await info.link.request_ok({"op": "stats"})
+            except (ReproError, ConnectionLostError):
+                continue
+            for name, spec_dict in stats.get("estimators", {}).items():
+                self._specs.setdefault(name,
+                                       EstimatorSpec.from_dict(spec_dict))
+        return dict(self._specs)
+
+    def estimators(self) -> list[str]:
+        """Names of every estimator the router currently knows."""
+        return sorted(self._specs)
+
+    async def _spec_for(self, name: str) -> EstimatorSpec:
+        spec = self._specs.get(name)
+        if spec is None:
+            await self.refresh_specs()
+            spec = self._specs.get(name)
+        if spec is None:
+            raise ServiceError(f"unknown estimator {name!r}; registered: "
+                               f"{sorted(self._specs)}")
+        return spec
+
+    def _assignments(self) -> list[str]:
+        """Slot -> owner map, cached per ring membership."""
+        members = tuple(self.manager.ring.workers())
+        cache = self._assignment_cache
+        if cache is None or cache[0] != members:
+            owners = self.manager.ring.assignments(self.config.num_slots)
+            cache = self._assignment_cache = (members, owners)
+        return cache[1]
+
+    def _owner_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for owner in self._assignments():
+            seen.setdefault(owner)
+        return list(seen)
+
+    # -- connection handling (mirrors SketchServer) -------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.metrics.connections_opened += 1
+        self.metrics.connections_active += 1
+        self._connections.add(writer)
+        replies: asyncio.Queue = asyncio.Queue()
+        state = _ConnectionState()
+        writer_task = asyncio.create_task(
+            self._write_replies(replies, writer, state))
+        loop = asyncio.get_running_loop()
+
+        def done(payload: dict) -> asyncio.Future:
+            future = loop.create_future()
+            future.set_result(payload)
+            return future
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    replies.put_nowait((done(protocol.error_payload(
+                        f"request line exceeds "
+                        f"{self.config.max_line_bytes} bytes",
+                        code="protocol")), False))
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = protocol.decode(line)
+                except ReproError as exc:
+                    replies.put_nowait((done(protocol.error_payload_for(exc)),
+                                        False))
+                    continue
+                op = request.get("op")
+                self.metrics.record_request(str(op))
+                if op == "quit":
+                    replies.put_nowait((done(protocol.ok_payload("quit",
+                                                                 request)),
+                                        False))
+                    break
+                while state.inflight >= self.config.max_inflight_per_connection:
+                    state.slot_free.clear()
+                    await state.slot_free.wait()
+                state.inflight += 1
+                task = asyncio.create_task(self._process(request))
+                replies.put_nowait((task, True))
+        finally:
+            replies.put_nowait(None)
+            try:
+                await writer_task
+            finally:
+                self.metrics.connections_active -= 1
+                self._connections.discard(writer)
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def _write_replies(self, replies: asyncio.Queue,
+                             writer: asyncio.StreamWriter,
+                             state: _ConnectionState) -> None:
+        while True:
+            entry = await replies.get()
+            if entry is None:
+                return
+            item, counted = entry
+            try:
+                try:
+                    payload = await item
+                except Exception as exc:  # _process shouldn't leak; be safe
+                    payload = protocol.error_payload_for(exc)
+                if not payload.get("ok"):
+                    self.metrics.record_error(payload.get("error_code",
+                                                          "error"))
+                try:
+                    writer.write(protocol.encode(payload))
+                    if replies.empty():
+                        await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+            finally:
+                if counted:
+                    state.inflight -= 1
+                    state.slot_free.set()
+
+    # -- request dispatch ---------------------------------------------------------
+
+    async def _process(self, request: dict) -> dict:
+        op = str(request.get("op"))
+        try:
+            handler = self._HANDLERS.get(op)
+            if handler is None:
+                return protocol.error_payload(f"unknown op {op!r}",
+                                              code="unknown_op", op=op,
+                                              request=request)
+            return await handler(self, request)
+        except ConnectionLostError as exc:
+            # A worker died mid-request: that is a *cluster* degradation,
+            # not a client protocol problem.
+            return protocol.error_payload(
+                f"worker connection lost: {exc}", code="degraded", op=op,
+                request=request, detail={"op": op})
+        except Exception as exc:
+            return protocol.error_payload_for(exc, op=op, request=request)
+
+    async def _op_ping(self, request: dict) -> dict:
+        return protocol.ok_payload("ping", request,
+                                   version=protocol.PROTOCOL_VERSION,
+                                   cluster=True)
+
+    async def _op_register(self, request: dict) -> dict:
+        spec = EstimatorSpec.create(
+            request["family"], request["sizes"],
+            int(request.get("instances", 256)),
+            seed=int(request.get("seed", 0)),
+            **request.get("options", {}))
+        name = str(request["name"])
+        if name in self._specs:
+            raise ServiceError(f"estimator {name!r} is already registered")
+        await self.manager.broadcast({
+            "op": "register", "name": name, "family": spec.family,
+            "sizes": list(spec.sizes),
+            "instances": spec.num_instances, "seed": spec.seed,
+            "options": dict(spec.options)})
+        self._specs[name] = spec
+        return protocol.ok_payload("register", request, name=name,
+                                   spec=spec.to_dict())
+
+    async def _op_ingest(self, request: dict) -> dict:
+        name = str(request["name"])
+        spec = await self._spec_for(name)
+        boxes = protocol.boxes_from_rows(request["boxes"], spec.dimension)
+        side = request.get("side", "left")
+        kind = request.get("kind", "insert")
+        rows = request["boxes"]
+        # The same deterministic hash the in-process store uses, taken over
+        # num_slots: inserts and their deletes always meet on one owner.
+        slots = shard_ids(boxes, self.config.num_slots)
+        assignments = self._assignments()
+        per_owner: dict[str, list] = {}
+        for index, slot in enumerate(slots):
+            per_owner.setdefault(assignments[int(slot)], []).append(
+                rows[index])
+
+        applied = 0
+        pending = 0
+        dropped = 0
+        down: list[str] = []
+
+        async def send(info: WorkerInfo, part: list) -> dict:
+            return await info.link.request_ok({
+                "op": "ingest", "name": name, "boxes": part,
+                "side": side, "kind": kind})
+
+        sends: list = []
+        counted: list[int] = []
+        for owner, part in per_owner.items():
+            writers = self.manager.writers(owner)
+            if not writers:
+                dropped += len(part)
+                down.append(owner)
+                continue
+            applied += len(part)
+            for info in writers:
+                sends.append(send(info, part))
+                counted.append(len(part))
+        replies = await asyncio.gather(*sends)
+        pending = max((reply.get("pending", 0) for reply in replies),
+                      default=0)
+        if dropped:
+            return protocol.error_payload(
+                f"cluster degraded: {len(down)} owner group(s) down, "
+                f"{dropped} of {len(boxes)} boxes dropped",
+                code="degraded", op="ingest", request=request,
+                detail={"op": "ingest", "name": name, "applied": applied,
+                        "dropped": dropped, "down_owners": sorted(down)})
+        return protocol.ok_payload("ingest", request, boxes=applied,
+                                   pending=pending)
+
+    async def _op_estimate(self, request: dict) -> dict:
+        name = str(request["name"])
+        spec = await self._spec_for(name)
+        row = request.get("query")
+        if spec.info.queryable:
+            if row is None:
+                raise ServiceError(
+                    f"family {spec.family!r} estimates need a query rectangle")
+            query = protocol.boxes_from_rows([row], spec.dimension)
+        else:
+            if row is not None:
+                raise ServiceError(
+                    f"family {spec.family!r} does not take a query argument")
+            query = None
+
+        owners = self._owner_names()
+        readers: dict[str, WorkerInfo] = {}
+        down: list[str] = []
+        for owner in owners:
+            reader = self.manager.reader(owner)
+            if reader is None:
+                down.append(owner)
+            else:
+                readers[owner] = reader
+        if down:
+            return protocol.error_payload(
+                f"cluster degraded: owner group(s) {sorted(down)} have no "
+                f"healthy worker",
+                code="degraded", op="estimate", request=request,
+                detail={"op": "estimate", "name": name,
+                        "down_owners": sorted(down)})
+
+        start = time.perf_counter()
+        if len(readers) == 1:
+            # One owner group holds *all* the data (a single worker, or a
+            # primary with read replicas): forward the request whole and
+            # pass the worker's reply through — replicas are bit-identical
+            # mirrors, so every member answers the same numbers.
+            (reader,) = readers.values()
+            reply = await reader.link.request(
+                dict(request), timeout=self.config.request_timeout)
+            if reply.get("ok"):
+                self.metrics.record_estimate_latency(
+                    time.perf_counter() - start)
+            return reply
+
+        # Scatter: every owner group contributes its shard-local merged
+        # state; the reduction happens once, at the router.
+        async def gather(info: WorkerInfo) -> Mapping:
+            reply = await info.link.request_ok(
+                {"op": "estimate", "name": name, "partial": True},
+                timeout=self.config.request_timeout)
+            return reply["state"]
+
+        states = await asyncio.gather(*(gather(info)
+                                        for info in readers.values()))
+        result = await self._run_blocking(reduce_partials, spec, states,
+                                          query)
+        self.metrics.record_estimate_latency(time.perf_counter() - start)
+        return protocol.ok_payload("estimate", request, name=name,
+                                   **protocol.estimate_fields(result))
+
+    async def _op_flush(self, request: dict) -> dict:
+        replies = await self.manager.broadcast({"op": "flush"})
+        return protocol.ok_payload(
+            "flush", request,
+            boxes=sum(reply.get("boxes", 0) for reply in replies.values()),
+            batches=sum(reply.get("batches", 0)
+                        for reply in replies.values()))
+
+    async def _op_stats(self, request: dict) -> dict:
+        await self.refresh_specs()
+        return protocol.ok_payload(
+            "stats", request,
+            num_shards=self.config.num_slots,
+            estimators={name: spec.to_dict()
+                        for name, spec in sorted(self._specs.items())},
+            cluster=self.manager.status(),
+            server={
+                "connections_active": self.metrics.connections_active,
+                "queue_depth": 0,
+                "reloads": self.metrics.reloads,
+            })
+
+    async def _op_metrics(self, request: dict) -> dict:
+        fleet: dict[str, dict] = {}
+        for info in self.manager.workers():
+            if not info.healthy:
+                continue
+            try:
+                reply = await info.link.request_ok({"op": "metrics"})
+            except (ReproError, ConnectionLostError):
+                continue
+            fleet[info.name] = {
+                "uptime": float(reply.get("uptime", 0.0)),
+                "requests": dict(reply.get("requests", {})),
+                "errors": dict(reply.get("errors", {})),
+            }
+        text = self._render_metrics(fleet)
+        return protocol.ok_payload(
+            "metrics", request, text=text,
+            uptime=self.metrics.uptime,
+            requests=dict(self.metrics.requests),
+            errors=dict(self.metrics.errors),
+            workers=fleet)
+
+    def _render_metrics(self, fleet: Mapping[str, Mapping]) -> str:
+        """Aggregated fleet metrics under the ``repro_cluster_*`` prefix."""
+        workers = self.manager.workers()
+        lines = ["# repro cluster router metrics",
+                 f"repro_cluster_uptime_seconds {self.metrics.uptime:.3f}",
+                 f"repro_cluster_workers_total {len(workers)}",
+                 "repro_cluster_workers_healthy "
+                 f"{sum(info.healthy for info in workers)}",
+                 "repro_cluster_connections_active "
+                 f"{self.metrics.connections_active}"]
+        for op in sorted(self.metrics.requests):
+            lines.append(
+                f'repro_cluster_requests_total{{op="{label_value(op)}"}} '
+                f"{self.metrics.requests[op]}")
+        for code in sorted(self.metrics.errors):
+            lines.append(
+                f'repro_cluster_errors_total{{code="{label_value(code)}"}} '
+                f"{self.metrics.errors[code]}")
+        quantiles = self.metrics.latency_quantiles()
+        lines.append("repro_cluster_estimate_qps "
+                     f"{self.metrics.estimate_qps():.3f}")
+        for q, seconds in sorted(quantiles.items()):
+            lines.append(
+                f'repro_cluster_estimate_latency_ms{{quantile="{q}"}} '
+                f"{seconds * 1000.0:.3f}")
+        totals: dict[str, int] = {}
+        for entry in fleet.values():
+            for op, count in entry["requests"].items():
+                totals[op] = totals.get(op, 0) + int(count)
+        for op in sorted(totals):
+            lines.append("repro_cluster_worker_requests_total"
+                         f'{{op="{label_value(op)}"}} {totals[op]}')
+        for name in sorted(fleet):
+            lines.append("repro_cluster_worker_uptime_seconds"
+                         f'{{worker="{label_value(name)}"}} '
+                         f"{fleet[name]['uptime']:.3f}")
+        return "\n".join(lines) + "\n"
+
+    async def _op_snapshot(self, request: dict) -> dict:
+        if request.get("fetch"):
+            raise ServiceError(
+                "inline snapshot fetch is a worker-level op; fetch from a "
+                "worker or use cluster_status to find one")
+        path = request.get("path")
+        if not path:
+            raise ServiceError("cluster snapshot needs a path prefix")
+        format = request.get("format", "auto")
+        paths: dict[str, str] = {}
+        for owner in self._owner_names():
+            reader = self.manager.reader(owner)
+            if reader is None:
+                raise ServiceError(
+                    f"owner group {owner!r} has no healthy worker to snapshot")
+            target = f"{path}.{owner}"
+            await reader.link.request_ok({"op": "snapshot", "path": target,
+                                          "format": format})
+            paths[owner] = target
+        return protocol.ok_payload("snapshot", request, paths=paths)
+
+    async def _op_reload(self, request: dict) -> dict:
+        raise ServiceError(
+            "reload is a worker-level op; bootstrap or replace workers "
+            "through the cluster manager instead")
+
+    async def _op_cluster_status(self, request: dict) -> dict:
+        status = self.manager.status()
+        assignments = self._assignments() if len(self.manager.ring) else []
+        slots_per_owner: dict[str, int] = {}
+        for owner in assignments:
+            slots_per_owner[owner] = slots_per_owner.get(owner, 0) + 1
+        return protocol.ok_payload(
+            "cluster_status", request,
+            num_slots=self.config.num_slots,
+            estimators=sorted(self._specs),
+            slots_per_owner=slots_per_owner,
+            **status)
+
+    _HANDLERS = {
+        "ping": _op_ping,
+        "register": _op_register,
+        "ingest": _op_ingest,
+        "estimate": _op_estimate,
+        "flush": _op_flush,
+        "stats": _op_stats,
+        "metrics": _op_metrics,
+        "snapshot": _op_snapshot,
+        "save": _op_snapshot,
+        "reload": _op_reload,
+        "cluster_status": _op_cluster_status,
+    }
+
+
+async def serve_router(router: ClusterRouter, *, ready=None,
+                       shutdown: asyncio.Event | None = None,
+                       install_signal_handlers: bool = False,
+                       heartbeat: bool = True) -> None:
+    """Run a started-or-fresh router until cancelled or shut down."""
+    await router.start()
+    if heartbeat:
+        router.manager.start_heartbeat()
+    stop = shutdown if shutdown is not None else asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: list[signal.Signals] = []
+    if install_signal_handlers:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, ValueError,
+                    RuntimeError):  # pragma: no cover - non-POSIX loops
+                pass
+    if ready is not None:
+        ready(router)
+    forever = asyncio.create_task(router.serve_forever())
+    waiter = asyncio.create_task(stop.wait())
+    try:
+        await asyncio.wait({forever, waiter},
+                           return_when=asyncio.FIRST_COMPLETED)
+    except asyncio.CancelledError:
+        pass
+    finally:
+        for task in (forever, waiter):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        for signum in installed:
+            with contextlib.suppress(ValueError, RuntimeError):
+                loop.remove_signal_handler(signum)
+        await router.close()
+
+
+class ThreadedClusterRouter:
+    """Drive a router (plus its worker links) on a background loop thread.
+
+    The synchronous mirror of :class:`~repro.server.runner.ThreadedServer`
+    for clusters: tests and benchmarks start it, talk to ``port`` with a
+    plain :class:`~repro.client.ServiceClient`, and steer topology through
+    :meth:`run` (which executes a coroutine on the router's loop)::
+
+        with ThreadedClusterRouter([("127.0.0.1", p1), ("127.0.0.1", p2)]) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            handle.run(handle.router.bootstrap_replica(
+                "r0", "127.0.0.1", p3, source="w0"))
+    """
+
+    def __init__(self, workers: Sequence[tuple[str, int]] = (), *,
+                 config: RouterConfig | None = None,
+                 heartbeat: HeartbeatConfig | None = None,
+                 start_heartbeat: bool = True) -> None:
+        self.router = ClusterRouter(config=config, heartbeat=heartbeat)
+        self._workers = list(workers)
+        self._start_heartbeat = start_heartbeat
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready: concurrent.futures.Future = concurrent.futures.Future()
+
+    def start(self, timeout: float = 30.0) -> "ThreadedClusterRouter":
+        if self._thread is not None:
+            raise ServiceError("router thread already started")
+        self._thread = threading.Thread(target=self._run_thread, daemon=True,
+                                        name="cluster-router-loop")
+        self._thread.start()
+        self._ready.result(timeout=timeout)
+        return self
+
+    def _run_thread(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            for index, (host, port) in enumerate(self._workers):
+                await self.router.attach(f"w{index}", host, port)
+            await self.router.start()
+            if self._start_heartbeat:
+                self.router.manager.start_heartbeat()
+        except BaseException as exc:  # noqa: BLE001 - relayed to start()
+            self._ready.set_exception(exc)
+            return
+        self._ready.set_result(self.router.port)
+        await self._stop.wait()
+        await self.router.close()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def run(self, coroutine, timeout: float = 60.0):
+        """Execute a coroutine on the router's event loop (thread-safe)."""
+        if self._loop is None:
+            raise ServiceError("router thread is not running")
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout=timeout)
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    @property
+    def manager(self) -> ClusterManager:
+        return self.router.manager
+
+    def __enter__(self) -> "ThreadedClusterRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -87,6 +87,33 @@ class ProtocolError(ServerError):
         super().__init__(message, code="protocol")
 
 
+class ConnectionLostError(ProtocolError):
+    """The connection dropped mid-request (EOF or reset between frames).
+
+    Distinguished from other :class:`ProtocolError` cases (malformed JSON,
+    oversized frames) because it is the one protocol failure a client may
+    transparently retry: reconnect and resend, provided the request was
+    idempotent.  :class:`~repro.client.ServiceClient` does exactly that.
+    """
+
+
+class DegradedError(ServerError):
+    """A cluster request could not be fully served: shard owners are down.
+
+    Raised client-side when a :class:`~repro.cluster.router.ClusterRouter`
+    answers with ``error_code: "degraded"`` — some consistent-hash slots
+    have no healthy worker, so estimates touching them cannot be reduced
+    (and ingest batches routed to them are dropped).  :attr:`detail` holds
+    the structured report: the missing workers and, for ingest, how many
+    boxes were applied to surviving shards versus dropped.
+    """
+
+    def __init__(self, message: str = "cluster degraded: shard owners down",
+                 *, detail: dict | None = None) -> None:
+        super().__init__(message, code="degraded")
+        self.detail = detail or {}
+
+
 class OverloadedError(ServerError):
     """The server's admission queue is full; retry later.
 

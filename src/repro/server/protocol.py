@@ -22,17 +22,34 @@ An optional ``"id"`` field is echoed back verbatim.  Successful responses
 have ``"ok": true``; failures have ``"ok": false`` plus a human-readable
 ``"error"`` and a machine-readable ``"error_code"`` (one of
 :data:`ERROR_CODES` — notably ``"overloaded"``, which clients should treat
-as retryable backpressure rather than a hard failure).
+as retryable backpressure rather than a hard failure, and ``"degraded"``,
+a cluster router's structured report that some shard owners are down).
+
+The cluster layer (:mod:`repro.cluster`) extends the same protocol —
+routers speak it verbatim on both sides, so one client works against a
+single server and a whole fleet:
+
+* ``{"op": "estimate", ..., "partial": true}`` asks a worker for its
+  shard-local **partial result** — the merged-view estimator state — which
+  the router reduces (one vectorised counter add per worker) before the
+  boosting reduction,
+* ``{"op": "snapshot", "fetch": true}`` returns the binary v2 snapshot
+  bytes inline (base64) instead of writing a server-side file,
+* ``{"op": "reload", "data": <base64>}`` hot-loads a snapshot shipped over
+  the wire — the replica-bootstrap path,
+* ``{"op": "cluster_status"}`` (router only) reports fleet topology.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 from typing import Any, Mapping
 
 import numpy as np
 
 from repro.errors import (
+    DegradedError,
     OverloadedError,
     ProtocolError,
     ReproError,
@@ -47,12 +64,15 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
 #: Machine-readable failure categories.
-ERROR_CODES = ("bad_request", "unknown_op", "overloaded", "protocol",
-               "internal", "error")
+ERROR_CODES = ("bad_request", "unknown_op", "overloaded", "degraded",
+               "protocol", "internal", "error")
 
 #: Operations the server understands (``save`` is an alias of ``snapshot``).
 OPS = ("register", "ingest", "estimate", "flush", "stats", "metrics",
        "snapshot", "save", "reload", "ping", "quit")
+
+#: Additional operations a cluster router understands on top of :data:`OPS`.
+CLUSTER_OPS = ("cluster_status",)
 
 
 def encode(payload: Mapping[str, Any]) -> bytes:
@@ -87,12 +107,19 @@ def ok_payload(op: str, request: Mapping | None = None, **fields: Any) -> dict:
 
 
 def error_payload(message: str, *, code: str = "error", op: str | None = None,
-                  request: Mapping | None = None) -> dict:
-    """A failure response with both human and machine readable fields."""
+                  request: Mapping | None = None,
+                  detail: Mapping | None = None) -> dict:
+    """A failure response with both human and machine readable fields.
+
+    ``detail`` carries structured failure context (used by ``degraded``
+    cluster errors to report missing workers and applied/dropped counts).
+    """
     payload: dict[str, Any] = {"ok": False, "error": message,
                                "error_code": code}
     if op is not None:
         payload["op"] = op
+    if detail is not None:
+        payload["detail"] = dict(detail)
     if request is not None and request.get("id") is not None:
         payload["id"] = request["id"]
     return payload
@@ -145,6 +172,19 @@ def estimate_fields(result) -> dict:
     }
 
 
+def pack_bytes(data: bytes) -> str:
+    """Binary payloads (snapshot bytes) as a JSON-safe base64 string."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def unpack_bytes(text: str) -> bytes:
+    """Inverse of :func:`pack_bytes`; raises :class:`ProtocolError`."""
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ProtocolError(f"malformed base64 payload: {exc}") from exc
+
+
 def raise_for_response(response: Mapping[str, Any]) -> dict:
     """Client-side check: return the response or raise its typed error."""
     if response.get("ok"):
@@ -153,6 +193,8 @@ def raise_for_response(response: Mapping[str, Any]) -> dict:
     code = str(response.get("error_code", "error"))
     if code == "overloaded":
         raise OverloadedError(message)
+    if code == "degraded":
+        raise DegradedError(message, detail=response.get("detail"))
     if code == "protocol":
         raise ProtocolError(message)
     raise ServerError(message, code=code)

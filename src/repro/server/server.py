@@ -26,6 +26,10 @@ queueing without bound.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import os
+import signal
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -316,6 +320,17 @@ class SketchServer:
         service = self._service
         name = request["name"]
         spec = service.spec(name)
+        if request.get("partial"):
+            # Shard-local partial result: the merged-view estimator state.
+            # Sketches are linear projections, so a cluster router can
+            # reduce the partials of many workers with one vectorised
+            # merge and estimate from the reduction bit-identically to a
+            # single-node service over the union of the boxes.
+            state = await self._run_blocking(
+                lambda: service.merged_view(name).state_dict())
+            return protocol.ok_payload("estimate", request, name=name,
+                                       partial=True, spec=spec.to_dict(),
+                                       state=state)
         row = request.get("query")
         query = None
         if spec.info.queryable:
@@ -363,32 +378,59 @@ class SketchServer:
             service_stats=service_stats,
             coalescer_stats=coalescer.stats,
             queue_depth=coalescer.queue_depth)
-        return protocol.ok_payload("metrics", request, text=text)
+        # Structured fields ride along with the text exposition so a
+        # cluster router can aggregate fleet metrics without re-parsing
+        # the Prometheus rendering.
+        return protocol.ok_payload(
+            "metrics", request, text=text,
+            uptime=self.metrics.uptime,
+            requests=dict(self.metrics.requests),
+            errors=dict(self.metrics.errors),
+            connections_active=self.metrics.connections_active,
+            estimate_qps=self.metrics.estimate_qps())
 
     async def _op_snapshot(self, request: dict) -> dict:
+        service = self._service
+        if request.get("fetch"):
+            # Ship the binary v2 snapshot inline instead of writing a
+            # server-side file — the replica-bootstrap path: a cluster
+            # manager fetches a primary's snapshot and reloads it into a
+            # fresh worker over the wire.
+            data = await self._run_blocking(_snapshot_bytes, service)
+            return protocol.ok_payload("snapshot", request,
+                                       data=protocol.pack_bytes(data),
+                                       nbytes=len(data))
         path = request.get("path", self._snapshot_path)
         if not path:
             raise ServiceError(
                 "snapshot needs a path (or start the server with one)")
         format = request.get("format", self._snapshot_format)
-        service = self._service
         await self._run_blocking(lambda: service.save(path, format=format))
         return protocol.ok_payload("snapshot", request, path=str(path))
 
     async def _op_reload(self, request: dict) -> dict:
-        path = request.get("path", self._snapshot_path)
-        if not path:
-            raise ServiceError(
-                "reload needs a path (or start the server with one)")
+        data = request.get("data")
+        path = None
+        if data is None:
+            path = request.get("path", self._snapshot_path)
+            if not path:
+                raise ServiceError(
+                    "reload needs a path or inline data (or start the "
+                    "server with a snapshot path)")
         assert self._reload_lock is not None
         async with self._reload_lock:
-            fresh = await self._run_blocking(EstimationService.load, path)
+            if data is not None:
+                raw = protocol.unpack_bytes(str(data))
+                fresh = await self._run_blocking(_service_from_bytes, raw)
+            else:
+                fresh = await self._run_blocking(EstimationService.load, path)
             # Atomic swap: requests already queued keep their futures;
             # everything dispatched from here answers from the new state.
             self._service = fresh
         self.metrics.reloads += 1
-        return protocol.ok_payload("reload", request, path=str(path),
-                                   estimators=fresh.names())
+        fields = {"path": str(path)} if data is None else {"source": "inline"}
+        return protocol.ok_payload("reload", request,
+                                   estimators=fresh.names(), **fields)
 
     _HANDLERS = {
         "ping": _op_ping,
@@ -404,24 +446,83 @@ class SketchServer:
     }
 
 
+def _snapshot_bytes(service: EstimationService) -> bytes:
+    """The service's binary v2 snapshot as in-memory bytes."""
+    from repro.service.snapshot import write_binary_snapshot_state
+
+    state = service.snapshot(arrays=True)
+    fd, tmp = tempfile.mkstemp(prefix="repro-snapshot-", suffix=".sketch")
+    os.close(fd)
+    try:
+        write_binary_snapshot_state(state, tmp)
+        with open(tmp, "rb") as handle:
+            return handle.read()
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+
+
+def _service_from_bytes(raw: bytes) -> EstimationService:
+    """Rebuild a service from snapshot bytes shipped over the wire."""
+    fd, tmp = tempfile.mkstemp(prefix="repro-reload-", suffix=".sketch")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(raw)
+        # On POSIX the mmap-restored counters outlive the unlink below;
+        # elsewhere the loader reads into private memory (see
+        # read_binary_snapshot_state), so removal is always safe.
+        return EstimationService.load(tmp)
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+
+
 async def serve(service: EstimationService, *,
                 config: ServerConfig | None = None,
                 snapshot_path: str | None = None,
                 snapshot_format: str = "auto",
-                ready=None) -> None:
+                ready=None,
+                shutdown: asyncio.Event | None = None,
+                install_signal_handlers: bool = False) -> None:
     """Start a server and run until cancelled (the CLI's ``--listen`` loop).
 
     ``ready``, when given, is a callable invoked with the started server
     (used to print the bound address and by tests to capture the port).
+    ``shutdown`` is an optional event that ends the loop *gracefully*:
+    stop accepting, let admitted requests finish, drain the coalescer —
+    then return (so callers can flush a final snapshot).  With
+    ``install_signal_handlers=True`` SIGTERM and SIGINT set that event
+    instead of killing the process — the CLI's graceful-shutdown path.
     """
     server = SketchServer(service, config=config, snapshot_path=snapshot_path,
                           snapshot_format=snapshot_format)
     await server.start()
+    stop = shutdown if shutdown is not None else asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: list[signal.Signals] = []
+    if install_signal_handlers:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, ValueError,
+                    RuntimeError):  # pragma: no cover - non-POSIX loops
+                pass
     if ready is not None:
         ready(server)
+    forever = asyncio.create_task(server.serve_forever())
+    waiter = asyncio.create_task(stop.wait())
     try:
-        await server.serve_forever()
+        await asyncio.wait({forever, waiter},
+                           return_when=asyncio.FIRST_COMPLETED)
     except asyncio.CancelledError:
         pass
     finally:
+        for task in (forever, waiter):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        for signum in installed:
+            with contextlib.suppress(ValueError, RuntimeError):
+                loop.remove_signal_handler(signum)
         await server.close()

@@ -250,6 +250,81 @@ class TestCliConnect:
         assert "offline" in capsys.readouterr().err
 
 
+class TestClientRetry:
+    """Satellite: one reconnect-and-retry on dropped connections."""
+
+    def test_idempotent_op_retries_across_server_restart(self):
+        service = make_service(data=50)
+        handle = ThreadedServer(service).start()
+        port = handle.port
+        client = ServiceClient("127.0.0.1", port, timeout=10)
+        assert client.ping()["ok"]
+        handle.stop()
+        # Rebind a fresh server on the same port; the client's socket is
+        # dead but the next idempotent request heals transparently.
+        handle = ThreadedServer(service,
+                                config=ServerConfig(port=port)).start()
+        try:
+            assert client.ping()["ok"]
+            assert client.reconnects == 1
+            query = synthetic_queries(DOMAIN, 1, seed=11)
+            result = client.estimate("ranges", _rows(query)[0])
+            assert result.estimate == service.estimate("ranges",
+                                                       query).estimate
+        finally:
+            client.close()
+            handle.stop()
+
+    def test_non_idempotent_op_is_never_retried(self):
+        from repro.client import IDEMPOTENT_OPS
+
+        assert "ingest" not in IDEMPOTENT_OPS
+        assert "register" not in IDEMPOTENT_OPS
+        service = make_service(data=50)
+        handle = ThreadedServer(service).start()
+        client = ServiceClient("127.0.0.1", handle.port, timeout=10)
+        client.ping()
+        handle.stop()
+        # A write on a dead connection surfaces the failure instead of
+        # risking a duplicate apply on reconnect.
+        with pytest.raises((ProtocolError, OSError)):
+            client.ingest("ranges", [[0, 0, 5, 5]], side="data")
+        assert client.reconnects == 0
+        client.close()
+
+
+@pytest.mark.skipif(os.name != "posix", reason="POSIX signals")
+def test_cli_serve_sigterm_drains_and_snapshots(tmp_path):
+    """Satellite: SIGTERM triggers a graceful drain + final snapshot."""
+    import signal
+
+    snapshot = tmp_path / "graceful.sketch"
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--listen",
+         "127.0.0.1:0", "--snapshot", str(snapshot), "--snapshot-on-exit"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True)
+    try:
+        banner = json.loads(process.stdout.readline())
+        port = int(banner["listening"].rsplit(":", 1)[1])
+        with ServiceClient("127.0.0.1", port) as client:
+            client.register("r", family="range", sizes=[64, 64],
+                            instances=8, seed=1)
+            client.ingest("r", [[1, 1, 5, 5], [2, 2, 9, 9]], side="data")
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30) == 0
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup on failure
+            process.kill()
+            process.wait(timeout=30)
+    # The final snapshot reflects every acknowledged write.
+    restored = EstimationService.load(snapshot)
+    assert restored.merged_view("r").count == 2
+
+
 @pytest.mark.skipif(os.name != "posix", reason="POSIX process management")
 def test_cli_serve_listen_subprocess_end_to_end(tmp_path):
     """Acceptance: `repro-spatial serve --listen` + ServiceClient round trip."""

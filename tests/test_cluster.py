@@ -1,0 +1,287 @@
+"""Cluster tests: scatter-gather exactness, replicas, failure handling.
+
+The in-process tests run worker servers as :class:`ThreadedServer`
+instances (each with its own sharded service) under one
+:class:`ThreadedClusterRouter` — same NDJSON protocol, no subprocesses.
+The kill/replace end-to-end test uses real subprocess workers via
+:class:`LocalFleet` because it needs to kill one mid-traffic.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.client import ServiceClient
+from repro.cluster import HeartbeatConfig, RouterConfig, ThreadedClusterRouter
+from repro.cluster.fleet import LocalFleet
+from repro.core.domain import Domain
+from repro.errors import DegradedError, ServerError
+from repro.geometry.boxset import BoxSet
+from repro.server import ServerConfig, ThreadedServer
+from repro.service import EstimationService, synthetic_boxes, synthetic_queries
+from repro.service.store import shard_ids
+
+DOMAIN = Domain.square(256, dimension=2)
+NUM_SLOTS = 64
+
+# Three estimator families with different reduction shapes: queryable
+# linear counts, a bilinear join, and an asymmetric containment join.
+FAMILY_SPECS = [
+    ("ranges", "range", 32, 5),
+    ("join", "rectangle", 16, 7),
+    ("contain", "containment", 16, 9),
+]
+FAMILY_SIDES = {
+    "ranges": [("data", 1)],
+    "join": [("left", 2), ("right", 3)],
+    "contain": [("outer", 4), ("inner", 5)],
+}
+
+
+def _register_everywhere(client: ServiceClient,
+                         reference: EstimationService) -> None:
+    for name, family, instances, seed in FAMILY_SPECS:
+        client.register(name, family=family, sizes=[256, 256],
+                        instances=instances, seed=seed)
+        reference.register(name, family=family, domain=DOMAIN,
+                           num_instances=instances, seed=seed)
+
+
+def _ingest_everywhere(client: ServiceClient, reference: EstimationService,
+                       *, count: int = 300) -> None:
+    for name, sides in FAMILY_SIDES.items():
+        for side, seed in sides:
+            boxes = synthetic_boxes(DOMAIN, count, seed=seed)
+            client.ingest(name, boxes, side=side)
+            reference.ingest(name, boxes, side=side)
+    client.flush()
+    reference.flush()
+
+
+@pytest.fixture()
+def worker_trio():
+    """Three in-process worker servers, each a full sharded service."""
+    handles = [ThreadedServer(EstimationService(num_shards=2),
+                              config=ServerConfig(max_batch=16,
+                                                  max_delay=0.001)).start()
+               for _ in range(3)]
+    try:
+        yield handles
+    finally:
+        for handle in handles:
+            handle.stop()
+
+
+@pytest.fixture()
+def cluster(worker_trio):
+    addresses = [("127.0.0.1", handle.port) for handle in worker_trio]
+    with ThreadedClusterRouter(
+            addresses, config=RouterConfig(num_slots=NUM_SLOTS),
+            start_heartbeat=False) as handle:
+        yield handle
+
+
+class TestScatterGather:
+    def test_estimates_bit_identical_across_three_families(self, cluster):
+        """Acceptance: cluster == single-node, exactly, for >= 3 families."""
+        reference = EstimationService(num_shards=2)
+        with ServiceClient("127.0.0.1", cluster.port) as client:
+            _register_everywhere(client, reference)
+            _ingest_everywhere(client, reference)
+            queries = synthetic_queries(DOMAIN, 8, seed=17)
+            for i in range(8):
+                expected = reference.estimate("ranges", queries[i])
+                got = client.estimate("ranges", queries[i])
+                assert got.estimate == expected.estimate
+                assert got.left_count == expected.left_count
+            for name in ("join", "contain"):
+                expected = reference.estimate(name)
+                got = client.estimate(name)
+                assert got.estimate == expected.estimate
+                assert got.left_count == expected.left_count
+                assert got.right_count == expected.right_count
+
+    def test_ingest_partitions_by_shard_hash(self, cluster, worker_trio):
+        boxes = synthetic_boxes(DOMAIN, 200, seed=21)
+        owners = cluster.router._assignments()
+        expected_rows = {f"w{i}": 0 for i in range(3)}
+        for slot in shard_ids(boxes, NUM_SLOTS):
+            expected_rows[owners[slot]] += 1
+        with ServiceClient("127.0.0.1", cluster.port) as client:
+            client.register("ranges", family="range", sizes=[256, 256],
+                            instances=8, seed=5)
+            client.ingest("ranges", boxes, side="data")
+            client.flush()
+        for index, handle in enumerate(worker_trio):
+            count = handle.service.merged_view("ranges").count
+            assert count == expected_rows[f"w{index}"]
+        assert sum(expected_rows.values()) == 200
+
+    def test_cluster_status_reports_topology(self, cluster):
+        with ServiceClient("127.0.0.1", cluster.port) as client:
+            status = client.cluster_status()
+        assert status["num_slots"] == NUM_SLOTS
+        assert status["healthy_workers"] == 3
+        assert sorted(w["name"] for w in status["workers"]) == \
+            ["w0", "w1", "w2"]
+        assert sum(status["slots_per_owner"].values()) == NUM_SLOTS
+
+    def test_metrics_aggregate_the_fleet(self, cluster):
+        with ServiceClient("127.0.0.1", cluster.port) as client:
+            client.register("ranges", family="range", sizes=[256, 256],
+                            instances=8, seed=5)
+            client.ingest("ranges", synthetic_boxes(DOMAIN, 50, seed=1),
+                          side="data")
+            client.estimate("ranges", synthetic_queries(DOMAIN, 1, seed=2))
+            text = client.metrics()
+        assert text.startswith("# repro cluster router metrics")
+        assert "repro_cluster_workers_total 3" in text
+        assert "repro_cluster_workers_healthy 3" in text
+        assert 'repro_cluster_requests_total{op="estimate"}' in text
+        # Per-worker counters are summed across the fleet: the ingest above
+        # fanned to every owner, so workers saw ingests too.
+        assert 'repro_cluster_worker_requests_total{op="ingest"}' in text
+        assert 'repro_cluster_worker_uptime_seconds{worker="w0"}' in text
+
+    def test_unknown_estimator_is_a_typed_error(self, cluster):
+        with ServiceClient("127.0.0.1", cluster.port) as client:
+            with pytest.raises(ServerError) as info:
+                client.estimate("missing")
+            assert info.value.code == "bad_request"
+            # The router connection survives the typed failure.
+            assert client.ping()["cluster"] is True
+
+
+class TestReplicas:
+    def test_bootstrap_replicas_serve_bit_identical_reads(self, worker_trio):
+        # Worker 0 accumulates data first; 1 and 2 join later as replicas
+        # bootstrapped over the wire from its snapshot.
+        addresses = [("127.0.0.1", worker_trio[0].port)]
+        reference = EstimationService(num_shards=2)
+        with ThreadedClusterRouter(
+                addresses, config=RouterConfig(num_slots=NUM_SLOTS),
+                start_heartbeat=False) as handle:
+            with ServiceClient("127.0.0.1", handle.port) as client:
+                _register_everywhere(client, reference)
+                _ingest_everywhere(client, reference, count=200)
+                for index in (1, 2):
+                    handle.run(handle.router.bootstrap_replica(
+                        f"r{index}", "127.0.0.1", worker_trio[index].port,
+                        source="w0"))
+                status = client.cluster_status()
+                roles = {w["name"]: w["role"] for w in status["workers"]}
+                assert roles == {"w0": "shard", "r1": "replica",
+                                 "r2": "replica"}
+
+                # Reads round-robin across the owner group; every member
+                # answers bit-identically.
+                queries = synthetic_queries(DOMAIN, 1, seed=23)
+                expected = reference.estimate("ranges", queries).estimate
+                for _ in range(6):
+                    assert client.estimate("ranges",
+                                           queries).estimate == expected
+
+                # Writes fan to the primary AND the replicas, keeping the
+                # mirrors exact for later reads.
+                more = synthetic_boxes(DOMAIN, 150, seed=29)
+                client.ingest("ranges", more, side="data")
+                reference.ingest("ranges", more, side="data")
+                client.flush()
+                reference.flush()
+                expected = reference.estimate("ranges", queries).estimate
+                for _ in range(6):
+                    assert client.estimate("ranges",
+                                           queries).estimate == expected
+        for index in (1, 2):
+            view = worker_trio[index].service.merged_view("ranges")
+            assert view.count == 350
+
+    def test_replica_of_unknown_source_is_rejected(self, cluster, worker_trio):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            cluster.run(cluster.router.bootstrap_replica(
+                "r9", "127.0.0.1", worker_trio[0].port, source="nope"))
+
+
+@pytest.mark.skipif(os.name != "posix", reason="POSIX process management")
+class TestKillReplace:
+    def test_worker_death_degrades_then_replacement_restores(self, tmp_path):
+        """Acceptance e2e: kill 1 of 3 workers mid-traffic.
+
+        Surviving ingest continues (partial-apply with a structured
+        degraded error), affected estimates return structured degraded
+        errors, and a replacement bootstrapped from a pre-crash snapshot
+        restores exact service.
+        """
+        heartbeat = HeartbeatConfig(interval=30.0, max_failures=3,
+                                    timeout=2.0)
+        with LocalFleet(3) as fleet:
+            with ThreadedClusterRouter(
+                    fleet.addresses(),
+                    config=RouterConfig(num_slots=NUM_SLOTS),
+                    heartbeat=heartbeat, start_heartbeat=False) as handle:
+                reference = EstimationService(num_shards=2)
+                client = ServiceClient("127.0.0.1", handle.port, timeout=60)
+                client.register("ranges", family="range", sizes=[256, 256],
+                                instances=16, seed=5)
+                reference.register("ranges", family="range", domain=DOMAIN,
+                                   num_instances=16, seed=5)
+                initial = synthetic_boxes(DOMAIN, 200, seed=1)
+                client.ingest("ranges", initial, side="data")
+                reference.ingest("ranges", initial, side="data")
+                client.flush()
+                reference.flush()
+
+                # An operator keeps a recent snapshot of w1 around (here:
+                # fetched over the wire just before the crash).
+                stored = handle.run(handle.manager.fetch_snapshot("w1"))
+
+                fleet.workers[1].stop()
+                for _ in range(heartbeat.max_failures):
+                    handle.run(handle.manager.heartbeat_once())
+                status = client.cluster_status()
+                health = {w["name"]: w["healthy"] for w in status["workers"]}
+                assert health == {"w0": True, "w1": False, "w2": True}
+
+                # Estimates that need the dead owner fail with a *typed*
+                # degraded error naming it.
+                queries = synthetic_queries(DOMAIN, 1, seed=23)
+                with pytest.raises(DegradedError) as info:
+                    client.estimate("ranges", queries)
+                assert info.value.detail["down_owners"] == ["w1"]
+
+                # Ingest keeps flowing to survivors: the reply is a
+                # degraded error carrying exact applied/dropped accounting.
+                more = synthetic_boxes(DOMAIN, 200, seed=31)
+                with pytest.raises(DegradedError) as info:
+                    client.ingest("ranges", more, side="data")
+                detail = info.value.detail
+                owners = handle.router._assignments()
+                mask = np.array([owners[slot] != "w1"
+                                 for slot in shard_ids(more, NUM_SLOTS)])
+                assert detail["applied"] == int(mask.sum())
+                assert detail["dropped"] == len(more) - int(mask.sum())
+                assert detail["down_owners"] == ["w1"]
+                reference.ingest(
+                    "ranges",
+                    BoxSet(more.lows[mask], more.highs[mask]),
+                    side="data")
+                reference.flush()
+
+                # Bootstrap a replacement from the stored snapshot under
+                # the same ring name: slots stay put, service is restored.
+                replacement = fleet.spawn_extra()
+                handle.run(handle.manager.replace_worker(
+                    "w1", replacement.host, replacement.port, data=stored))
+                client.flush()
+                status = client.cluster_status()
+                assert all(w["healthy"] for w in status["workers"])
+                assert [w["generation"] for w in status["workers"]
+                        if w["name"] == "w1"] == [1]
+
+                expected = reference.estimate("ranges", queries).estimate
+                assert client.estimate("ranges",
+                                       queries).estimate == expected
+                client.close()

@@ -1,0 +1,134 @@
+"""Property tests for the consistent-hash ring (:mod:`repro.cluster.ring`).
+
+The two properties the cluster depends on:
+
+* slot ownership is a pure function of the *membership set* — insertion
+  order never matters, so routers built from any attach order agree, and
+* membership changes are *local*: adding a worker steals roughly ``1/N``
+  of the slots (all of them landing on the new worker), and removing one
+  only remaps the slots it owned.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, stable_hash
+from repro.errors import ServiceError
+
+NUM_SLOTS = 256
+
+worker_names = st.lists(
+    st.text(alphabet="abcdefghij0123456789-", min_size=1, max_size=12),
+    min_size=1, max_size=8, unique=True)
+
+
+@st.composite
+def names_and_extra(draw):
+    """A worker set plus one name not in it."""
+    workers = draw(worker_names)
+    extra = draw(st.text(alphabet="klmnopqrs0123456789_",
+                         min_size=1, max_size=12)
+                 .filter(lambda name: name not in workers))
+    return workers, extra
+
+
+class TestStableHash:
+    def test_is_process_independent(self):
+        # Python's builtin hash() is salted per process; the ring must use
+        # a keyed-nothing blake2b so every router agrees on ownership.
+        digest = hashlib.blake2b(b"slot:0", digest_size=8).digest()
+        assert stable_hash("slot:0") == int.from_bytes(digest, "big")
+
+    def test_distinct_inputs_rarely_collide(self):
+        values = {stable_hash(f"worker-{i}") for i in range(1000)}
+        assert len(values) == 1000
+
+
+class TestRingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), workers=worker_names)
+    def test_assignments_ignore_insertion_order(self, data, workers):
+        shuffled = data.draw(st.permutations(workers))
+        ring_a = HashRing(workers)
+        ring_b = HashRing()
+        for name in shuffled:
+            ring_b.add(name)
+        assert ring_a.assignments(NUM_SLOTS) == ring_b.assignments(NUM_SLOTS)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=names_and_extra())
+    def test_adding_a_worker_remaps_a_bounded_fraction(self, pair):
+        workers, extra = pair
+        ring = HashRing(workers)
+        before = ring.assignments(NUM_SLOTS)
+        ring.add(extra)
+        after = ring.assignments(NUM_SLOTS)
+
+        moved = [slot for slot in range(NUM_SLOTS)
+                 if before[slot] != after[slot]]
+        # Every remapped slot goes *to* the newcomer — surviving workers
+        # never shuffle slots among themselves.
+        assert all(after[slot] == extra for slot in moved)
+        # And the newcomer takes roughly its fair share: 1/(N+1) of the
+        # slots in expectation, bounded here with generous slack for the
+        # variance of 64-vnode arc lengths.
+        expected = NUM_SLOTS / (len(workers) + 1)
+        assert len(moved) <= min(NUM_SLOTS, 2.5 * expected + 8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), workers=worker_names)
+    def test_removing_a_worker_only_remaps_its_slots(self, data, workers):
+        victim = data.draw(st.sampled_from(workers))
+        ring = HashRing(workers)
+        before = ring.assignments(NUM_SLOTS)
+        if len(workers) == 1:
+            ring.remove(victim)
+            with pytest.raises(ServiceError):
+                ring.owner(0)
+            return
+        ring.remove(victim)
+        after = ring.assignments(NUM_SLOTS)
+        for slot in range(NUM_SLOTS):
+            if before[slot] != victim:
+                assert after[slot] == before[slot]
+            else:
+                assert after[slot] != victim
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=names_and_extra())
+    def test_add_then_remove_restores_assignments(self, pair):
+        workers, extra = pair
+        ring = HashRing(workers)
+        before = ring.assignments(NUM_SLOTS)
+        ring.add(extra)
+        ring.remove(extra)
+        assert ring.assignments(NUM_SLOTS) == before
+
+
+class TestRingBasics:
+    def test_empty_ring_has_no_owner(self):
+        with pytest.raises(ServiceError):
+            HashRing().owner(0)
+
+    def test_duplicate_add_is_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ServiceError):
+            ring.add("a")
+
+    def test_remove_unknown_is_rejected(self):
+        with pytest.raises(ServiceError):
+            HashRing(["a"]).remove("b")
+
+    def test_membership_protocol(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and "c" not in ring
+        assert len(ring) == 2
+        assert ring.workers() == ["a", "b"]
+        assert len(ring._points) == 2 * DEFAULT_VNODES
+
+    def test_single_worker_owns_everything(self):
+        ring = HashRing(["only"])
+        assert set(ring.assignments(NUM_SLOTS)) == {"only"}
