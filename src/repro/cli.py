@@ -175,7 +175,32 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="with --listen: on SIGTERM/SIGINT stop accepting, "
                             "drain in-flight requests and flush a final "
                             "snapshot to --snapshot before exiting")
+    serve.add_argument("--wal-dir", default=None, metavar="DIR",
+                       help="durable serving: recover from this write-ahead "
+                            "log directory on start (snapshot + replay tail) "
+                            "and log every ingest before applying it")
+    serve.add_argument("--wal-sync", default="flush",
+                       choices=("none", "flush", "fsync"),
+                       help="WAL flush discipline: none (buffered, fastest), "
+                            "flush (OS page cache per append — survives "
+                            "kill -9, the default), fsync (survives power "
+                            "loss)")
+    serve.add_argument("--wal-checkpoint-boxes", type=int, default=None,
+                       metavar="N",
+                       help="auto-checkpoint: snapshot + truncate the WAL "
+                            "once N update rows accumulate in the log "
+                            "(default: manual checkpoints only)")
     add_format_arg(serve)
+
+    wal = sub.add_parser(
+        "wal", help="inspect a write-ahead log directory (segments, durable "
+                    "records, torn-tail bytes)")
+    wal.add_argument("--dir", required=True, metavar="DIR",
+                     help="WAL directory to scan")
+    wal.add_argument("--since", type=int, default=0, metavar="SEQNO",
+                     help="only count records after this sequence number")
+    wal.add_argument("--events", action="store_true",
+                     help="also print one JSON line per durable record event")
 
     # -- cluster commands ---------------------------------------------------------
 
@@ -673,7 +698,7 @@ def service_command_loop(service, in_stream, out_stream, *,
     return 0
 
 
-def _run_serve_listen(args, service) -> int:
+def _run_serve_listen(args, service, *, recovery=None) -> int:
     import asyncio
 
     from repro.server import ServerConfig, serve
@@ -682,15 +707,25 @@ def _run_serve_listen(args, service) -> int:
     config = ServerConfig(host=host, port=port, max_batch=args.max_batch,
                           max_delay=args.max_delay_ms / 1000.0,
                           max_queue=args.max_queue)
+    # With a WAL the snapshot default falls back to the in-directory
+    # checkpoint base, so snapshot/reload verbs and inline bootstraps all
+    # share one recovery lineage.
+    snapshot_path = args.snapshot
+    if snapshot_path is None and service.wal is not None:
+        snapshot_path = service.wal_checkpoint_path
 
     started = {}
 
     def announce(server) -> None:
         started["server"] = server
-        print(json.dumps({"listening": f"{host}:{server.port}",
-                          "estimators": service.names(),
-                          "max_batch": args.max_batch,
-                          "max_queue": args.max_queue}), flush=True)
+        banner = {"listening": f"{host}:{server.port}",
+                  "estimators": service.names(),
+                  "max_batch": args.max_batch,
+                  "max_queue": args.max_queue}
+        if recovery is not None:
+            banner["wal"] = {"dir": args.wal_dir, "sync": args.wal_sync,
+                             "recovery": recovery}
+        print(json.dumps(banner), flush=True)
 
     try:
         # Signal handlers make SIGTERM/SIGINT a graceful drain: the server
@@ -698,7 +733,7 @@ def _run_serve_listen(args, service) -> int:
         # returns normally so the final snapshot below reflects every
         # acknowledged write.  KeyboardInterrupt stays as a fallback for
         # platforms without loop signal-handler support.
-        asyncio.run(serve(service, config=config, snapshot_path=args.snapshot,
+        asyncio.run(serve(service, config=config, snapshot_path=snapshot_path,
                           snapshot_format=args.format, ready=announce,
                           install_signal_handlers=True))
     except KeyboardInterrupt:
@@ -712,13 +747,69 @@ def _run_serve_listen(args, service) -> int:
 
 
 def _run_serve(args) -> int:
-    service, _ = _load_or_create_service(args.snapshot, args.shards)
+    recovery = None
+    if args.wal_dir is not None:
+        from repro.wal.recovery import default_checkpoint_path, recover_service
+
+        # Durable serving: the snapshot (explicit, or the in-WAL-directory
+        # checkpoint base) plus the log tail reconstruct every
+        # acknowledged write, torn tail excluded.
+        base = args.snapshot or default_checkpoint_path(args.wal_dir)
+        service, report = recover_service(
+            args.wal_dir, base, sync=args.wal_sync,
+            checkpoint_path=base,
+            checkpoint_boxes=args.wal_checkpoint_boxes,
+            num_shards=args.shards)
+        recovery = report.as_dict()
+    else:
+        service, _ = _load_or_create_service(args.snapshot, args.shards)
     if args.listen is not None:
-        return _run_serve_listen(args, service)
+        return _run_serve_listen(args, service, recovery=recovery)
     return service_command_loop(service, sys.stdin, sys.stdout,
                                 snapshot_path=args.snapshot,
                                 save_on_exit=args.save_on_exit,
                                 snapshot_format=args.format)
+
+
+def _run_wal_inspect(args) -> int:
+    """The ``wal`` command: a JSON report of a log directory's contents."""
+    from repro.wal.framing import decode_payload
+    from repro.wal.reader import list_segments, scan_segment
+
+    segments = []
+    records = 0
+    boxes = 0
+    last_seqno = 0
+    torn_bytes = 0
+    events = []
+    for path in list_segments(args.dir):
+        scan = scan_segment(path)
+        segments.append({"path": path, "records": len(scan.records),
+                         "valid_bytes": scan.valid_bytes,
+                         "truncated_bytes": scan.truncated_bytes})
+        torn_bytes += scan.truncated_bytes
+        for seqno, payload in scan.records:
+            if seqno <= args.since:
+                continue
+            event = decode_payload(payload)
+            records += 1
+            last_seqno = max(last_seqno, seqno)
+            if event["type"] == "update":
+                boxes += int(len(event["rows"]))
+            if args.events:
+                summary = {"seqno": seqno, "type": event["type"],
+                           "name": event["name"]}
+                if event["type"] == "update":
+                    summary.update(side=event["side"], kind=event["kind"],
+                                   rows=int(len(event["rows"])))
+                events.append(summary)
+    for line in events:
+        print(json.dumps(line))
+    print(json.dumps({"dir": args.dir, "since": args.since,
+                      "segments": segments, "records": records,
+                      "boxes": boxes, "last_seqno": last_seqno,
+                      "torn_bytes": torn_bytes}, indent=2))
+    return 0
 
 
 # -- cluster commands ----------------------------------------------------------------
@@ -856,6 +947,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_estimate(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "wal":
+            return _run_wal_inspect(args)
         if args.command == "cluster":
             return _run_cluster(args)
     except FileNotFoundError as exc:

@@ -216,6 +216,33 @@ class ServiceClient:
             payload["path"] = str(path)
         return self.request(payload)
 
+    def checkpoint(self, path: str | None = None, *,
+                   format: str = "auto") -> dict:
+        """Snapshot + WAL truncation on a durably-serving server."""
+        payload: dict[str, Any] = {"op": "snapshot", "checkpoint": True,
+                                   "format": format}
+        if path is not None:
+            payload["path"] = str(path)
+        return self.request(payload)
+
+    def wal_describe(self) -> dict:
+        """The server's WAL summary (``None`` when serving without one)."""
+        return self.request({"op": "wal"})
+
+    def wal_fetch(self, since: int = 0) -> dict:
+        """Fetch the framed log tail after ``since`` (log shipping).
+
+        The reply's ``data`` field is base64 record bytes; ``truncated``
+        means a checkpoint dropped part of the requested range and the
+        caller must bootstrap from a snapshot instead.
+        """
+        return self.request({"op": "wal", "fetch": True, "since": int(since)})
+
+    def wal_apply(self, data: str) -> dict:
+        """Replay a fetched tail (``data`` as returned by :meth:`wal_fetch`)
+        into this server — the follower half of log shipping."""
+        return self.request({"op": "wal", "apply": data})
+
     def cluster_status(self) -> dict:
         """Fleet topology of a cluster router (see :mod:`repro.cluster`)."""
         return self.request({"op": "cluster_status"})

@@ -54,15 +54,25 @@ class WorkerProcess:
 
 def spawn_worker(*, snapshot: str | None = None, shards: int = 4,
                  max_batch: int = 64, max_delay_ms: float = 2.0,
-                 host: str = "127.0.0.1",
+                 host: str = "127.0.0.1", wal_dir: str | None = None,
+                 wal_sync: str | None = None,
                  extra_args: tuple[str, ...] = ()) -> WorkerProcess:
-    """Start one ``serve --listen`` worker subprocess on a free port."""
+    """Start one ``serve --listen`` worker subprocess on a free port.
+
+    ``wal_dir`` makes the worker durable (``serve --wal-dir``): it
+    recovers from the directory on start and write-ahead-logs every
+    ingest; ``wal_sync`` picks the flush discipline (none/flush/fsync).
+    """
     command = [sys.executable, "-m", "repro.cli", "serve",
                "--listen", f"{host}:0", "--shards", str(shards),
                "--max-batch", str(max_batch),
                "--max-delay-ms", str(max_delay_ms)]
     if snapshot is not None:
         command += ["--snapshot", str(snapshot)]
+    if wal_dir is not None:
+        command += ["--wal-dir", str(wal_dir)]
+    if wal_sync is not None:
+        command += ["--wal-sync", str(wal_sync)]
     command += list(extra_args)
     process = subprocess.Popen(command, stdout=subprocess.PIPE,
                                stderr=subprocess.DEVNULL, env=_worker_env(),

@@ -161,10 +161,15 @@ class ClusterRouter:
         return info
 
     async def bootstrap_replica(self, name: str, host: str, port: int, *,
-                                source: str) -> WorkerInfo:
-        """Attach a read replica bootstrapped from a shard worker."""
+                                source: str, sync: str = "fanout"
+                                ) -> WorkerInfo:
+        """Attach a read replica bootstrapped from a shard worker.
+
+        ``sync="wal"`` attaches a log-shipped follower (caught up via
+        :meth:`ClusterManager.sync_follower`) instead of a fan-out mirror.
+        """
         return await self.manager.bootstrap_replica(name, host, port,
-                                                    source=source)
+                                                    source=source, sync=sync)
 
     async def _reconcile_specs(self, info: WorkerInfo) -> None:
         stats = await info.link.request_ok({"op": "stats"})

@@ -67,9 +67,10 @@ MAX_LINE_BYTES = 16 * 1024 * 1024
 ERROR_CODES = ("bad_request", "unknown_op", "overloaded", "degraded",
                "protocol", "internal", "error")
 
-#: Operations the server understands (``save`` is an alias of ``snapshot``).
+#: Operations the server understands (``save`` is an alias of ``snapshot``;
+#: ``wal`` fetches or applies log-shipping tails, or describes the log).
 OPS = ("register", "ingest", "estimate", "flush", "stats", "metrics",
-       "snapshot", "save", "reload", "ping", "quit")
+       "snapshot", "save", "reload", "wal", "ping", "quit")
 
 #: Additional operations a cluster router understands on top of :data:`OPS`.
 CLUSTER_OPS = ("cluster_status",)

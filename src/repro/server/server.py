@@ -395,18 +395,75 @@ class SketchServer:
             # Ship the binary v2 snapshot inline instead of writing a
             # server-side file — the replica-bootstrap path: a cluster
             # manager fetches a primary's snapshot and reloads it into a
-            # fresh worker over the wire.
-            data = await self._run_blocking(_snapshot_bytes, service)
+            # fresh worker over the wire.  ``wal_seqno`` names the log
+            # position the snapshot covers, so a WAL-synced follower knows
+            # where its log-shipped catch-up stream starts.
+            data, wal_seqno = await self._run_blocking(_snapshot_bytes,
+                                                       service)
             return protocol.ok_payload("snapshot", request,
                                        data=protocol.pack_bytes(data),
-                                       nbytes=len(data))
+                                       nbytes=len(data), wal_seqno=wal_seqno)
         path = request.get("path", self._snapshot_path)
         if not path:
             raise ServiceError(
                 "snapshot needs a path (or start the server with one)")
         format = request.get("format", self._snapshot_format)
+        if request.get("checkpoint"):
+            # Snapshot + WAL truncation in one atomic administrative step.
+            info = await self._run_blocking(
+                lambda: service.checkpoint(path, format=format))
+            return protocol.ok_payload("snapshot", request, checkpoint=True,
+                                       **info)
         await self._run_blocking(lambda: service.save(path, format=format))
         return protocol.ok_payload("snapshot", request, path=str(path))
+
+    async def _op_wal(self, request: dict) -> dict:
+        from repro.wal.reader import records_from_tail_bytes, wal_records_since
+        from repro.wal.recovery import apply_wal_record
+        from repro.wal.framing import decode_payload
+
+        service = self._service
+        wal = service.wal
+        if request.get("fetch"):
+            # Log shipping: the framed record tail after ``since``, the
+            # incremental alternative to a full snapshot fetch.  A
+            # ``truncated`` reply means a checkpoint already dropped part
+            # of the requested range — the caller must bootstrap from a
+            # snapshot instead.
+            if wal is None:
+                raise ServiceError("server has no WAL attached "
+                                   "(start with --wal-dir)")
+            since = int(request.get("since", 0))
+            wal.flush()  # segment readers only see what reached the OS
+            tail = await self._run_blocking(wal_records_since, wal.directory,
+                                            since)
+            return protocol.ok_payload(
+                "wal", request, since=tail.since, count=tail.count,
+                first_seqno=tail.first_seqno, last_seqno=tail.last_seqno,
+                truncated=tail.truncated, nbytes=tail.nbytes,
+                data=protocol.pack_bytes(tail.data))
+        if "apply" in request:
+            # Follower side of log shipping: replay a shipped tail through
+            # the normal ingest path (so it lands in this server's own WAL
+            # when one is attached).
+            raw = protocol.unpack_bytes(str(request["apply"]))
+
+            def apply() -> tuple[int, int, int]:
+                records = records_from_tail_bytes(raw)
+                boxes = 0
+                for _seqno, payload in records:
+                    boxes += apply_wal_record(service, decode_payload(payload))
+                if records:
+                    service.flush()
+                return (len(records), boxes,
+                        records[-1][0] if records else 0)
+
+            count, boxes, last = await self._run_blocking(apply)
+            return protocol.ok_payload("wal", request, applied_records=count,
+                                       applied_boxes=boxes,
+                                       source_last_seqno=last)
+        return protocol.ok_payload(
+            "wal", request, wal=wal.describe() if wal is not None else None)
 
     async def _op_reload(self, request: dict) -> dict:
         data = request.get("data")
@@ -419,16 +476,31 @@ class SketchServer:
                     "server with a snapshot path)")
         assert self._reload_lock is not None
         async with self._reload_lock:
+            old = self._service
+            wal = old.wal
+            fields: dict = {}
             if data is not None:
                 raw = protocol.unpack_bytes(str(data))
-                fresh = await self._run_blocking(_service_from_bytes, raw)
-            else:
+                if wal is None:
+                    fresh = await self._run_blocking(_service_from_bytes, raw)
+                else:
+                    fresh, fields = await self._run_blocking(
+                        _adopt_inline_reload, self, old, raw)
+                fields["source"] = "inline"
+            elif wal is None:
                 fresh = await self._run_blocking(EstimationService.load, path)
+                fields["path"] = str(path)
+            else:
+                # Snapshot + replay: the reloaded state is the snapshot
+                # brought forward through the local WAL tail, so a
+                # hot-reload drops none of the writes logged since the
+                # snapshot was taken.
+                fresh, fields = await self._run_blocking(
+                    _replay_path_reload, old, str(path))
             # Atomic swap: requests already queued keep their futures;
             # everything dispatched from here answers from the new state.
             self._service = fresh
         self.metrics.reloads += 1
-        fields = {"path": str(path)} if data is None else {"source": "inline"}
         return protocol.ok_payload("reload", request,
                                    estimators=fresh.names(), **fields)
 
@@ -443,11 +515,13 @@ class SketchServer:
         "snapshot": _op_snapshot,
         "save": _op_snapshot,
         "reload": _op_reload,
+        "wal": _op_wal,
     }
 
 
-def _snapshot_bytes(service: EstimationService) -> bytes:
-    """The service's binary v2 snapshot as in-memory bytes."""
+def _snapshot_bytes(service: EstimationService) -> tuple[bytes, int]:
+    """The service's binary v2 snapshot as in-memory bytes, plus the WAL
+    sequence number it covers (0 when the service has no WAL attached)."""
     from repro.service.snapshot import write_binary_snapshot_state
 
     state = service.snapshot(arrays=True)
@@ -456,10 +530,59 @@ def _snapshot_bytes(service: EstimationService) -> bytes:
     try:
         write_binary_snapshot_state(state, tmp)
         with open(tmp, "rb") as handle:
-            return handle.read()
+            return handle.read(), int(state.get("wal_seqno", 0))
     finally:
         with contextlib.suppress(OSError):
             os.unlink(tmp)
+
+
+def _replay_path_reload(old: EstimationService, path: str
+                        ) -> tuple[EstimationService, dict]:
+    """Rebuild from a snapshot file and replay the local WAL tail.
+
+    The old service's writer is detached and closed first; in-flight
+    ingests racing the swap simply skip the (now absent) log — their
+    writes live only in the outgoing service, which is being replaced.
+    """
+    from repro.wal.recovery import recover_service
+
+    wal = old.wal
+    directory, sync = wal.directory, wal.sync
+    checkpoint_path = old.wal_checkpoint_path
+    checkpoint_boxes = old.wal_checkpoint_boxes
+    old.detach_wal()
+    fresh, report = recover_service(
+        directory, path, sync=sync, checkpoint_path=checkpoint_path,
+        checkpoint_boxes=checkpoint_boxes)
+    return fresh, {"path": path,
+                   "replayed_records": report.replayed_records,
+                   "replayed_boxes": report.replayed_boxes,
+                   "wal_seqno": report.last_seqno}
+
+
+def _adopt_inline_reload(server: "SketchServer", old: EstimationService,
+                         raw: bytes) -> tuple[EstimationService, dict]:
+    """Swap in a wire-shipped snapshot while keeping local durability.
+
+    The shipped state starts a new local lineage: the WAL is truncated
+    (its records describe the discarded state) and the snapshot is saved
+    as the local recovery base with the *local* log position embedded —
+    so a later crash recovers to exactly this bootstrap plus whatever the
+    follower logs afterwards.
+    """
+    fresh = _service_from_bytes(raw)
+    checkpoint_path = old.wal_checkpoint_path
+    checkpoint_boxes = old.wal_checkpoint_boxes
+    writer = old.detach_wal(close=False)
+    writer.truncate_through(writer.last_seqno)
+    fresh.attach_wal(writer, checkpoint_path=checkpoint_path,
+                     checkpoint_boxes=checkpoint_boxes)
+    from repro.wal.recovery import default_checkpoint_path
+
+    base = server._snapshot_path or default_checkpoint_path(writer.directory)
+    fresh.save(base, format="binary")
+    return fresh, {"recovery_base": str(base),
+                   "wal_seqno": writer.last_seqno}
 
 
 def _service_from_bytes(raw: bytes) -> EstimationService:

@@ -134,6 +134,21 @@ class IngestPipeline:
             self.flush(auto=True)
         return self._pending
 
+    def discard(self, name: str) -> int:
+        """Drop every buffered delta for *name*; returns boxes discarded.
+
+        Unregistering an estimator with updates still buffered must not
+        leave deltas behind — the next flush would try to apply them to a
+        spec that no longer exists.
+        """
+        dropped = 0
+        with self._lock:
+            for shard_deltas in self._deltas:
+                for key in [k for k in shard_deltas if k[0] == name]:
+                    dropped += sum(len(part) for part in shard_deltas.pop(key))
+            self._pending -= dropped
+        return dropped
+
     # -- flushing -----------------------------------------------------------------
 
     def flush(self, *, parallel: bool | None = None, auto: bool = False) -> FlushReport:

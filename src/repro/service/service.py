@@ -27,10 +27,13 @@ immutable merged views once built).
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Any, Mapping
+
+import numpy as np
 
 from repro.core.program import ProgramExecutor
 from repro.core.result import EstimateResult
@@ -38,7 +41,13 @@ from repro.errors import ServiceError
 from repro.geometry.boxset import BoxSet
 from repro.geometry.rectangle import Rect
 from repro.service.ingest import FlushReport, IngestPipeline
-from repro.service.specs import EstimatorSpec, compile_programs, run_estimate
+from repro.service.specs import (
+    UPDATE_KINDS,
+    EstimatorSpec,
+    as_boxes,
+    compile_programs,
+    run_estimate,
+)
 from repro.service.store import ShardedSketchStore
 
 #: Capacity of a service's cross-batch letter-sum cache (executor entries).
@@ -118,6 +127,93 @@ class EstimationService:
         # and domain, so flushes never invalidate them; replaced views age
         # out of the LRU naturally.
         self._executor = ProgramExecutor(cache_size=PROGRAM_CACHE_SIZE)
+        # Durability (repro.wal): attached via attach_wal(); None = volatile.
+        self._wal: Any = None
+        self._checkpoint_path: str | None = None
+        self._checkpoint_boxes: int | None = None
+
+    # -- durability ---------------------------------------------------------------
+
+    @property
+    def wal(self) -> Any:
+        """The attached :class:`~repro.wal.writer.WalWriter` (or ``None``)."""
+        return self._wal
+
+    @property
+    def wal_checkpoint_path(self) -> str | None:
+        """Default target of :meth:`checkpoint` (set by :meth:`attach_wal`)."""
+        return self._checkpoint_path
+
+    @property
+    def wal_checkpoint_boxes(self) -> int | None:
+        """Auto-checkpoint row threshold (``None`` = manual only)."""
+        return self._checkpoint_boxes
+
+    def attach_wal(self, writer: Any, *, checkpoint_path=None,
+                   checkpoint_boxes: int | None = None) -> None:
+        """Make every mutation durable through a write-ahead log.
+
+        Once attached, ingest appends each update batch to the log *before*
+        buffering it (write-ahead: no counter mutation can outrun the log),
+        and register/unregister events are logged too, so snapshot + replay
+        reconstructs the full estimator set.  ``checkpoint_path`` plus
+        ``checkpoint_boxes`` enables auto-checkpointing: once that many
+        update rows accumulate in the log, the service snapshots itself and
+        truncates the log (see :meth:`checkpoint`).
+        """
+        if checkpoint_boxes is not None and checkpoint_boxes < 1:
+            raise ServiceError("checkpoint_boxes must be positive (or None)")
+        with self._lock:
+            if self._wal is not None:
+                raise ServiceError("service already has a WAL attached")
+            self._wal = writer
+            self._checkpoint_path = (os.fspath(checkpoint_path)
+                                     if checkpoint_path is not None else None)
+            self._checkpoint_boxes = checkpoint_boxes
+
+    def detach_wal(self, *, close: bool = True) -> Any:
+        """Detach (and by default close) the WAL; returns the writer."""
+        with self._lock:
+            writer, self._wal = self._wal, None
+            self._checkpoint_path = None
+            self._checkpoint_boxes = None
+        if writer is not None and close:
+            writer.close()
+        return writer
+
+    def checkpoint(self, path=None, *, format: str = "auto") -> dict:
+        """Snapshot to ``path`` and truncate the WAL through the covered seqno.
+
+        The snapshot embeds the log position it covers (``wal_seqno``); the
+        log is then truncated through that position, so recovery replays
+        only the tail written since.  The service lock is held across the
+        flush, capture *and* file write — a brief stop-the-world pause that
+        guarantees no append slips between the captured sequence number and
+        the tensors on disk.
+        """
+        from repro.service.snapshot import save_snapshot
+
+        if self._wal is None:
+            raise ServiceError("checkpoint requires an attached WAL "
+                               "(see attach_wal)")
+        target = path if path is not None else self._checkpoint_path
+        if target is None:
+            raise ServiceError("no checkpoint path given or configured")
+        with self._lock:
+            save_snapshot(self, target, format=format)
+            seqno = self._wal.last_seqno
+        removed = self._wal.truncate_through(seqno)
+        return {
+            "path": os.fspath(target),
+            "wal_seqno": seqno,
+            "segments_removed": removed,
+        }
+
+    def _maybe_checkpoint(self) -> None:
+        if (self._wal is not None and self._checkpoint_boxes is not None
+                and self._checkpoint_path is not None
+                and self._wal.appended_boxes >= self._checkpoint_boxes):
+            self.checkpoint()
 
     # -- introspection ------------------------------------------------------------
 
@@ -165,7 +261,13 @@ class EstimationService:
     def describe(self) -> dict:
         """A JSON-friendly summary (used by the CLI's ``stats`` op)."""
         with self._lock:
+            wal = None
+            if self._wal is not None:
+                wal = self._wal.describe()
+                wal["checkpoint_path"] = self._checkpoint_path
+                wal["checkpoint_boxes"] = self._checkpoint_boxes
             return {
+                "wal": wal,
                 "num_shards": self.num_shards,
                 "pending": self.pending,
                 "estimators": {name: self._store.spec(name).to_dict()
@@ -197,12 +299,17 @@ class EstimationService:
             raise ServiceError("pass either a spec or inline arguments, not both")
         with self._lock:
             self._store.register(name, spec)
+            if self._wal is not None:
+                self._wal.append_register(name, spec.to_dict())
         return spec
 
     def unregister(self, name: str) -> None:
         with self._lock:
             self._store.unregister(name)
+            self._pipeline.discard(name)
             self._views.pop(name, None)
+            if self._wal is not None:
+                self._wal.append_unregister(name)
 
     # -- ingestion ----------------------------------------------------------------
 
@@ -212,12 +319,35 @@ class EstimationService:
 
         Crossing ``flush_threshold`` buffered boxes triggers an automatic
         batched flush.
+
+        With a WAL attached the batch is validated, logged, and *then*
+        buffered — all under the service lock, so a snapshot's embedded
+        ``wal_seqno`` can never claim a record whose boxes it does not
+        hold (and vice versa).  The log write precedes every counter
+        mutation: write-ahead in the strict sense.
         """
-        pending = self._pipeline.submit(name, boxes, side=side, kind=kind)
-        with self._lock:
-            self._stats.ingested_boxes += len(boxes)
+        if self._wal is None:
+            pending = self._pipeline.submit(name, boxes, side=side, kind=kind)
+            with self._lock:
+                self._stats.ingested_boxes += len(boxes)
+        else:
+            # Validate up front so a rejected batch never reaches the log.
+            spec = self._store.spec(name)
+            side = spec.info.resolve_side(side)
+            if kind not in UPDATE_KINDS:
+                raise ServiceError(
+                    f"update kind must be one of {UPDATE_KINDS}, got {kind!r}")
+            boxes = as_boxes(boxes)
+            with self._lock:
+                if len(boxes):
+                    self._wal.append_update(
+                        name, side, kind, np.hstack((boxes.lows, boxes.highs)))
+                pending = self._pipeline.submit(name, boxes, side=side,
+                                                kind=kind)
+                self._stats.ingested_boxes += len(boxes)
         if self._flush_threshold is not None and pending >= self._flush_threshold:
             self.flush(auto=True)
+        self._maybe_checkpoint()
         return self._pipeline.pending
 
     def insert(self, name: str, boxes, *, side: str = "left") -> int:
@@ -401,13 +531,24 @@ class EstimationService:
         ``arrays=True`` keeps the counters as contiguous tensors for the
         binary snapshot writer.  Pending (unflushed) updates are flushed
         first so the snapshot reflects everything ingested so far.
+
+        With a WAL attached the state carries the log position it covers
+        (``wal_seqno``), captured under the same lock hold as the flush —
+        the anchor ``load snapshot + replay tail`` recovery resumes from.
         """
         from repro.service.snapshot import service_snapshot
 
-        if self._pipeline.pending:
-            self.flush()
+        if self._wal is None:
+            if self._pipeline.pending:
+                self.flush()
+            with self._lock:
+                return service_snapshot(self, arrays=arrays)
         with self._lock:
-            return service_snapshot(self, arrays=arrays)
+            if self._pipeline.pending:
+                self.flush()
+            state = service_snapshot(self, arrays=arrays)
+            state["wal_seqno"] = self._wal.last_seqno
+        return state
 
     def save(self, path, *, format: str = "auto") -> None:
         """Write a snapshot file atomically (binary v2 or JSON v1).

@@ -1,0 +1,66 @@
+"""Write-ahead logging and snapshot+replay recovery.
+
+The durability layer of the sketch service.  The source paper's turnstile
+stream model (inserts *and* deletes as signed updates) makes replay-based
+recovery exact by construction: sketch counters are linear in the update
+stream and integer-valued in float64, so re-applying a log of raw update
+rows to a snapshot reproduces the counter tensors **bit-identically**,
+independent of replay batching or order.
+
+* :mod:`repro.wal.framing` — the on-disk record format: length-prefixed,
+  CRC-checked records with monotonic sequence numbers, each carrying one
+  batched update (raw int64 box tensor) or a registration event,
+* :mod:`repro.wal.writer` — the append-only segmented writer with
+  configurable sync modes (``none`` / ``flush`` / ``fsync``),
+* :mod:`repro.wal.reader` — segment scanning with torn/corrupt tail
+  detection (CRC) and tail fetches for cluster log shipping,
+* :mod:`repro.wal.recovery` — ``load snapshot + replay tail`` service
+  recovery and the checkpoint (snapshot + log truncation) helper.
+"""
+
+from repro.wal.framing import (
+    WAL_MAGIC,
+    decode_payload,
+    encode_record,
+    encode_register,
+    encode_unregister,
+    encode_update,
+    iter_buffer_records,
+)
+from repro.wal.reader import (
+    SegmentScan,
+    WalTail,
+    read_wal_records,
+    scan_segment,
+    wal_records_since,
+)
+from repro.wal.recovery import (
+    RecoveryReport,
+    apply_wal_record,
+    checkpoint_service,
+    recover_service,
+    replay_records,
+)
+from repro.wal.writer import SYNC_MODES, WalWriter
+
+__all__ = [
+    "WAL_MAGIC",
+    "SYNC_MODES",
+    "SegmentScan",
+    "RecoveryReport",
+    "WalTail",
+    "WalWriter",
+    "apply_wal_record",
+    "checkpoint_service",
+    "decode_payload",
+    "encode_record",
+    "encode_register",
+    "encode_unregister",
+    "encode_update",
+    "iter_buffer_records",
+    "read_wal_records",
+    "recover_service",
+    "replay_records",
+    "scan_segment",
+    "wal_records_since",
+]

@@ -1,0 +1,166 @@
+"""On-disk framing of write-ahead log records.
+
+A WAL segment file is the magic line :data:`WAL_MAGIC` followed by a run
+of records.  Each record is::
+
+    <Q seqno> <I payload_len> <payload bytes> <I crc32(header + payload)>
+
+— length-prefixed and CRC-checked, with a strictly monotonic sequence
+number, in the style of the binary snapshot container (JSON header + raw
+tensor bytes; see :mod:`repro.service.snapshot`).  The trailing CRC covers
+the header *and* the payload, so a torn write (crash mid-append), a
+truncated file, or any bit flip in the tail is detected and the reader
+stops at the last intact record: recovery keeps exactly the durable prefix
+of the stream.
+
+Payloads are self-describing: a length-prefixed JSON header (event type,
+estimator name, update routing, tensor dtype/shape) followed by the raw
+update-row tensor exactly as ingested — replaying never re-encodes boxes,
+so the replayed counters are bit-identical to the never-crashed service.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import SnapshotError
+
+#: First bytes of every WAL segment file.
+WAL_MAGIC = b"REPROWAL1\n"
+
+#: Record header: little-endian uint64 seqno + uint32 payload length.
+_RECORD_HEADER = struct.Struct("<QI")
+#: Trailing checksum: crc32 over header + payload.
+_RECORD_CRC = struct.Struct("<I")
+#: Payload prefix: uint32 length of the JSON event header.
+_PAYLOAD_HEADER = struct.Struct("<I")
+
+#: Sanity bound on one record's payload (a 16 MiB ingest line fits well).
+MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
+
+#: Event types a record may carry.
+RECORD_TYPES = ("update", "register", "unregister")
+
+
+class WalFormatError(SnapshotError):
+    """A WAL segment is malformed beyond a recoverable torn tail."""
+
+
+# -- record framing --------------------------------------------------------------
+
+
+def encode_record(seqno: int, payload: bytes) -> bytes:
+    """One framed record: header + payload + trailing CRC."""
+    if seqno < 1:
+        raise WalFormatError("WAL sequence numbers start at 1")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise WalFormatError(
+            f"WAL payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte record bound")
+    header = _RECORD_HEADER.pack(seqno, len(payload))
+    crc = zlib.crc32(payload, zlib.crc32(header))
+    return header + payload + _RECORD_CRC.pack(crc)
+
+
+def iter_buffer_records(buffer: bytes, *, offset: int = 0
+                        ) -> Iterator[tuple[int, bytes, int]]:
+    """Yield ``(seqno, payload, end_offset)`` for every intact record.
+
+    Iteration stops silently at the first torn, truncated or
+    CRC-corrupted record — the caller sees exactly the durable prefix.
+    The last yielded ``end_offset`` is the byte position up to which the
+    buffer is known-good (where a writer may safely resume appending).
+    """
+    view = memoryview(buffer)
+    total = len(view)
+    while True:
+        if offset + _RECORD_HEADER.size > total:
+            return
+        seqno, length = _RECORD_HEADER.unpack_from(view, offset)
+        end = offset + _RECORD_HEADER.size + length + _RECORD_CRC.size
+        if length > MAX_PAYLOAD_BYTES or end > total:
+            return
+        payload = bytes(view[offset + _RECORD_HEADER.size:end - _RECORD_CRC.size])
+        (stored_crc,) = _RECORD_CRC.unpack_from(view, end - _RECORD_CRC.size)
+        computed = zlib.crc32(
+            payload, zlib.crc32(bytes(view[offset:offset + _RECORD_HEADER.size])))
+        if stored_crc != computed:
+            return
+        yield seqno, payload, end
+        offset = end
+
+
+# -- payload encoding ------------------------------------------------------------
+
+
+def _pack_payload(header: Mapping[str, Any], raw: bytes = b"") -> bytes:
+    encoded = json.dumps(dict(header), separators=(",", ":")).encode("utf-8")
+    return _PAYLOAD_HEADER.pack(len(encoded)) + encoded + raw
+
+
+def encode_update(name: str, side: str, kind: str, rows: np.ndarray) -> bytes:
+    """An ``update`` payload: JSON event header + the raw int64 row tensor.
+
+    ``rows`` is the ``(count, 2 * dim)`` concatenation of box lows and
+    highs — the exact wire/row form that ingest decodes, so replay feeds
+    byte-identical coordinates back through the same code path.
+    """
+    array = np.ascontiguousarray(rows, dtype=np.int64)
+    if array.ndim != 2:
+        raise WalFormatError("update rows must be a (count, 2*dim) tensor")
+    return _pack_payload({
+        "type": "update",
+        "name": str(name),
+        "side": str(side),
+        "kind": str(kind),
+        "shape": list(array.shape),
+    }, array.tobytes())
+
+
+def encode_register(name: str, spec_dict: Mapping[str, Any]) -> bytes:
+    """A ``register`` payload: the estimator spec as its JSON dict."""
+    return _pack_payload({"type": "register", "name": str(name),
+                          "spec": dict(spec_dict)})
+
+
+def encode_unregister(name: str) -> bytes:
+    return _pack_payload({"type": "unregister", "name": str(name)})
+
+
+def decode_payload(payload: bytes) -> dict:
+    """The event dict of one record payload.
+
+    ``update`` events come back with a ``rows`` int64 ndarray rebuilt from
+    the raw tensor bytes; ``register`` events carry their ``spec`` dict.
+    """
+    if len(payload) < _PAYLOAD_HEADER.size:
+        raise WalFormatError("WAL payload too short for its header")
+    (header_len,) = _PAYLOAD_HEADER.unpack_from(payload)
+    body_start = _PAYLOAD_HEADER.size + header_len
+    if body_start > len(payload):
+        raise WalFormatError("WAL payload header overruns the record")
+    try:
+        event = json.loads(payload[_PAYLOAD_HEADER.size:body_start]
+                           .decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WalFormatError(f"corrupt WAL event header: {exc}") from exc
+    if not isinstance(event, dict) or event.get("type") not in RECORD_TYPES:
+        raise WalFormatError(f"unknown WAL event in record: {event!r}")
+    if event["type"] == "update":
+        try:
+            shape = tuple(int(extent) for extent in event["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WalFormatError(f"malformed update record: {exc}") from exc
+        expected = int(np.prod(shape, dtype=np.int64)) * 8
+        raw = payload[body_start:]
+        if len(raw) != expected or any(extent < 0 for extent in shape):
+            raise WalFormatError(
+                f"update tensor bytes ({len(raw)}) do not match the "
+                f"declared shape {shape}")
+        event["rows"] = np.frombuffer(raw, dtype=np.int64).reshape(shape)
+    return event

@@ -1,0 +1,170 @@
+"""Scanning WAL segments: durable-prefix reads and tail fetches.
+
+Readers are deliberately forgiving about the *tail* of a log — a torn
+final record is what a crash mid-append leaves behind, and the CRC framing
+turns it into a clean truncation point — and strict about everything else
+(a file without the WAL magic is an error, not an empty log).
+
+:func:`wal_records_since` is the log-shipping primitive: the raw,
+still-framed bytes of every record after a sequence number, exactly what
+the ``wal`` server verb ships to a catching-up cluster follower.  When the
+requested position has already been checkpoint-truncated away the tail is
+flagged ``truncated`` so the caller falls back to snapshot bootstrap.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.wal.framing import (
+    WAL_MAGIC,
+    WalFormatError,
+    encode_record,
+    iter_buffer_records,
+)
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+
+
+def segment_path(directory, start_seqno: int) -> str:
+    """The canonical path of the segment starting at ``start_seqno``."""
+    return os.path.join(os.fspath(directory),
+                        f"{_SEGMENT_PREFIX}{start_seqno:020d}{_SEGMENT_SUFFIX}")
+
+
+def segment_start(path) -> int:
+    """The first sequence number a segment file may contain (from its name)."""
+    stem = os.path.basename(os.fspath(path))
+    return int(stem[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+
+
+def list_segments(directory) -> list[str]:
+    """Every segment file of a WAL directory, in sequence order."""
+    directory = os.fspath(directory)
+    if not os.path.isdir(directory):
+        return []
+    names = [name for name in os.listdir(directory)
+             if name.startswith(_SEGMENT_PREFIX)
+             and name.endswith(_SEGMENT_SUFFIX)]
+    return [os.path.join(directory, name) for name in sorted(names)]
+
+
+@dataclass(frozen=True)
+class SegmentScan:
+    """What one segment file actually holds.
+
+    ``records`` is the durable prefix as ``(seqno, payload)`` pairs;
+    ``valid_bytes`` is where that prefix ends in the file and
+    ``truncated_bytes`` how many torn/corrupt bytes follow it (0 for a
+    cleanly-closed segment).
+    """
+
+    path: str
+    records: tuple[tuple[int, bytes], ...]
+    valid_bytes: int
+    truncated_bytes: int
+
+    @property
+    def truncated(self) -> bool:
+        return self.truncated_bytes > 0
+
+
+def scan_segment(path) -> SegmentScan:
+    """Read one segment's durable prefix, stopping at any torn tail."""
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        buffer = handle.read()
+    if not buffer.startswith(WAL_MAGIC):
+        raise WalFormatError(f"{path} is not a WAL segment (bad magic bytes)")
+    records: list[tuple[int, bytes]] = []
+    valid = len(WAL_MAGIC)
+    for seqno, payload, end in iter_buffer_records(buffer,
+                                                   offset=len(WAL_MAGIC)):
+        records.append((seqno, payload))
+        valid = end
+    return SegmentScan(path=path, records=tuple(records), valid_bytes=valid,
+                       truncated_bytes=len(buffer) - valid)
+
+
+def read_wal_records(directory, *, since: int = 0
+                     ) -> list[tuple[int, bytes]]:
+    """All durable ``(seqno, payload)`` records after ``since``, in order."""
+    records: list[tuple[int, bytes]] = []
+    for path in list_segments(directory):
+        for seqno, payload in scan_segment(path).records:
+            if seqno > since:
+                records.append((seqno, payload))
+    records.sort(key=lambda record: record[0])
+    return records
+
+
+@dataclass(frozen=True)
+class WalTail:
+    """A shippable log tail (the reply of ``wal fetch``).
+
+    ``data`` holds re-framed record bytes (magic-less — a pure record
+    run); ``truncated`` means the requested position predates the oldest
+    retained record, i.e. a checkpoint already dropped part of the
+    requested range and the follower must bootstrap from a snapshot.
+    """
+
+    since: int
+    first_seqno: int
+    last_seqno: int
+    count: int
+    data: bytes
+    truncated: bool
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+def wal_records_since(directory, since: int) -> WalTail:
+    """The framed tail after ``since``, with truncation detection.
+
+    The oldest *retained* record tells whether the request is servable:
+    if its sequence number is greater than ``since + 1`` the records in
+    between were checkpoint-truncated and the tail alone cannot catch a
+    follower up.
+    """
+    segments = list_segments(directory)
+    all_records = read_wal_records(directory, since=0)
+    oldest = all_records[0][0] if all_records else None
+    tail = [(seqno, payload) for seqno, payload in all_records
+            if seqno > since]
+    # The oldest segment's *name* is the authoritative floor: a checkpoint
+    # that emptied the log leaves a record-less segment whose start seqno
+    # still records what was dropped.
+    floor = segment_start(segments[0]) if segments else 1
+    truncated = floor > since + 1 or (oldest is not None and oldest > since + 1)
+    data = b"".join(encode_record(seqno, payload) for seqno, payload in tail)
+    return WalTail(
+        since=int(since),
+        first_seqno=tail[0][0] if tail else 0,
+        last_seqno=tail[-1][0] if tail else int(since),
+        count=len(tail),
+        data=data,
+        truncated=truncated,
+    )
+
+
+def records_from_tail_bytes(data: bytes) -> list[tuple[int, bytes]]:
+    """Decode a shipped :attr:`WalTail.data` blob back into records.
+
+    Unlike segment scanning, a shipped tail must be *wholly* intact — it
+    travelled over a checksummed transport, so a short or corrupt record
+    is an error, not a truncation.
+    """
+    records: list[tuple[int, bytes]] = []
+    consumed = 0
+    for seqno, payload, end in iter_buffer_records(data):
+        records.append((seqno, payload))
+        consumed = end
+    if consumed != len(data):
+        raise WalFormatError(
+            f"shipped WAL tail is corrupt: {len(data) - consumed} trailing "
+            f"bytes do not frame a record")
+    return records

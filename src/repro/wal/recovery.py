@@ -1,0 +1,185 @@
+"""Snapshot + replay recovery and the checkpoint lifecycle.
+
+Recovery is ``load snapshot + replay tail``: restore the newest snapshot
+(whose header records the WAL sequence number it covers), then re-apply
+every durable log record *after* that position through the normal ingest
+path.  Because sketch counters are linear in the update stream and
+integer-valued in float64, the replayed counter tensors are bit-identical
+to the never-crashed service — independent of replay batching or order.
+
+The checkpoint is the inverse half: :func:`checkpoint_service` snapshots
+the service (embedding the covered sequence number) and then truncates the
+log through it, keeping recovery cost proportional to the tail written
+since the last checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.geometry.boxset import BoxSet
+from repro.wal.framing import WalFormatError, decode_payload
+from repro.wal.reader import list_segments, read_wal_records, scan_segment
+from repro.wal.writer import WalWriter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.service import EstimationService
+
+
+#: Well-known snapshot filename inside a WAL directory: the recovery base
+#: used when no explicit snapshot path is configured (checkpoints and
+#: cluster bootstraps write it; recovery looks for it).
+CHECKPOINT_BASENAME = "checkpoint.sketch"
+
+
+def default_checkpoint_path(wal_dir) -> str:
+    """The in-directory recovery-base path for a WAL directory."""
+    return os.path.join(os.fspath(wal_dir), CHECKPOINT_BASENAME)
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one :func:`recover_service` call reconstructed."""
+
+    snapshot_path: str | None
+    base_seqno: int
+    last_seqno: int
+    replayed_records: int
+    replayed_boxes: int
+    truncated_bytes: int
+
+    def as_dict(self) -> dict:
+        return {
+            "snapshot_path": self.snapshot_path,
+            "base_seqno": self.base_seqno,
+            "last_seqno": self.last_seqno,
+            "replayed_records": self.replayed_records,
+            "replayed_boxes": self.replayed_boxes,
+            "truncated_bytes": self.truncated_bytes,
+        }
+
+
+def _rows_to_boxes(rows: np.ndarray) -> BoxSet:
+    """Rebuild the ingested BoxSet from a logged ``(count, 2*dim)`` tensor."""
+    if rows.ndim != 2 or rows.shape[1] % 2:
+        raise WalFormatError(
+            f"update tensor of shape {rows.shape} is not (count, 2*dim)")
+    dim = rows.shape[1] // 2
+    return BoxSet(np.ascontiguousarray(rows[:, :dim]),
+                  np.ascontiguousarray(rows[:, dim:]), validate=False)
+
+
+def apply_wal_record(service: "EstimationService", event: dict) -> int:
+    """Apply one decoded record event; returns the update rows it carried.
+
+    Registration replay is idempotent: a ``register`` for a name the
+    service already knows (it came from the snapshot, or the record is
+    being re-shipped to a follower) is skipped, and an ``unregister`` for
+    an unknown name is a no-op.  Updates go through the normal ingest path
+    so a service with its own WAL attached (a catching-up follower) logs
+    the shipped rows into its *own* durability stream.
+    """
+    from repro.service.specs import EstimatorSpec
+
+    record_type = event["type"]
+    name = event["name"]
+    if record_type == "register":
+        if name not in service:
+            service.register(name, EstimatorSpec.from_dict(event["spec"]))
+        return 0
+    if record_type == "unregister":
+        if name in service:
+            service.unregister(name)
+        return 0
+    rows = event["rows"]
+    if name not in service:
+        # The estimator was unregistered after this update was logged; the
+        # later unregister record supersedes it.
+        return 0
+    service.ingest(name, _rows_to_boxes(rows),
+                   side=event["side"], kind=event["kind"])
+    return int(len(rows))
+
+
+def replay_records(service: "EstimationService",
+                   records: Iterable[tuple[int, bytes]]) -> tuple[int, int, int]:
+    """Re-apply ``(seqno, payload)`` records; returns
+    ``(records, boxes, last_seqno)``."""
+    replayed = 0
+    boxes = 0
+    last_seqno = 0
+    for seqno, payload in records:
+        boxes += apply_wal_record(service, decode_payload(payload))
+        replayed += 1
+        last_seqno = seqno
+    if replayed:
+        service.flush()
+    return replayed, boxes, last_seqno
+
+
+def recover_service(wal_dir, snapshot_path=None, *, sync: str = "flush",
+                    attach: bool = True, flush_threshold: int | None = 8192,
+                    cache_size: int = 16, max_workers: int | None = None,
+                    num_shards: int = 4,
+                    checkpoint_path=None,
+                    checkpoint_boxes: int | None = None,
+                    ) -> tuple["EstimationService", RecoveryReport]:
+    """Rebuild a service as ``load snapshot + replay tail``.
+
+    The snapshot (when present) names the WAL position it covers in its
+    ``wal_seqno`` header field; only records *after* that position are
+    replayed, so a torn tail left by a crash costs exactly the writes that
+    were never acknowledged as durable.  With ``attach=True`` (default) a
+    :class:`WalWriter` resumes on the directory — truncating the torn
+    tail — and is attached to the recovered service, so it keeps logging
+    where the crashed process stopped.
+    """
+    from repro.service.service import EstimationService
+    from repro.service.snapshot import read_snapshot_state, restore_service
+
+    service_kwargs = dict(flush_threshold=flush_threshold,
+                          cache_size=cache_size, max_workers=max_workers)
+    base_seqno = 0
+    resolved_path: str | None = None
+    if snapshot_path is None:
+        # No explicit base: a checkpoint inside the directory (written by
+        # auto-checkpointing or a cluster bootstrap) is the recovery base.
+        snapshot_path = default_checkpoint_path(wal_dir)
+    if snapshot_path is not None and os.path.exists(os.fspath(snapshot_path)):
+        resolved_path = os.fspath(snapshot_path)
+        state = read_snapshot_state(resolved_path)
+        service = restore_service(state, **service_kwargs)
+        base_seqno = int(state.get("wal_seqno", 0))
+    else:
+        service = EstimationService(num_shards=num_shards, **service_kwargs)
+
+    truncated_bytes = sum(scan_segment(path).truncated_bytes
+                          for path in list_segments(wal_dir))
+    records = read_wal_records(wal_dir, since=base_seqno)
+    replayed, boxes, last_seqno = replay_records(service, records)
+    if attach:
+        writer = WalWriter(wal_dir, sync=sync)
+        service.attach_wal(writer, checkpoint_path=checkpoint_path,
+                           checkpoint_boxes=checkpoint_boxes)
+    report = RecoveryReport(
+        snapshot_path=resolved_path,
+        base_seqno=base_seqno,
+        last_seqno=max(last_seqno, base_seqno),
+        replayed_records=replayed,
+        replayed_boxes=boxes,
+        truncated_bytes=truncated_bytes,
+    )
+    return service, report
+
+
+def checkpoint_service(service: "EstimationService", path, *,
+                       format: str = "auto") -> dict:
+    """Snapshot the service and truncate its WAL through the covered seqno.
+
+    Thin functional wrapper over :meth:`EstimationService.checkpoint`.
+    """
+    return service.checkpoint(path, format=format)

@@ -18,6 +18,8 @@ from repro.cli import main
 
 DOMAIN = Domain.square(256, dimension=2)
 
+pytestmark = pytest.mark.e2e
+
 
 def make_service(*, data: int = 400) -> EstimationService:
     service = EstimationService(num_shards=2)

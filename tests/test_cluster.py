@@ -38,6 +38,8 @@ FAMILY_SIDES = {
     "contain": [("outer", 4), ("inner", 5)],
 }
 
+pytestmark = pytest.mark.e2e
+
 
 def _register_everywhere(client: ServiceClient,
                          reference: EstimationService) -> None:

@@ -1,0 +1,138 @@
+"""Log-shipped followers: incremental catch-up instead of snapshot re-ship.
+
+A ``sync="wal"`` replica bootstraps from its owner's snapshot once, then
+catches up by fetching and replaying the owner's WAL tail after its last
+synced sequence number.  The claims under test:
+
+* catch-up lands the follower **bit-identical** to the owner,
+* an incremental sync ships **fewer bytes** than a snapshot re-ship
+  (the whole point of log shipping),
+* a follower whose missed window was checkpoint-truncated away falls
+  back to a fresh snapshot bootstrap,
+* wal-mode followers are excluded from the write fan-out and the read
+  rotation until synced.
+"""
+
+import pytest
+
+from repro.client import ServiceClient
+from repro.cluster import RouterConfig, ThreadedClusterRouter
+from repro.core.domain import Domain
+from repro.server import ServerConfig, ThreadedServer
+from repro.service import EstimationService, synthetic_boxes, synthetic_queries
+from repro.wal import WalWriter
+
+pytestmark = pytest.mark.e2e
+
+DOMAIN = Domain.square(256, dimension=2)
+
+
+def durable_server(wal_dir) -> ThreadedServer:
+    service = EstimationService(num_shards=2)
+    service.attach_wal(WalWriter(wal_dir, sync="none"))
+    return ThreadedServer(service, config=ServerConfig(max_batch=16,
+                                                       max_delay=0.001)).start()
+
+
+@pytest.fixture()
+def owner_and_follower(tmp_path):
+    owner = durable_server(tmp_path / "owner-wal")
+    follower = durable_server(tmp_path / "follower-wal")
+    try:
+        yield owner, follower
+    finally:
+        for handle in (owner, follower):
+            handle.service.detach_wal()
+            handle.stop()
+
+
+@pytest.fixture()
+def router(owner_and_follower):
+    owner, _follower = owner_and_follower
+    with ThreadedClusterRouter([("127.0.0.1", owner.port)],
+                               config=RouterConfig(num_slots=16),
+                               start_heartbeat=False) as handle:
+        yield handle
+
+
+def test_follower_catches_up_by_log_shipping(owner_and_follower, router):
+    owner, follower = owner_and_follower
+    manager = router.router.manager
+    with ServiceClient("127.0.0.1", router.port) as client:
+        client.register("ranges", family="range", sizes=[256, 256],
+                        instances=32, seed=5)
+        client.ingest("ranges", synthetic_boxes(DOMAIN, 300, seed=1),
+                      side="data")
+        client.flush()
+        router.run(router.router.bootstrap_replica(
+            "f1", "127.0.0.1", follower.port, source="w0", sync="wal"))
+        info = manager.worker("f1")
+        assert info.sync_mode == "wal" and info.synced_seqno >= 2
+
+        # wal followers are outside the write fan-out and read rotation:
+        # the next ingest reaches the owner only.
+        assert [w.name for w in manager.writers("w0")] == ["w0"]
+        assert manager.reader("w0").name == "w0"
+        client.ingest("ranges", synthetic_boxes(DOMAIN, 120, seed=2),
+                      side="data")
+        client.flush()
+        assert follower.service.merged_view("ranges").count == 300
+
+        report = router.run(manager.sync_follower("f1"))
+        assert report["mode"] == "wal" and report["records"] >= 1
+        assert report["synced_seqno"] == info.synced_seqno
+
+    # Incremental catch-up ships fewer bytes than the snapshot bootstrap
+    # did — the point of log shipping.
+    transfers = {t["mode"]: t for t in manager.transfers}
+    assert transfers["wal"]["bytes"] < transfers["snapshot"]["bytes"]
+
+    # And the follower is now a bit-identical mirror.
+    queries = synthetic_queries(DOMAIN, 4, seed=9)
+    for index in range(4):
+        expected = owner.service.estimate("ranges", queries[index])
+        got = follower.service.estimate("ranges", queries[index])
+        assert got.estimate == expected.estimate
+
+
+def test_truncated_tail_falls_back_to_snapshot_bootstrap(
+        owner_and_follower, router, tmp_path):
+    owner, follower = owner_and_follower
+    manager = router.router.manager
+    with ServiceClient("127.0.0.1", router.port) as client:
+        client.register("ranges", family="range", sizes=[256, 256],
+                        instances=32, seed=5)
+        client.ingest("ranges", synthetic_boxes(DOMAIN, 200, seed=3),
+                      side="data")
+        client.flush()
+        router.run(router.router.bootstrap_replica(
+            "f1", "127.0.0.1", follower.port, source="w0", sync="wal"))
+
+        # The follower misses a window which a checkpoint then truncates
+        # out of the owner's log: the incremental path cannot cover it.
+        client.ingest("ranges", synthetic_boxes(DOMAIN, 150, seed=4),
+                      side="data")
+        client.flush()
+        owner.service.checkpoint(tmp_path / "owner-ckpt.sketch")
+
+        report = router.run(manager.sync_follower("f1"))
+        assert report["mode"] == "snapshot"
+
+    queries = synthetic_queries(DOMAIN, 2, seed=11)
+    for index in range(2):
+        expected = owner.service.estimate("ranges", queries[index])
+        got = follower.service.estimate("ranges", queries[index])
+        assert got.estimate == expected.estimate
+
+
+def test_sync_follower_rejects_fanout_replicas(owner_and_follower, router):
+    _owner, follower = owner_and_follower
+    from repro.errors import ServiceError
+
+    with ServiceClient("127.0.0.1", router.port) as client:
+        client.register("ranges", family="range", sizes=[256, 256],
+                        instances=16, seed=5)
+    router.run(router.router.bootstrap_replica(
+        "r1", "127.0.0.1", follower.port, source="w0"))
+    with pytest.raises(ServiceError):
+        router.run(router.router.manager.sync_follower("r1"))

@@ -1,0 +1,171 @@
+"""Crash-injection tests: ``kill -9`` a durable worker, recover, compare.
+
+The durability claim under test: after a hard kill (SIGKILL — no atexit,
+no flush, no goodbye), restarting a worker on the same ``--wal-dir``
+yields a service **bit-identical** to a never-crashed twin fed exactly
+the durable record stream.  With ``--wal-sync flush`` (or ``fsync``)
+every *acknowledged* ingest is durable; with ``none`` a crash may lose a
+buffered tail, but recovery must still land on a clean record prefix —
+never a torn or corrupted state.
+
+CI runs this file as a matrix over seeds and sync modes via the
+``DURABILITY_SEED`` / ``DURABILITY_WAL_SYNC`` environment variables, and
+uploads the WAL directory as an artifact (``DURABILITY_ARTIFACT_DIR``)
+when an assertion fails.
+"""
+
+import os
+import shutil
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.client import ServiceClient
+from repro.cluster.fleet import spawn_worker
+from repro.core.domain import Domain
+from repro.geometry.boxset import BoxSet
+from repro.wal import read_wal_records, recover_service
+
+pytestmark = pytest.mark.e2e
+
+DOMAIN = Domain.square(256, dimension=2)
+SEED = int(os.environ.get("DURABILITY_SEED", "0"))
+SYNC = os.environ.get("DURABILITY_WAL_SYNC", "flush")
+#: Acked ingests are durable under these modes even across SIGKILL.
+ACK_IS_DURABLE = SYNC in ("flush", "fsync")
+
+
+def batch(seed: int, count: int = 64) -> BoxSet:
+    rng = np.random.default_rng(seed)
+    lows = rng.integers(0, 256, size=(count, 2), dtype=np.int64)
+    extents = rng.integers(0, 32, size=(count, 2), dtype=np.int64)
+    highs = np.minimum(lows + extents, 255)
+    return BoxSet(np.minimum(lows, highs), highs)
+
+
+def queries(seed: int, count: int = 16) -> list[BoxSet]:
+    return [batch(10_000 + seed * 100 + index, 1) for index in range(count)]
+
+
+def export_artifacts(wal_dir) -> None:
+    """Copy the WAL directory somewhere CI can upload it."""
+    target = os.environ.get("DURABILITY_ARTIFACT_DIR")
+    if target:
+        dest = os.path.join(target, f"seed{SEED}-{SYNC}-{os.path.basename(wal_dir)}")
+        shutil.copytree(wal_dir, dest, dirs_exist_ok=True)
+
+
+class TestKillNineRecovery:
+    def test_recovery_matches_never_crashed_twin(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        worker = spawn_worker(wal_dir=wal_dir, wal_sync=SYNC, shards=2)
+        acked = 0
+        try:
+            with ServiceClient(worker.host, worker.port) as client:
+                client.register("ranges", family="range", sizes=[256, 256],
+                                instances=32, seed=5)
+                for index in range(6):
+                    client.ingest("ranges", batch(SEED * 1000 + index),
+                                  side="data")
+                    acked += 1
+
+                # Keep ingesting from a thread and SIGKILL mid-stream, so
+                # the log likely ends in a torn record.
+                stop = threading.Event()
+
+                def hammer():
+                    index = 100
+                    while not stop.is_set():
+                        try:
+                            client.ingest("ranges",
+                                          batch(SEED * 1000 + index),
+                                          side="data")
+                        except Exception:
+                            return
+                        index += 1
+
+                thread = threading.Thread(target=hammer, daemon=True)
+                thread.start()
+                time.sleep(0.25)
+                os.kill(worker.process.pid, signal.SIGKILL)
+                stop.set()
+                thread.join(timeout=30)
+            worker.process.wait(timeout=30)
+
+            # The never-crashed twin: replay the durable record stream
+            # into a fresh in-process service.  (This also truncates any
+            # torn tail, exactly as a restarted server would.)
+            twin, report = recover_service(wal_dir, attach=False,
+                                           num_shards=2)
+            if ACK_IS_DURABLE:
+                # Every acknowledged write survived the SIGKILL: one
+                # register + ``acked`` update records, at least.
+                assert report.last_seqno >= 1 + acked
+            twin.flush()
+            expected = [twin.estimate("ranges", q).estimate
+                        for q in queries(SEED)]
+
+            # Restart a worker on the crashed directory: its recovery
+            # must land on the same state, bit for bit.
+            revived = spawn_worker(wal_dir=wal_dir, wal_sync=SYNC, shards=2)
+            try:
+                recovery = revived.banner["wal"]["recovery"]
+                assert recovery["last_seqno"] == report.last_seqno
+                with ServiceClient(revived.host, revived.port) as client:
+                    got = [client.estimate("ranges", q).estimate
+                           for q in queries(SEED)]
+                assert got == expected
+            finally:
+                revived.stop()
+        except BaseException:
+            export_artifacts(wal_dir)
+            raise
+        finally:
+            worker.stop()
+
+    def test_checkpoint_then_crash_recovers_from_snapshot_plus_tail(
+            self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        worker = spawn_worker(wal_dir=wal_dir, wal_sync=SYNC, shards=2)
+        try:
+            with ServiceClient(worker.host, worker.port) as client:
+                client.register("ranges", family="range", sizes=[256, 256],
+                                instances=32, seed=5)
+                for index in range(4):
+                    client.ingest("ranges", batch(SEED * 2000 + index),
+                                  side="data")
+                info = client.checkpoint()
+                covered = info["wal_seqno"]
+                # Post-checkpoint writes live only in the WAL tail.
+                client.ingest("ranges", batch(SEED * 2000 + 50), side="data")
+                if ACK_IS_DURABLE:
+                    client.flush()
+            os.kill(worker.process.pid, signal.SIGKILL)
+            worker.process.wait(timeout=30)
+
+            if ACK_IS_DURABLE:
+                survivors = [s for s, _ in read_wal_records(wal_dir)]
+                assert survivors and min(survivors) == covered + 1
+
+            twin, report = recover_service(wal_dir, attach=False,
+                                           num_shards=2)
+            assert report.base_seqno == covered
+            twin.flush()
+            expected = [twin.estimate("ranges", q).estimate
+                        for q in queries(SEED + 1)]
+            revived = spawn_worker(wal_dir=wal_dir, wal_sync=SYNC, shards=2)
+            try:
+                with ServiceClient(revived.host, revived.port) as client:
+                    got = [client.estimate("ranges", q).estimate
+                           for q in queries(SEED + 1)]
+                assert got == expected
+            finally:
+                revived.stop()
+        except BaseException:
+            export_artifacts(wal_dir)
+            raise
+        finally:
+            worker.stop()

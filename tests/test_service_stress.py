@@ -7,9 +7,13 @@ service must hold up under exactly that mix from plain threads too.
 
 import threading
 
+import pytest
+
 from repro.core.domain import Domain
 from repro.service import EstimationService, ServiceStats, synthetic_boxes, \
     synthetic_queries
+
+pytestmark = pytest.mark.e2e
 
 DOMAIN = Domain.square(128, dimension=2)
 

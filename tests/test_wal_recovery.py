@@ -1,0 +1,317 @@
+"""Snapshot + replay recovery: the WAL threaded through service and server.
+
+The durability contract of :mod:`repro.wal` at the service level — every
+acknowledged write survives as ``snapshot + durable log tail``, replay is
+bit-identical (linear sketches, integer-valued counters), checkpoints
+bound the tail, and the server's ``wal``/``reload`` verbs expose the same
+machinery over the wire.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.domain import Domain
+from repro.errors import ServiceError
+from repro.server import protocol
+from repro.service import EstimationService, synthetic_boxes, synthetic_queries
+from repro.wal import (
+    WalWriter,
+    read_wal_records,
+    recover_service,
+    wal_records_since,
+)
+from repro.wal.reader import list_segments
+from repro.wal.recovery import default_checkpoint_path
+
+from tests.test_server import Connection, start_server
+
+DOMAIN = Domain.square(256, dimension=2)
+
+
+# Not durable state: "version" is a process-local cache-invalidation
+# counter (restore bumps it), "wal_seqno" is a log position.
+_EPHEMERAL_KEYS = {"version", "wal_seqno"}
+
+
+def assert_states_equal(left, right, path=""):
+    """Recursive bit-exact comparison of two snapshot state trees."""
+    if isinstance(left, dict):
+        keys = set(left) - _EPHEMERAL_KEYS
+        assert keys == set(right) - _EPHEMERAL_KEYS, f"{path}: keys differ"
+        for key in keys:
+            assert_states_equal(left[key], right[key], f"{path}/{key}")
+    elif isinstance(left, (list, tuple)):
+        assert len(left) == len(right), f"{path}: lengths differ"
+        for index, (a, b) in enumerate(zip(left, right)):
+            assert_states_equal(a, b, f"{path}[{index}]")
+    elif isinstance(left, np.ndarray):
+        assert left.dtype == right.dtype and left.shape == right.shape, path
+        assert (left == right).all(), f"{path}: tensor values differ"
+    else:
+        assert left == right, f"{path}: {left!r} != {right!r}"
+
+
+def durable_service(wal_dir, **attach_kwargs) -> EstimationService:
+    service = EstimationService(num_shards=2, flush_threshold=None)
+    service.attach_wal(WalWriter(wal_dir, sync="none"), **attach_kwargs)
+    service.register("ranges", family="range", domain=DOMAIN,
+                     num_instances=16, seed=5)
+    service.register("join", family="rectangle", domain=DOMAIN,
+                     num_instances=16, seed=7)
+    return service
+
+
+class TestServiceWalIntegration:
+    def test_every_mutation_is_logged(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        service = durable_service(wal_dir)
+        service.ingest("ranges", synthetic_boxes(DOMAIN, 50, seed=1),
+                       side="data")
+        service.unregister("join")
+        service.detach_wal()
+        types = []
+        from repro.wal import decode_payload
+        for _seqno, payload in read_wal_records(wal_dir):
+            types.append(decode_payload(payload)["type"])
+        assert types == ["register", "register", "update", "unregister"]
+
+    def test_snapshot_embeds_wal_seqno_only_when_attached(self, tmp_path):
+        plain = EstimationService(num_shards=2)
+        assert "wal_seqno" not in plain.snapshot()
+        service = durable_service(tmp_path / "wal")
+        state = service.snapshot()
+        assert state["wal_seqno"] == service.wal.last_seqno == 2
+        service.detach_wal()
+
+    def test_recovery_without_snapshot_replays_everything(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        service = durable_service(wal_dir)
+        service.ingest("ranges", synthetic_boxes(DOMAIN, 80, seed=2),
+                       side="data")
+        expected = service.snapshot(arrays=True)
+        service.detach_wal()
+
+        recovered, report = recover_service(wal_dir, num_shards=2)
+        assert report.base_seqno == 0 and report.replayed_boxes == 80
+        assert recovered.wal is not None
+        assert_states_equal(expected, recovered.snapshot(arrays=True))
+        recovered.detach_wal()
+
+    def test_checkpoint_truncates_and_recovery_replays_only_tail(
+            self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        snap = tmp_path / "ckpt.sketch"
+        service = durable_service(wal_dir, checkpoint_path=snap)
+        service.ingest("ranges", synthetic_boxes(DOMAIN, 200, seed=3),
+                       side="data")
+        info = service.checkpoint()
+        assert info["path"] == str(snap) and info["segments_removed"] == 1
+        covered = info["wal_seqno"]
+        service.ingest("ranges", synthetic_boxes(DOMAIN, 60, seed=4),
+                       side="data")
+        expected = service.snapshot(arrays=True)
+        service.detach_wal()
+
+        assert [s for s, _ in read_wal_records(wal_dir)] == [covered + 1]
+        recovered, report = recover_service(wal_dir, snap, num_shards=2)
+        assert report.base_seqno == covered
+        assert report.replayed_records == 1 and report.replayed_boxes == 60
+        assert_states_equal(expected, recovered.snapshot(arrays=True))
+        recovered.detach_wal()
+
+    def test_auto_checkpoint_by_appended_boxes(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        snap = tmp_path / "auto.sketch"
+        service = durable_service(wal_dir, checkpoint_path=snap,
+                                  checkpoint_boxes=100)
+        for seed in range(4):
+            service.ingest("ranges", synthetic_boxes(DOMAIN, 60, seed=seed),
+                           side="data")
+        # 60+60 crosses the threshold -> checkpoint -> counter resets.
+        assert os.path.exists(snap)
+        assert service.wal.appended_boxes < 100
+        service.detach_wal()
+
+    def test_unregister_supersedes_logged_updates(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        service = durable_service(wal_dir)
+        service.ingest("join", synthetic_boxes(DOMAIN, 40, seed=5),
+                       side="left")
+        service.unregister("join")
+        expected = service.snapshot(arrays=True)
+        service.detach_wal()
+
+        recovered, _report = recover_service(wal_dir, num_shards=2)
+        assert "join" not in recovered
+        assert_states_equal(expected, recovered.snapshot(arrays=True))
+        recovered.detach_wal()
+
+    def test_torn_tail_costs_only_unacknowledged_writes(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        service = durable_service(wal_dir)
+        service.ingest("ranges", synthetic_boxes(DOMAIN, 50, seed=6),
+                       side="data")
+        durable = service.snapshot(arrays=True)
+        service.detach_wal()
+        # A crash mid-append leaves a torn record: simulate with garbage.
+        with open(list_segments(wal_dir)[-1], "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef torn record")
+        recovered, report = recover_service(wal_dir, num_shards=2)
+        assert report.truncated_bytes > 0
+        state = recovered.snapshot(arrays=True)
+        assert_states_equal(durable, state)
+        recovered.detach_wal()
+
+    def test_checkpoint_requires_wal_and_path(self, tmp_path):
+        plain = EstimationService(num_shards=2)
+        with pytest.raises(ServiceError):
+            plain.checkpoint(tmp_path / "x.sketch")
+        service = durable_service(tmp_path / "wal")
+        with pytest.raises(ServiceError):
+            service.checkpoint()  # no path given or configured
+        service.detach_wal()
+
+    def test_double_attach_rejected(self, tmp_path):
+        service = durable_service(tmp_path / "wal")
+        with pytest.raises(ServiceError):
+            service.attach_wal(WalWriter(tmp_path / "other"))
+        service.detach_wal()
+
+
+class TestServerWalVerbs:
+    def test_wal_fetch_apply_and_describe(self, tmp_path):
+        """Log shipping over the wire: fetch a tail, apply it elsewhere."""
+        source = durable_service(tmp_path / "src")
+        source.ingest("ranges", synthetic_boxes(DOMAIN, 120, seed=8),
+                      side="data")
+        target = durable_service(tmp_path / "dst")
+
+        async def main():
+            src = await start_server(source)
+            dst = await start_server(target)
+            try:
+                a = await Connection.open(src.port)
+                b = await Connection.open(dst.port)
+                described = await a.round_trip({"op": "wal"})
+                tail = await a.round_trip({"op": "wal", "fetch": True,
+                                           "since": 2})
+                applied = await b.round_trip({"op": "wal",
+                                              "apply": tail["data"]})
+                await a.close()
+                await b.close()
+                return described, tail, applied
+            finally:
+                await src.close()
+                await dst.close()
+
+        described, tail, applied = asyncio.run(main())
+        assert described["ok"] and described["wal"]["last_seqno"] == 3
+        assert tail["ok"] and tail["count"] == 1 and not tail["truncated"]
+        assert applied["applied_records"] == 1
+        assert applied["applied_boxes"] == 120
+        assert applied["source_last_seqno"] == 3
+        # The target replayed through its own ingest path -> logged into
+        # its own WAL, and the states now agree bit-exactly.
+        src_state = source.snapshot(arrays=True)
+        dst_state = target.snapshot(arrays=True)
+        assert_states_equal(src_state, dst_state)
+        source.detach_wal()
+        target.detach_wal()
+
+    def test_wal_fetch_without_wal_is_an_error(self):
+        service = EstimationService(num_shards=2)
+
+        async def main():
+            server = await start_server(service)
+            try:
+                conn = await Connection.open(server.port)
+                reply = await conn.round_trip({"op": "wal", "fetch": True})
+                await conn.close()
+                return reply
+            finally:
+                await server.close()
+
+        reply = asyncio.run(main())
+        assert not reply["ok"] and "no WAL" in reply["error"]
+
+    def test_reload_replays_wal_tail_so_no_write_is_dropped(self, tmp_path):
+        """Acceptance: hot-reload = snapshot + replay, drops no writes."""
+        wal_dir = tmp_path / "wal"
+        snap = tmp_path / "base.sketch"
+        service = durable_service(wal_dir, checkpoint_path=snap)
+        service.ingest("ranges", synthetic_boxes(DOMAIN, 150, seed=9),
+                       side="data")
+        service.checkpoint()
+        # Writes after the checkpoint live only in the WAL tail.
+        service.ingest("ranges", synthetic_boxes(DOMAIN, 70, seed=10),
+                       side="data")
+        service.flush()
+        expected = service.estimate("ranges",
+                                    synthetic_queries(DOMAIN, 1, seed=11))
+
+        async def main():
+            server = await start_server(service)
+            try:
+                conn = await Connection.open(server.port)
+                reply = await conn.round_trip({"op": "reload",
+                                               "path": str(snap)})
+                row = protocol.boxes_to_rows(
+                    synthetic_queries(DOMAIN, 1, seed=11))[0]
+                estimate = await conn.round_trip(
+                    {"op": "estimate", "name": "ranges", "query": row})
+                await conn.close()
+                return server.service, reply, estimate
+            finally:
+                await server.close()
+
+        reloaded, reply, estimate = asyncio.run(main())
+        assert reply["ok"] and reply["replayed_records"] == 1
+        assert reply["replayed_boxes"] == 70
+        assert estimate["estimate"] == expected.estimate
+        assert reloaded.wal is not None  # durability survives the swap
+        reloaded.detach_wal()
+
+    def test_inline_reload_restarts_the_local_lineage(self, tmp_path):
+        """A wire-shipped bootstrap truncates the WAL and saves a new base."""
+        donor = EstimationService(num_shards=2)
+        donor.register("ranges", family="range", domain=DOMAIN,
+                       num_instances=16, seed=5)
+        donor.ingest("ranges", synthetic_boxes(DOMAIN, 90, seed=12),
+                     side="data")
+        donor.flush()
+        from repro.server.server import _snapshot_bytes
+        raw, _seqno = _snapshot_bytes(donor)
+
+        wal_dir = tmp_path / "wal"
+        local = durable_service(wal_dir)
+        local.ingest("ranges", synthetic_boxes(DOMAIN, 30, seed=13),
+                     side="data")
+
+        async def main():
+            server = await start_server(local)
+            try:
+                conn = await Connection.open(server.port)
+                reply = await conn.round_trip(
+                    {"op": "reload", "data": protocol.pack_bytes(raw)})
+                await conn.close()
+                return server.service, reply
+            finally:
+                await server.close()
+
+        fresh, reply = asyncio.run(main())
+        assert reply["ok"] and reply["source"] == "inline"
+        base = default_checkpoint_path(wal_dir)
+        assert reply["recovery_base"] == base and os.path.exists(base)
+        # Old-lineage records are gone; future writes log from here.
+        assert read_wal_records(wal_dir) == []
+        fresh.ingest("ranges", synthetic_boxes(DOMAIN, 10, seed=14),
+                     side="data")
+        expected = fresh.snapshot(arrays=True)
+        fresh.detach_wal()
+        recovered, report = recover_service(wal_dir, base, num_shards=2)
+        assert report.replayed_boxes == 10
+        assert_states_equal(expected, recovered.snapshot(arrays=True))
+        recovered.detach_wal()
