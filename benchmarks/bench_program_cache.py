@@ -27,6 +27,9 @@ import json
 import pathlib
 import time
 
+import numpy as np
+
+from repro.core.atomic import Letter, SketchBank, all_words
 from repro.core.domain import Domain
 from repro.core.program import ProgramExecutor
 from repro.service import EstimationService, synthetic_boxes, synthetic_queries
@@ -44,6 +47,24 @@ QUERYLESS_REQUESTS_PER_ROUND = 48  # per query-less family, per round
 MIN_SPEEDUP = 2.0
 
 FAMILY_NAMES = ("ranges", "join", "eps", "contain")
+
+LETTER_SUM_INTERVALS = 2048
+LETTER_SUM_ROUNDS = 5
+LETTER_SUM_MIN_SPEEDUP = 2.0
+
+
+def _update_report(updates: dict) -> None:
+    """Merge new sections into ``BENCH_program.json`` without clobbering.
+
+    The mixed-dispatch gate and the letter-sum gate share the report file;
+    whichever runs first must not erase the other's section.
+    """
+    report: dict = {}
+    if REPORT_PATH.exists():
+        report = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+    report.update(updates)
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
 
 
 def _make_service() -> EstimationService:
@@ -164,8 +185,7 @@ def test_mixed_dispatch_at_least_2x_per_family_path(benchmark):
             "kernel_calls": executor_stats.kernel_calls,
         },
     }
-    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n",
-                           encoding="utf-8")
+    _update_report(report)
 
     RESULTS_DIR.mkdir(exist_ok=True)
     lines = [
@@ -186,3 +206,91 @@ def test_mixed_dispatch_at_least_2x_per_family_path(benchmark):
     (RESULTS_DIR / "bench_program_cache.txt").write_text(text + "\n",
                                                          encoding="utf-8")
     assert speedup >= MIN_SPEEDUP
+
+
+def _reference_interval_sums(bank: SketchBank, dim: int, lows: np.ndarray,
+                             highs: np.ndarray) -> np.ndarray:
+    """The pre-fusion letter-sum path: per-box scalar covers, fresh signs.
+
+    This reimplements the shape of the old ``_letter_sums`` inner loop —
+    one Python-level ``cover()`` walk per box, a freshly allocated sign
+    matrix, then one ``reduceat`` — as the baseline the fused kernel must
+    beat while staying bit-identical.
+    """
+    dyadic = bank.domain.dyadic(dim)
+    xi = bank.xi_banks[dim]
+    ids_list: list[int] = []
+    lengths = np.empty(len(lows), dtype=np.int64)
+    for index, (lo, hi) in enumerate(zip(lows.tolist(), highs.tolist())):
+        cover = dyadic.cover(lo, hi)
+        ids_list.extend(cover)
+        lengths[index] = len(cover)
+    ids = np.asarray(ids_list, dtype=np.int64)
+    starts = np.zeros(len(lows), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    signs = xi.signs(ids)
+    return np.add.reduceat(signs, starts, axis=1, dtype=np.float64)
+
+
+def test_fused_letter_sums_at_least_2x_reference(benchmark):
+    """The kernel gate: fused letter sums >= 2x the per-box scalar path."""
+    bank = SketchBank(DOMAIN, all_words([Letter.INTERVAL], DOMAIN.dimension),
+                      NUM_INSTANCES, seed=17)
+    rng = np.random.default_rng(3)
+    size = DOMAIN.dyadic(0).size
+    lows = rng.integers(0, size - 1, size=LETTER_SUM_INTERVALS)
+    highs = lows + rng.integers(1, size // 4, size=LETTER_SUM_INTERVALS)
+    highs = np.minimum(highs, size - 1)
+
+    # Warm both paths (sign-table builds, workspace growth, numba JIT when
+    # present) so the timed loops compare steady-state kernels.
+    fused_warm = bank.letter_sums(0, Letter.INTERVAL, lows, highs)
+    reference_warm = _reference_interval_sums(bank, 0, lows, highs)
+    assert np.array_equal(fused_warm, reference_warm)
+
+    def run_reference() -> float:
+        start = time.perf_counter()
+        for _ in range(LETTER_SUM_ROUNDS):
+            _reference_interval_sums(bank, 0, lows, highs)
+        return time.perf_counter() - start
+
+    def run_fused() -> float:
+        start = time.perf_counter()
+        for _ in range(LETTER_SUM_ROUNDS):
+            bank.letter_sums(0, Letter.INTERVAL, lows, highs)
+        return time.perf_counter() - start
+
+    reference_seconds = run_reference()
+    fused_seconds = benchmark.pedantic(run_fused, rounds=1, iterations=1)
+    speedup = reference_seconds / fused_seconds
+
+    from repro.core import kernels
+
+    _update_report({
+        "letter_sum": {
+            "intervals": LETTER_SUM_INTERVALS,
+            "rounds": LETTER_SUM_ROUNDS,
+            "instances": NUM_INSTANCES,
+            "reference_seconds": reference_seconds,
+            "fused_seconds": fused_seconds,
+            "speedup": speedup,
+            "min_speedup": LETTER_SUM_MIN_SPEEDUP,
+            "numba": kernels.HAVE_NUMBA,
+        },
+    })
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"letter sums: {LETTER_SUM_ROUNDS} rounds x {LETTER_SUM_INTERVALS} "
+        f"intervals ({NUM_INSTANCES} instances, "
+        f"numba={'on' if kernels.HAVE_NUMBA else 'off'})",
+        f"per-box scalar path: {reference_seconds:8.3f} s",
+        f"fused kernel       : {fused_seconds:8.3f} s",
+        f"speedup            : {speedup:8.1f}x "
+        f"(gate: >= {LETTER_SUM_MIN_SPEEDUP}x)",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    (RESULTS_DIR / "bench_letter_sums.txt").write_text(text + "\n",
+                                                       encoding="utf-8")
+    assert speedup >= LETTER_SUM_MIN_SPEEDUP

@@ -78,10 +78,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="path of the service snapshot file (binary v2 by "
                             "default; .json paths use the JSON v1 format)")
 
+    def add_wire_arg(p):
+        p.add_argument("--wire", default="auto",
+                       choices=("auto", "binary", "ndjson"),
+                       help="wire format for --connect: auto upgrades to "
+                            "binary frames when the server offers them "
+                            "(default), binary requires the upgrade, ndjson "
+                            "stays on the debuggable JSON-lines protocol")
+
     def add_connect_arg(p):
         p.add_argument("--connect", default=None, metavar="HOST:PORT",
                        help="send the request to a running network server "
                             "instead of restoring --snapshot locally")
+        add_wire_arg(p)
 
     def add_format_arg(p):
         p.add_argument("--format", default="auto",
@@ -167,6 +176,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-delay-ms", type=float, default=2.0,
                        help="longest a queued estimate waits for batch "
                             "companions, in milliseconds (default: 2)")
+    serve.add_argument("--no-binary-wire", action="store_true",
+                       help="with --listen: refuse the binary frame "
+                            "handshake and serve NDJSON only (debugging)")
     serve.add_argument("--max-queue", type=int, default=1024,
                        help="admission cap on queued+in-flight estimates; "
                             "beyond it requests get fast 'overloaded' errors "
@@ -225,6 +237,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="per-worker coalescer batch size (default: 64)")
     cserve.add_argument("--max-delay-ms", type=float, default=2.0,
                         help="per-worker coalescer delay in ms (default: 2)")
+    cserve.add_argument("--worker-wire", default="auto",
+                        choices=("auto", "binary", "ndjson"),
+                        help="wire format for router->worker links "
+                             "(default: auto — binary when workers offer it)")
 
     croute = csub.add_parser(
         "route", help="route over already-running workers (no spawning)")
@@ -235,11 +251,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="router listen address (default: 127.0.0.1:0)")
     croute.add_argument("--slots", type=int, default=64,
                         help="cluster shard slots on the hash ring (default: 64)")
+    croute.add_argument("--worker-wire", default="auto",
+                        choices=("auto", "binary", "ndjson"),
+                        help="wire format for router->worker links "
+                             "(default: auto — binary when workers offer it)")
 
     cstatus = csub.add_parser(
         "status", help="print a running router's cluster topology as JSON")
     cstatus.add_argument("--connect", required=True, metavar="HOST:PORT",
                          help="the router's address")
+    add_wire_arg(cstatus)
     return parser
 
 
@@ -290,7 +311,7 @@ def _connect_client(args):
 
     host, port = _parse_hostport(args.connect)
     try:
-        return ServiceClient(host, port)
+        return ServiceClient(host, port, wire=getattr(args, "wire", "auto"))
     except OSError as exc:
         raise ReproError(f"cannot connect to {host}:{port}: {exc}") from exc
 
@@ -706,7 +727,8 @@ def _run_serve_listen(args, service, *, recovery=None) -> int:
     host, port = _parse_hostport(args.listen)
     config = ServerConfig(host=host, port=port, max_batch=args.max_batch,
                           max_delay=args.max_delay_ms / 1000.0,
-                          max_queue=args.max_queue)
+                          max_queue=args.max_queue,
+                          binary_wire=not args.no_binary_wire)
     # With a WAL the snapshot default falls back to the in-directory
     # checkpoint base, so snapshot/reload verbs and inline bootstraps all
     # share one recovery lineage.
@@ -841,8 +863,9 @@ def _run_cluster_serve(args) -> int:
             processes.append(spawn_worker(snapshot=snapshot,
                                           max_batch=args.max_batch,
                                           max_delay_ms=args.max_delay_ms))
-        router = ClusterRouter(config=RouterConfig(host=host, port=port,
-                                                   num_slots=args.slots))
+        router = ClusterRouter(config=RouterConfig(
+            host=host, port=port, num_slots=args.slots,
+            worker_wire=args.worker_wire))
 
         async def run() -> None:
             await router.attach("w0", processes[0].host, processes[0].port)
@@ -883,7 +906,8 @@ def _run_cluster_route(args) -> int:
     host, port = _parse_hostport(args.listen)
     targets = [_parse_hostport(text) for text in args.workers]
     router = ClusterRouter(config=RouterConfig(host=host, port=port,
-                                               num_slots=args.slots))
+                                               num_slots=args.slots,
+                                               worker_wire=args.worker_wire))
 
     async def run() -> None:
         for index, (whost, wport) in enumerate(targets):

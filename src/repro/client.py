@@ -28,6 +28,12 @@ reconnects once and resends.  Non-idempotent verbs (``ingest``,
 ``register``) are never retried — a resend could double-apply updates
 whose first copy did land — and surface
 :class:`~repro.errors.ConnectionLostError` instead.
+
+``ServiceClient(wire="binary")`` upgrades the connection to the binary
+frame format (:mod:`repro.server.wire`) via the ``hello`` handshake: box
+batches then travel as raw little-endian int64 tensors and snapshot/WAL
+payloads as raw bytes instead of base64.  ``wire="auto"`` upgrades when
+the server offers binary and silently stays on NDJSON otherwise.
 """
 
 from __future__ import annotations
@@ -36,9 +42,11 @@ import socket
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.errors import ConnectionLostError, ProtocolError
 from repro.geometry.boxset import BoxSet
-from repro.server import protocol
+from repro.server import protocol, wire as wire_format
 
 DEFAULT_PORT = 7007
 
@@ -94,17 +102,46 @@ class ServiceClient:
     """A persistent, pipelining connection to one sketch server."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
-                 timeout: float | None = 60.0) -> None:
+                 timeout: float | None = 60.0, wire: str = "ndjson") -> None:
+        if wire not in ("ndjson", "binary", "auto"):
+            raise ProtocolError(
+                f"wire must be 'ndjson', 'binary' or 'auto', got {wire!r}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.wire = wire  # the *preference*; see self.wire_format
         self.reconnects = 0
         self._connect()
+
+    @property
+    def wire_format(self) -> str:
+        """The format this connection actually negotiated."""
+        return self._wire
 
     def _connect(self) -> None:
         self._sock = socket.create_connection((self.host, self.port),
                                               timeout=self.timeout)
         self._reader = self._sock.makefile("rb")
+        self._wire = wire_format.WIRE_NDJSON
+        if self.wire != "ndjson":
+            try:
+                self._negotiate()
+            except BaseException:
+                self.close()
+                raise
+
+    def _negotiate(self) -> None:
+        # The handshake itself always travels as NDJSON; only frames after
+        # a successful hello switch format.
+        reply = self._round_trip(
+            wire_format.hello_payload(wire_format.WIRE_BINARY))
+        if reply.get("ok"):
+            self._wire = wire_format.WIRE_BINARY
+        elif self.wire == "binary":
+            # Explicit binary request against a server that refuses it
+            # (disabled, or predates the handshake): surface the typed
+            # error instead of silently downgrading.
+            protocol.raise_for_response(reply)
 
     def _reconnect(self) -> None:
         self.close()
@@ -114,6 +151,8 @@ class ServiceClient:
     # -- framing ------------------------------------------------------------------
 
     def _read_response(self) -> dict:
+        if self._wire == wire_format.WIRE_BINARY:
+            return wire_format.read_binary_frame_sync(self._reader)
         line = self._reader.readline(protocol.MAX_LINE_BYTES + 1)
         if not line:
             raise ConnectionLostError("server closed the connection")
@@ -122,7 +161,7 @@ class ServiceClient:
         return protocol.decode(line)
 
     def _round_trip(self, payload: Mapping[str, Any]) -> dict:
-        self._sock.sendall(protocol.encode(payload))
+        self._sock.sendall(wire_format.encode_frame(payload, self._wire))
         return self._read_response()
 
     def request(self, payload: Mapping[str, Any]) -> dict:
@@ -152,7 +191,8 @@ class ServiceClient:
         """
         if not payloads:
             return []
-        self._sock.sendall(b"".join(protocol.encode(p) for p in payloads))
+        self._sock.sendall(b"".join(wire_format.encode_frame(p, self._wire)
+                                    for p in payloads))
         return [self._read_response() for _ in payloads]
 
     # -- verbs --------------------------------------------------------------------
@@ -170,8 +210,21 @@ class ServiceClient:
     def ingest(self, name: str, boxes, *, side: str = "left",
                kind: str = "insert") -> dict:
         """Stream a batch of boxes (a :class:`BoxSet` or row lists)."""
-        rows = (protocol.boxes_to_rows(boxes)
-                if isinstance(boxes, BoxSet) else list(boxes))
+        rows: Any
+        if isinstance(boxes, BoxSet):
+            rows = np.hstack([boxes.lows, boxes.highs])
+            if self._wire != wire_format.WIRE_BINARY:
+                rows = rows.tolist()
+        else:
+            rows = list(boxes)
+            if self._wire == wire_format.WIRE_BINARY:
+                # Ship well-formed batches as a raw int64 tensor; anything
+                # ragged or non-numeric stays JSON so the server's decoder
+                # reports it as bad_request exactly as over NDJSON.
+                try:
+                    rows = np.asarray(rows, dtype=np.int64)
+                except (TypeError, ValueError):
+                    pass
         return self.request({"op": "ingest", "name": name, "boxes": rows,
                              "side": side, "kind": kind})
 
@@ -232,13 +285,14 @@ class ServiceClient:
     def wal_fetch(self, since: int = 0) -> dict:
         """Fetch the framed log tail after ``since`` (log shipping).
 
-        The reply's ``data`` field is base64 record bytes; ``truncated``
+        The reply's ``data`` field holds the record bytes — base64 on an
+        NDJSON connection, raw ``bytes`` on a binary one; ``truncated``
         means a checkpoint dropped part of the requested range and the
         caller must bootstrap from a snapshot instead.
         """
         return self.request({"op": "wal", "fetch": True, "since": int(since)})
 
-    def wal_apply(self, data: str) -> dict:
+    def wal_apply(self, data: str | bytes) -> dict:
         """Replay a fetched tail (``data`` as returned by :meth:`wal_fetch`)
         into this server — the follower half of log shipping."""
         return self.request({"op": "wal", "apply": data})

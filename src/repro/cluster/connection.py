@@ -1,12 +1,19 @@
-"""One pipelined asyncio NDJSON connection from the router to a worker.
+"""One pipelined asyncio connection from the router to a worker.
 
 :class:`WorkerLink` mirrors what :class:`~repro.client.ServiceClient` does
 synchronously: because a sketch server answers **in request order**, a
 single connection pipelines — writes append a future to a FIFO, one reader
-task resolves futures as reply lines arrive.  The router keeps exactly one
+task resolves futures as reply frames arrive.  The router keeps exactly one
 link per worker and multiplexes every scatter over it; a connection loss
 fails all in-flight futures with
 :class:`~repro.errors.ConnectionLostError` so the health checker can react.
+
+Links default to ``wire="auto"``: on connect they offer the binary frame
+handshake (:mod:`repro.server.wire`) and fall back to NDJSON against
+servers that refuse it.  Router↔worker traffic is where the binary format
+pays the most — box fan-out, partial-state gathers, log shipping and
+replica bootstrap all cross this hop — so the fleet negotiates it by
+default while external clients stay on NDJSON unless asked.
 """
 
 from __future__ import annotations
@@ -14,18 +21,23 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 
-from repro.errors import ConnectionLostError
-from repro.server import protocol
+from repro.errors import ConnectionLostError, ProtocolError
+from repro.server import protocol, wire
 
 
 class WorkerLink:
     """A persistent, pipelining connection to one worker server."""
 
     def __init__(self, host: str, port: int, *,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0, wire: str = "auto") -> None:
+        if wire not in ("ndjson", "binary", "auto"):
+            raise ProtocolError(
+                f"wire must be 'ndjson', 'binary' or 'auto', got {wire!r}")
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.wire = wire  # the preference; self.mode is what negotiation got
+        self._mode = "ndjson"
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
@@ -40,30 +52,66 @@ class WorkerLink:
     def connected(self) -> bool:
         return self._writer is not None and not self._closed
 
+    @property
+    def mode(self) -> str:
+        """The wire format this link actually negotiated."""
+        return self._mode
+
     # -- lifecycle ----------------------------------------------------------------
 
     async def connect(self) -> "WorkerLink":
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port, limit=protocol.MAX_LINE_BYTES)
         self._closed = False
+        self._mode = wire.WIRE_NDJSON
+        if self.wire != "ndjson":
+            # Negotiate inline, before the reader task exists: the hello
+            # reply is the only frame ever read outside the read loop, so
+            # the loop starts already knowing the connection's format.
+            try:
+                await self._negotiate()
+            except BaseException:
+                await self.close()
+                raise
         self._reader_task = asyncio.create_task(self._read_loop())
         return self
+
+    async def _negotiate(self) -> None:
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(protocol.encode(
+            wire.hello_payload(wire.WIRE_BINARY)))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionLostError(
+                f"worker {self.address} closed the connection during the "
+                "wire handshake")
+        reply = protocol.decode(line)
+        if reply.get("ok"):
+            self._mode = wire.WIRE_BINARY
+        elif self.wire == "binary":
+            protocol.raise_for_response(reply)
 
     async def _read_loop(self) -> None:
         assert self._reader is not None
         try:
             while True:
-                line = await self._reader.readline()
-                if not line:
-                    raise ConnectionLostError(
-                        f"worker {self.address} closed the connection")
+                if self._mode == wire.WIRE_BINARY:
+                    reply, _ = await wire.read_binary_frame(
+                        self._reader, protocol.MAX_LINE_BYTES)
+                else:
+                    line = await self._reader.readline()
+                    if not line:
+                        raise ConnectionLostError(
+                            f"worker {self.address} closed the connection")
+                    reply = protocol.decode(line)
                 if self._pending:
                     future = self._pending.popleft()
                     # A future may already be cancelled (request timeout);
                     # its in-order reply still had to be consumed to keep
                     # later replies aligned with later futures.
                     if not future.done():
-                        future.set_result(line)
+                        future.set_result(reply)
         except asyncio.CancelledError:
             self._fail_pending(ConnectionLostError(
                 f"link to worker {self.address} was closed"))
@@ -102,14 +150,9 @@ class WorkerLink:
 
     # -- requests -----------------------------------------------------------------
 
-    async def request_raw(self, line: bytes,
-                          timeout: float | None = None) -> bytes:
-        """Send one pre-encoded frame; await its raw reply line.
-
-        This is the router's passthrough fast path: a request forwarded
-        byte-for-byte comes back byte-for-byte, so single-owner estimates
-        carry the worker's exact JSON rendering to the client.
-        """
+    async def request(self, payload: dict,
+                      timeout: float | None = None) -> dict:
+        """One decoded (but unchecked) request/response round trip."""
         if self._writer is None or self._closed:
             raise ConnectionLostError(
                 f"link to worker {self.address} is not connected")
@@ -118,19 +161,13 @@ class WorkerLink:
         # FIFO even when several coroutines write concurrently.
         self._pending.append(future)
         try:
-            self._writer.write(line)
+            self._writer.write(wire.encode_frame(payload, self._mode))
             await self._writer.drain()
         except (ConnectionError, OSError) as exc:
             if not future.done():
                 future.set_exception(ConnectionLostError(
                     f"worker {self.address} connection failed: {exc}"))
         return await asyncio.wait_for(future, timeout or self.timeout)
-
-    async def request(self, payload: dict,
-                      timeout: float | None = None) -> dict:
-        """One decoded (but unchecked) request/response round trip."""
-        line = await self.request_raw(protocol.encode(payload), timeout)
-        return protocol.decode(line)
 
     async def request_ok(self, payload: dict,
                          timeout: float | None = None) -> dict:
@@ -140,4 +177,4 @@ class WorkerLink:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "connected" if self.connected else "disconnected"
-        return f"WorkerLink({self.address}, {state})"
+        return f"WorkerLink({self.address}, {state}, wire={self._mode})"

@@ -86,10 +86,15 @@ class ClusterManager:
 
     def __init__(self, *, vnodes: int = DEFAULT_VNODES,
                  heartbeat: HeartbeatConfig | None = None,
-                 request_timeout: float = 60.0) -> None:
+                 request_timeout: float = 60.0,
+                 wire: str = "auto") -> None:
         self.ring = HashRing(vnodes=vnodes)
         self.heartbeat = heartbeat or HeartbeatConfig()
         self.request_timeout = request_timeout
+        #: Wire preference for every worker link ("auto" negotiates binary
+        #: frames where workers offer them — snapshot bootstrap and log
+        #: shipping then move raw bytes instead of base64).
+        self.wire = wire
         self._workers: dict[str, WorkerInfo] = {}
         self._round_robin: dict[str, int] = {}
         self._heartbeat_task: asyncio.Task | None = None
@@ -136,7 +141,8 @@ class ClusterManager:
             raise ServiceError("replica_of applies to replica workers only")
         elif sync != "fanout":
             raise ServiceError("sync modes apply to replica workers only")
-        link = WorkerLink(host, port, timeout=self.request_timeout)
+        link = WorkerLink(host, port, timeout=self.request_timeout,
+                          wire=self.wire)
         await link.connect()
         await link.request_ok({"op": "ping"}, timeout=self.heartbeat.timeout)
         info = WorkerInfo(name=name, host=host, port=int(port), link=link,
@@ -155,16 +161,18 @@ class ClusterManager:
         await info.link.close()
 
     async def replace_worker(self, name: str, host: str, port: int, *,
-                             data: str | None = None) -> WorkerInfo:
+                             data: str | bytes | None = None) -> WorkerInfo:
         """Point a (typically dead) worker name at a replacement process.
 
         The ring is keyed by *name*, so replacing keeps every slot
         assignment — no data movement on the surviving workers.  ``data``
-        (base64 snapshot bytes, e.g. fetched earlier or from a healthy
-        replica) is reloaded into the replacement before it goes live.
+        (snapshot bytes as fetched — raw on binary links, base64 on
+        NDJSON ones — e.g. from a healthy replica) is reloaded into the
+        replacement before it goes live.
         """
         old = self.worker(name)
-        link = WorkerLink(host, port, timeout=self.request_timeout)
+        link = WorkerLink(host, port, timeout=self.request_timeout,
+                          wire=self.wire)
         await link.connect()
         await link.request_ok({"op": "ping"}, timeout=self.heartbeat.timeout)
         if data is not None:
@@ -184,9 +192,11 @@ class ClusterManager:
         return await self.worker(source).link.request_ok(
             {"op": "snapshot", "fetch": True})
 
-    async def fetch_snapshot(self, source: str) -> str:
-        """A worker's binary v2 snapshot as base64 text (wire form)."""
-        return str((await self._fetch_snapshot_reply(source))["data"])
+    async def fetch_snapshot(self, source: str) -> str | bytes:
+        """A worker's binary v2 snapshot in wire form — raw ``bytes`` on a
+        binary link, base64 text on an NDJSON one.  Either form can be
+        passed back into ``reload``/:meth:`replace_worker` unchanged."""
+        return (await self._fetch_snapshot_reply(source))["data"]
 
     async def bootstrap_replica(self, name: str, host: str, port: int, *,
                                 source: str, sync: str = "fanout"
@@ -206,7 +216,7 @@ class ClusterManager:
                 f"replicas mirror shard workers; {source!r} is a "
                 f"{source_info.role}")
         reply = await self._fetch_snapshot_reply(source)
-        data = str(reply["data"])
+        data = reply["data"]
         info = await self.add_worker(name, host, port, role="replica",
                                      replica_of=source, sync=sync)
         try:
@@ -248,7 +258,7 @@ class ClusterManager:
             # full snapshot bootstrap.
             reply = await self._fetch_snapshot_reply(info.replica_of)
             await info.link.request_ok({"op": "reload",
-                                        "data": str(reply["data"])})
+                                        "data": reply["data"]})
             info.synced_seqno = int(reply.get("wal_seqno", 0) or 0)
             report = self._record_transfer(name, "snapshot",
                                            int(reply.get("nbytes", 0)),
@@ -256,7 +266,7 @@ class ClusterManager:
         else:
             if int(tail.get("count", 0)):
                 await info.link.request_ok({"op": "wal",
-                                            "apply": str(tail["data"])})
+                                            "apply": tail["data"]})
                 info.synced_seqno = int(tail["last_seqno"])
             report = self._record_transfer(name, "wal",
                                            int(tail.get("nbytes", 0)),

@@ -42,6 +42,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.cluster.manager import ClusterManager, HeartbeatConfig, WorkerInfo
 from repro.cluster.partial import reduce_partials
 from repro.cluster.ring import DEFAULT_VNODES
@@ -50,7 +52,7 @@ from repro.errors import (
     ReproError,
     ServiceError,
 )
-from repro.server import protocol
+from repro.server import protocol, wire
 from repro.server.metrics import ServerMetrics, label_value
 from repro.service.specs import EstimatorSpec
 from repro.service.store import shard_ids
@@ -68,22 +70,14 @@ class RouterConfig:
     max_inflight_per_connection: int = 128
     max_line_bytes: int = protocol.MAX_LINE_BYTES
     executor_workers: int = 4
+    binary_wire: bool = True  # offer binary frames to router clients
+    worker_wire: str = "auto"  # wire preference on router -> worker links
 
     def __post_init__(self) -> None:
         if self.num_slots < 1:
             raise ServiceError("num_slots must be positive")
         if self.max_inflight_per_connection < 1:
             raise ServiceError("max_inflight_per_connection must be positive")
-
-
-class _ConnectionState:
-    """Per-connection in-flight accounting (see SketchServer)."""
-
-    __slots__ = ("inflight", "slot_free")
-
-    def __init__(self) -> None:
-        self.inflight = 0
-        self.slot_free = asyncio.Event()
 
 
 class ClusterRouter:
@@ -95,7 +89,8 @@ class ClusterRouter:
         self.config = config or RouterConfig()
         self.manager = manager or ClusterManager(
             vnodes=self.config.vnodes, heartbeat=heartbeat,
-            request_timeout=self.config.request_timeout)
+            request_timeout=self.config.request_timeout,
+            wire=self.config.worker_wire)
         self.metrics = ServerMetrics()
         self._specs: dict[str, EstimatorSpec] = {}
         self._executor: ThreadPoolExecutor | None = None
@@ -228,98 +223,30 @@ class ClusterRouter:
             seen.setdefault(owner)
         return list(seen)
 
-    # -- connection handling (mirrors SketchServer) -------------------------------
+    # -- connection handling (shared with SketchServer) ---------------------------
+
+    @property
+    def wire_formats(self) -> tuple[str, ...]:
+        """Formats this router offers in the ``hello`` handshake."""
+        if self.config.binary_wire:
+            return wire.WIRE_FORMATS
+        return (wire.WIRE_NDJSON,)
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         self.metrics.connections_opened += 1
         self.metrics.connections_active += 1
         self._connections.add(writer)
-        replies: asyncio.Queue = asyncio.Queue()
-        state = _ConnectionState()
-        writer_task = asyncio.create_task(
-            self._write_replies(replies, writer, state))
-        loop = asyncio.get_running_loop()
-
-        def done(payload: dict) -> asyncio.Future:
-            future = loop.create_future()
-            future.set_result(payload)
-            return future
-
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except ValueError:
-                    replies.put_nowait((done(protocol.error_payload(
-                        f"request line exceeds "
-                        f"{self.config.max_line_bytes} bytes",
-                        code="protocol")), False))
-                    break
-                except (ConnectionError, OSError):
-                    break
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                try:
-                    request = protocol.decode(line)
-                except ReproError as exc:
-                    replies.put_nowait((done(protocol.error_payload_for(exc)),
-                                        False))
-                    continue
-                op = request.get("op")
-                self.metrics.record_request(str(op))
-                if op == "quit":
-                    replies.put_nowait((done(protocol.ok_payload("quit",
-                                                                 request)),
-                                        False))
-                    break
-                while state.inflight >= self.config.max_inflight_per_connection:
-                    state.slot_free.clear()
-                    await state.slot_free.wait()
-                state.inflight += 1
-                task = asyncio.create_task(self._process(request))
-                replies.put_nowait((task, True))
+            await wire.serve_connection(self, reader, writer)
         finally:
-            replies.put_nowait(None)
+            self.metrics.connections_active -= 1
+            self._connections.discard(writer)
+            writer.close()
             try:
-                await writer_task
-            finally:
-                self.metrics.connections_active -= 1
-                self._connections.discard(writer)
-                writer.close()
-                try:
-                    await writer.wait_closed()
-                except (ConnectionError, OSError):
-                    pass
-
-    async def _write_replies(self, replies: asyncio.Queue,
-                             writer: asyncio.StreamWriter,
-                             state: _ConnectionState) -> None:
-        while True:
-            entry = await replies.get()
-            if entry is None:
-                return
-            item, counted = entry
-            try:
-                try:
-                    payload = await item
-                except Exception as exc:  # _process shouldn't leak; be safe
-                    payload = protocol.error_payload_for(exc)
-                if not payload.get("ok"):
-                    self.metrics.record_error(payload.get("error_code",
-                                                          "error"))
-                try:
-                    writer.write(protocol.encode(payload))
-                    if replies.empty():
-                        await writer.drain()
-                except (ConnectionError, OSError):
-                    pass
-            finally:
-                if counted:
-                    state.inflight -= 1
-                    state.slot_free.set()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     # -- request dispatch ---------------------------------------------------------
 
@@ -370,22 +297,31 @@ class ClusterRouter:
         boxes = protocol.boxes_from_rows(request["boxes"], spec.dimension)
         side = request.get("side", "left")
         kind = request.get("kind", "insert")
-        rows = request["boxes"]
+        # Re-partition from the validated BoxSet, not the request value:
+        # the rows may have arrived as a zero-copy binary tensor or as
+        # JSON lists, and ndarray row-gathering serves both — each owner's
+        # sub-batch is then itself a tensor, which re-encodes to raw bytes
+        # on binary worker links.
+        rows = np.hstack([boxes.lows, boxes.highs])
         # The same deterministic hash the in-process store uses, taken over
         # num_slots: inserts and their deletes always meet on one owner.
         slots = shard_ids(boxes, self.config.num_slots)
         assignments = self._assignments()
-        per_owner: dict[str, list] = {}
+        per_owner_rows: dict[str, list[int]] = {}
         for index, slot in enumerate(slots):
-            per_owner.setdefault(assignments[int(slot)], []).append(
-                rows[index])
+            per_owner_rows.setdefault(assignments[int(slot)], []).append(
+                index)
+        per_owner = {owner: rows[np.asarray(indices, dtype=np.intp)]
+                     for owner, indices in per_owner_rows.items()}
 
         applied = 0
         pending = 0
         dropped = 0
         down: list[str] = []
 
-        async def send(info: WorkerInfo, part: list) -> dict:
+        async def send(info: WorkerInfo, part: np.ndarray) -> dict:
+            # Binary links ship the sub-batch tensor raw; NDJSON links
+            # render it to lists via the encoder's json_default hook.
             return await info.link.request_ok({
                 "op": "ingest", "name": name, "boxes": part,
                 "side": side, "kind": kind})
@@ -462,11 +398,16 @@ class ClusterRouter:
             return reply
 
         # Scatter: every owner group contributes its shard-local merged
-        # state; the reduction happens once, at the router.
+        # state; the reduction happens once, at the router.  Binary links
+        # ask for the arrays encoding — the counter matrix and stacked xi
+        # coefficients then cross the wire as raw tensors instead of JSON
+        # number lists (the dominant cost of a wide scatter).
         async def gather(info: WorkerInfo) -> Mapping:
+            payload = {"op": "estimate", "name": name, "partial": True}
+            if info.link.mode == wire.WIRE_BINARY:
+                payload["encoding"] = "arrays"
             reply = await info.link.request_ok(
-                {"op": "estimate", "name": name, "partial": True},
-                timeout=self.config.request_timeout)
+                payload, timeout=self.config.request_timeout)
             return reply["state"]
 
         states = await asyncio.gather(*(gather(info)
@@ -497,6 +438,7 @@ class ClusterRouter:
                 "connections_active": self.metrics.connections_active,
                 "queue_depth": 0,
                 "reloads": self.metrics.reloads,
+                "wire": self.metrics.wire_state(),
             })
 
     async def _op_metrics(self, request: dict) -> dict:
@@ -512,6 +454,8 @@ class ClusterRouter:
                 "uptime": float(reply.get("uptime", 0.0)),
                 "requests": dict(reply.get("requests", {})),
                 "errors": dict(reply.get("errors", {})),
+                "wire": {format: dict(counters) for format, counters
+                         in dict(reply.get("wire", {})).items()},
             }
         text = self._render_metrics(fleet)
         return protocol.ok_payload(
@@ -519,6 +463,7 @@ class ClusterRouter:
             uptime=self.metrics.uptime,
             requests=dict(self.metrics.requests),
             errors=dict(self.metrics.errors),
+            wire=self.metrics.wire_state(),
             workers=fleet)
 
     def _render_metrics(self, fleet: Mapping[str, Mapping]) -> str:
@@ -546,6 +491,31 @@ class ClusterRouter:
             lines.append(
                 f'repro_cluster_estimate_latency_ms{{quantile="{q}"}} '
                 f"{seconds * 1000.0:.3f}")
+        # The router's own client-side wire traffic, then the fleet's
+        # worker-side totals aggregated per format/direction — the same
+        # re-export pattern as worker request counts below.
+        for format in sorted(self.metrics.wire):
+            counters = self.metrics.wire[format]
+            for direction, count in (("in", counters.bytes_in),
+                                     ("out", counters.bytes_out)):
+                lines.append(
+                    "repro_cluster_wire_bytes_total"
+                    f'{{format="{label_value(format)}",'
+                    f'direction="{direction}"}} {count}')
+        wire_totals: dict[tuple[str, str], int] = {}
+        for entry in fleet.values():
+            for format, counters in entry.get("wire", {}).items():
+                for direction, key in (("in", "bytes_in"),
+                                       ("out", "bytes_out")):
+                    slot = (format, direction)
+                    wire_totals[slot] = (wire_totals.get(slot, 0)
+                                         + int(counters.get(key, 0)))
+        for format, direction in sorted(wire_totals):
+            lines.append(
+                "repro_cluster_worker_wire_bytes_total"
+                f'{{format="{label_value(format)}",'
+                f'direction="{direction}"}} '
+                f"{wire_totals[(format, direction)]}")
         totals: dict[str, int] = {}
         for entry in fleet.values():
             for op, count in entry["requests"].items():

@@ -25,15 +25,46 @@ word counters of two banks built over *shared* xi families.
 
 from __future__ import annotations
 
+import threading
 from enum import Enum
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import DimensionalityError, MergeCompatibilityError, SketchConfigError
+from repro.core import kernels
 from repro.core.domain import Domain
 from repro.core.hashing import FourWiseFamilyBank, stack_xi_coefficients
 from repro.geometry.boxset import BoxSet
+
+
+class _Workspace(threading.local):
+    """Per-thread scratch buffers for the letter-sum kernels.
+
+    The letter-sum hot path needs an ``(instances, cover_ids)`` int8 sign
+    matrix per call; allocating it fresh each time dominated small-batch
+    profiles.  Buffers grow geometrically and are reused across calls.
+    Thread-local because server executors evaluate banks from worker
+    threads concurrently — sharing a buffer would corrupt results.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def buffer(self, name: str, count: int, dtype) -> np.ndarray:
+        """A 1-D scratch array of exactly ``count`` elements."""
+        dtype = np.dtype(dtype)
+        existing = self._buffers.get(name)
+        if existing is None or existing.dtype != dtype or existing.size < count:
+            capacity = max(count, 1)
+            if existing is not None and existing.dtype == dtype:
+                capacity = max(capacity, 2 * existing.size)
+            existing = np.empty(capacity, dtype=dtype)
+            self._buffers[name] = existing
+        return existing[:count]
+
+
+_WORKSPACE = _Workspace()
 
 
 class Letter(str, Enum):
@@ -331,6 +362,10 @@ class SketchBank:
                     "snapshot was taken over different xi families (seed mismatch)"
                 )
         counters = state["counters"]
+        if isinstance(counters, (list, tuple)):
+            # The arrays-form tensor after an NDJSON hop: the wire encoder
+            # renders ndarrays as nested lists, so accept that shape too.
+            counters = np.asarray(counters, dtype=np.float64)
         if isinstance(counters, np.ndarray):
             matrix = np.asarray(counters, dtype=np.float64)
             if matrix.shape != self._matrix.shape:
@@ -529,28 +564,58 @@ class SketchBank:
             return self._point_cover_sums(xi, dyadic, highs)
         if letter is Letter.LOWER_LEAF:
             leaves = dyadic.size - 1 + np.asarray(lows, dtype=np.int64)
-            return xi.signs(leaves).astype(np.float64)
+            return self._leaf_sums(xi, leaves)
         if letter is Letter.UPPER_LEAF:
             leaves = dyadic.size - 1 + np.asarray(highs, dtype=np.int64)
-            return xi.signs(leaves).astype(np.float64)
+            return self._leaf_sums(xi, leaves)
         raise SketchConfigError(f"unknown letter {letter!r}")
+
+    # The three reducers below share one structure: account the request via
+    # resolve_table() exactly once, take a fused table kernel when both the
+    # table and numba are available, and otherwise gather signs into a
+    # thread-local workspace buffer and reduce with NumPy.  Every path
+    # returns a *fresh* float64 array (never a workspace view): callers —
+    # the program executor's cover cache in particular — retain results
+    # across calls.  All paths produce bit-identical values: the summands
+    # are ±1 integers, so any summation order yields the same exact float.
+
+    @staticmethod
+    def _scratch_signs(xi: FourWiseFamilyBank, ids: np.ndarray) -> np.ndarray:
+        signs = _WORKSPACE.buffer("signs", xi.num_families * ids.size, np.int8)
+        return xi.signs_into(ids, signs.reshape(xi.num_families, ids.size))
+
+    @staticmethod
+    def _leaf_sums(xi: FourWiseFamilyBank, leaves: np.ndarray) -> np.ndarray:
+        xi.resolve_table(leaves.size)
+        return SketchBank._scratch_signs(xi, leaves).astype(np.float64)
 
     @staticmethod
     def _point_cover_sums(xi: FourWiseFamilyBank, dyadic, coordinates: np.ndarray) -> np.ndarray:
         ids, lengths = dyadic.point_covers(coordinates)
         per_point = int(lengths[0]) if len(lengths) else dyadic.max_level + 1
-        signs = xi.signs(ids)
-        shaped = signs.reshape(xi.num_families, len(coordinates), per_point)
+        n_points = len(coordinates)
+        table = xi.resolve_table(ids.size)
+        if table is not None and n_points:
+            out = np.empty((xi.num_families, n_points), dtype=np.float64)
+            if kernels.point_sums_from_table(table, ids, per_point, out):
+                return out
+        signs = SketchBank._scratch_signs(xi, ids)
+        shaped = signs.reshape(xi.num_families, n_points, per_point)
         return shaped.sum(axis=2, dtype=np.float64)
 
     @staticmethod
     def _segment_sums(xi: FourWiseFamilyBank, ids: np.ndarray, lengths: np.ndarray,
                       n_boxes: int) -> np.ndarray:
-        signs = xi.signs(ids)
         if n_boxes == 0:
             return np.zeros((xi.num_families, 0), dtype=np.float64)
         starts = np.zeros(n_boxes, dtype=np.int64)
         np.cumsum(lengths[:-1], out=starts[1:])
+        table = xi.resolve_table(ids.size)
+        if table is not None:
+            out = np.empty((xi.num_families, n_boxes), dtype=np.float64)
+            if kernels.segment_sums_from_table(table, ids, starts, lengths, out):
+                return out
+        signs = SketchBank._scratch_signs(xi, ids)
         return np.add.reduceat(signs, starts, axis=1, dtype=np.float64)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -237,6 +237,29 @@ class FourWiseFamilyBank:
         h = self._hash(ids, self._coefficients)
         return np.where(h & np.uint64(1), np.int8(-1), np.int8(1))
 
+    def _check_ids(self, ids: np.ndarray) -> None:
+        if ids.size and (ids.min() < 0 or ids.max() >= self._universe_size):
+            raise SketchConfigError(
+                f"ids must be within [0, {self._universe_size}), "
+                f"got range [{ids.min()}, {ids.max()}]"
+            )
+
+    def resolve_table(self, request_size: int) -> np.ndarray | None:
+        """Account a prospective request and return the sign table, if any.
+
+        The full table is built lazily once the cumulative number of
+        requested ids exceeds the universe size (amortised break-even);
+        small workloads keep using direct polynomial evaluation.  Fused
+        evaluation paths call this **once** per request and must not also
+        go through :meth:`signs` for the same ids (that would account the
+        request twice).  ``None`` means no table serves this bank (not yet
+        warm, or the universe is too large to materialise).
+        """
+        self._ids_requested += int(request_size)
+        if self._table is None and self._ids_requested >= self._universe_size:
+            self._table = self._build_table()
+        return self._table
+
     def signs(self, ids, *, families: slice | np.ndarray | None = None) -> np.ndarray:
         """Sign matrix ``xi[family, id]`` for the requested ids.
 
@@ -254,23 +277,41 @@ class FourWiseFamilyBank:
         ids = np.asarray(ids, dtype=np.int64)
         if ids.ndim != 1:
             ids = ids.ravel()
-        if ids.size and (ids.min() < 0 or ids.max() >= self._universe_size):
-            raise SketchConfigError(
-                f"ids must be within [0, {self._universe_size}), "
-                f"got range [{ids.min()}, {ids.max()}]"
-            )
-        # Lazily build a full sign table once the cumulative number of
-        # requested ids exceeds the universe size (amortised break-even);
-        # small workloads are served by direct polynomial evaluation.
-        self._ids_requested += int(ids.size)
-        if self._table is None and self._ids_requested >= self._universe_size:
-            self._table = self._build_table()
-        if self._table is not None:
-            table = self._table if families is None else self._table[families]
+        self._check_ids(ids)
+        table = self.resolve_table(ids.size)
+        if table is not None:
+            if families is not None:
+                table = table[families]
             return table[:, ids]
         coeffs = self._coefficients if families is None else self._coefficients[families]
         h = self._hash(ids.astype(np.uint64), coeffs)
         return np.where(h & np.uint64(1), np.int8(-1), np.int8(1))
+
+    def signs_into(self, ids: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Gather all families' signs for ``ids`` into a caller-owned buffer.
+
+        ``out`` must be an int8 array of shape ``(num_families, len(ids))``
+        — typically a slice of a reusable workspace, which is the point:
+        the hot letter-sum path calls this thousands of times per batch
+        and must not allocate a fresh sign matrix every time.  Unlike
+        :meth:`signs` this does **not** account toward the lazy table
+        build; callers route the request through :meth:`resolve_table`
+        first.  Returns ``out``.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 1:
+            ids = ids.ravel()
+        self._check_ids(ids)
+        if self._table is not None:
+            np.take(self._table, ids, axis=1, out=out)
+        else:
+            h = self._hash(ids.astype(np.uint64), self._coefficients)
+            parity = (h & np.uint64(1)).astype(np.int8)
+            # parity 0 -> +1, parity 1 -> -1: identical values to the
+            # np.where() form used by signs().
+            np.multiply(parity, np.int8(-2), out=parity)
+            np.add(parity, np.int8(1), out=out)
+        return out
 
     def signs_for_family(self, family: int, ids) -> np.ndarray:
         """Convenience wrapper: signs of a single family, shape ``(m,)``."""

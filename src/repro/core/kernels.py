@@ -1,0 +1,115 @@
+"""Optional compiled reduction kernels for the letter-sum hot path.
+
+The fused letter-sum evaluation in :mod:`repro.core.atomic` has two inner
+reductions: summing xi signs over the variable-length dyadic covers of a
+box batch (``segment``), and over the fixed-length point covers of a
+coordinate batch (``point``).  The NumPy form materialises the full
+``(num_families, total_cover_ids)`` sign matrix and then reduces it; when
+a bank has a precomputed sign table, both steps fuse into one pass that
+reads table bytes and accumulates integers — which is what the kernels
+here do, compiled with `numba <https://numba.pydata.org>`_ when it is
+importable.
+
+numba is strictly optional.  When it is missing (or disabled via the
+``REPRO_DISABLE_NUMBA`` environment variable, which CI uses to pin the
+fallback), every entry point returns ``False`` and callers take the pure
+NumPy route.  Both routes are bit-identical: the signs are ±1 integers,
+their partial sums stay far below 2^53, and a float64 store of an exact
+integer is exact — so a sketch built under numba and one built without it
+hold byte-for-byte equal counters (the equivalence tests pin this).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import SketchConfigError
+
+
+def _load_numba():
+    """Import numba unless absent or explicitly disabled."""
+    if os.environ.get("REPRO_DISABLE_NUMBA"):
+        return None
+    try:
+        import numba
+    except ImportError:
+        return None
+    return numba
+
+
+_numba = _load_numba()
+
+#: Whether the compiled fast path is available in this process.
+HAVE_NUMBA = _numba is not None
+
+
+if HAVE_NUMBA:
+
+    @_numba.njit(cache=True, parallel=True)
+    def _segment_sums_kernel(table, ids, starts, lengths, out):  # pragma: no cover - compiled
+        for family in _numba.prange(table.shape[0]):
+            row = table[family]
+            for box in range(starts.shape[0]):
+                acc = 0
+                base = starts[box]
+                for step in range(lengths[box]):
+                    acc += row[ids[base + step]]
+                out[family, box] = acc
+
+    @_numba.njit(cache=True, parallel=True)
+    def _point_sums_kernel(table, ids, per_point, out):  # pragma: no cover - compiled
+        for family in _numba.prange(table.shape[0]):
+            row = table[family]
+            for point in range(out.shape[1]):
+                acc = 0
+                base = point * per_point
+                for step in range(per_point):
+                    acc += row[ids[base + step]]
+                out[family, point] = acc
+
+
+def _check_ids(ids: np.ndarray, universe_size: int) -> None:
+    # The compiled kernels index the table without bounds checks, so the
+    # range check is load-bearing for memory safety, not just diagnostics.
+    # Same message as FourWiseFamilyBank._check_ids — callers see one
+    # error regardless of which evaluation path served them.
+    if ids.size and (ids.min() < 0 or ids.max() >= universe_size):
+        raise SketchConfigError(
+            f"ids must be within [0, {universe_size}), "
+            f"got range [{ids.min()}, {ids.max()}]"
+        )
+
+
+def segment_sums_from_table(table: np.ndarray, ids: np.ndarray,
+                            starts: np.ndarray, lengths: np.ndarray,
+                            out: np.ndarray) -> bool:
+    """Fused gather+reduce over variable-length cover segments.
+
+    ``out[f, j]`` receives ``sum(table[f, ids[starts[j] : starts[j] +
+    lengths[j]]])`` as an exact float64.  Returns ``False`` (leaving
+    ``out`` untouched) when the compiled path is unavailable.
+    """
+    if not HAVE_NUMBA:
+        return False
+    ids = np.ascontiguousarray(ids, dtype=np.int64)
+    _check_ids(ids, table.shape[1])
+    _segment_sums_kernel(table, ids, starts, lengths, out)
+    return True
+
+
+def point_sums_from_table(table: np.ndarray, ids: np.ndarray,
+                          per_point: int, out: np.ndarray) -> bool:
+    """Fused gather+reduce over fixed-length point covers.
+
+    ``out[f, j]`` receives ``sum(table[f, ids[j*per_point : (j+1) *
+    per_point]])``.  Returns ``False`` when the compiled path is
+    unavailable.
+    """
+    if not HAVE_NUMBA:
+        return False
+    ids = np.ascontiguousarray(ids, dtype=np.int64)
+    _check_ids(ids, table.shape[1])
+    _point_sums_kernel(table, ids, np.int64(per_point), out)
+    return True

@@ -97,6 +97,22 @@ class ConnectionLostError(ProtocolError):
     """
 
 
+class FrameTooLargeError(ServerError):
+    """A wire frame exceeded the server's configured size bound.
+
+    Raised client-side when a server answers ``error_code:
+    "frame_too_large"``.  Under the binary wire format the frame prefix
+    declares its length up front, so the server drains and rejects the
+    oversized frame while keeping the connection usable; under NDJSON the
+    line framing is lost and the server closes the connection after
+    replying.  :attr:`recoverable` records which case applies.
+    """
+
+    def __init__(self, message: str, *, recoverable: bool = False) -> None:
+        super().__init__(message, code="frame_too_large")
+        self.recoverable = recoverable
+
+
 class DegradedError(ServerError):
     """A cluster request could not be fully served: shard owners are down.
 

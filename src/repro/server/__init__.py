@@ -14,6 +14,10 @@ behind an asyncio TCP server speaking newline-delimited JSON
 * :class:`~repro.server.runner.ThreadedServer` — a synchronous handle
   that drives the server on a background event-loop thread.
 
+Connections start in NDJSON and may negotiate the length-prefixed binary
+frame format of :mod:`repro.server.wire` via a ``hello`` request (raw
+tensor bytes, zero-copy decode; see the README's "Wire formats" section).
+
 The matching synchronous client lives in :mod:`repro.client`.
 """
 
@@ -34,11 +38,15 @@ from repro.server.protocol import (
 )
 from repro.server.runner import ThreadedServer
 from repro.server.server import ServerConfig, SketchServer, serve
+from repro.server.wire import WIRE_BINARY, WIRE_FORMATS, WIRE_NDJSON
 
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
     "OPS",
+    "WIRE_NDJSON",
+    "WIRE_BINARY",
+    "WIRE_FORMATS",
     "encode",
     "decode",
     "ok_payload",

@@ -36,6 +36,22 @@ def label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
 
 
+class WireCounters:
+    """Frame and byte totals of one wire format on one server."""
+
+    __slots__ = ("frames_in", "bytes_in", "frames_out", "bytes_out")
+
+    def __init__(self) -> None:
+        self.frames_in = 0
+        self.bytes_in = 0
+        self.frames_out = 0
+        self.bytes_out = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"frames_in": self.frames_in, "bytes_in": self.bytes_in,
+                "frames_out": self.frames_out, "bytes_out": self.bytes_out}
+
+
 class ServerMetrics:
     """Counters and latency samples of one running server."""
 
@@ -46,6 +62,8 @@ class ServerMetrics:
         self.connections_opened = 0
         self.connections_active = 0
         self.reloads = 0
+        # Per-format frame/byte totals ("ndjson" / "binary").
+        self.wire: dict[str, WireCounters] = {}
         # (monotonic completion time, latency seconds) of recent estimates.
         self._samples: deque[tuple[float, float]] = deque(maxlen=window)
 
@@ -56,6 +74,21 @@ class ServerMetrics:
 
     def record_error(self, code: str) -> None:
         self.errors[code or "error"] += 1
+
+    def record_wire_in(self, format: str, nbytes: int) -> None:
+        counters = self.wire.setdefault(format, WireCounters())
+        counters.frames_in += 1
+        counters.bytes_in += int(nbytes)
+
+    def record_wire_out(self, format: str, nbytes: int) -> None:
+        counters = self.wire.setdefault(format, WireCounters())
+        counters.frames_out += 1
+        counters.bytes_out += int(nbytes)
+
+    def wire_state(self) -> dict[str, dict[str, int]]:
+        """The per-format totals as plain JSON (stats/metrics payloads)."""
+        return {format: counters.as_dict()
+                for format, counters in sorted(self.wire.items())}
 
     def record_estimate_latency(self, seconds: float) -> None:
         self._samples.append((time.monotonic(), seconds))
@@ -106,6 +139,24 @@ class ServerMetrics:
         for code in sorted(self.errors):
             lines.append(f'repro_server_errors_total{{code="{label_value(code)}"}} '
                          f"{self.errors[code]}")
+        # Wire-format traffic: one frames family, one bytes family, both
+        # labelled by format and direction (families stay contiguous).
+        for format in sorted(self.wire):
+            counters = self.wire[format]
+            for direction, count in (("in", counters.frames_in),
+                                     ("out", counters.frames_out)):
+                lines.append(
+                    "repro_server_wire_frames_total"
+                    f'{{format="{label_value(format)}",'
+                    f'direction="{direction}"}} {count}')
+        for format in sorted(self.wire):
+            counters = self.wire[format]
+            for direction, count in (("in", counters.bytes_in),
+                                     ("out", counters.bytes_out)):
+                lines.append(
+                    "repro_server_wire_bytes_total"
+                    f'{{format="{label_value(format)}",'
+                    f'direction="{direction}"}} {count}')
         quantiles = self.latency_quantiles()
         lines.append(f"repro_server_estimate_qps {self.estimate_qps():.3f}")
         for q, seconds in sorted(quantiles.items()):

@@ -38,6 +38,15 @@ single server and a whole fleet:
 * ``{"op": "reload", "data": <base64>}`` hot-loads a snapshot shipped over
   the wire — the replica-bootstrap path,
 * ``{"op": "cluster_status"}`` (router only) reports fleet topology.
+
+NDJSON is the *default and debug* wire format.  A connection may upgrade
+to the length-prefixed **binary frame format** (:mod:`repro.server.wire`)
+with a ``{"op": "hello", "wire": "binary"}`` handshake: the reply is still
+NDJSON, everything after it is binary in both directions.  Binary frames
+carry the same JSON payloads in their headers but lift numeric tensors
+(box rows, partial counters) and raw byte blobs (snapshots, WAL tails)
+into a zero-copy binary body, skipping both JSON number formatting and
+base64.
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ import numpy as np
 
 from repro.errors import (
     DegradedError,
+    FrameTooLargeError,
     OverloadedError,
     ProtocolError,
     ReproError,
@@ -65,20 +75,42 @@ MAX_LINE_BYTES = 16 * 1024 * 1024
 
 #: Machine-readable failure categories.
 ERROR_CODES = ("bad_request", "unknown_op", "overloaded", "degraded",
-               "protocol", "internal", "error")
+               "protocol", "frame_too_large", "internal", "error")
 
 #: Operations the server understands (``save`` is an alias of ``snapshot``;
-#: ``wal`` fetches or applies log-shipping tails, or describes the log).
-OPS = ("register", "ingest", "estimate", "flush", "stats", "metrics",
-       "snapshot", "save", "reload", "wal", "ping", "quit")
+#: ``wal`` fetches or applies log-shipping tails, or describes the log;
+#: ``hello`` negotiates the wire format for the rest of the connection).
+OPS = ("hello", "register", "ingest", "estimate", "flush", "stats",
+       "metrics", "snapshot", "save", "reload", "wal", "ping", "quit")
 
 #: Additional operations a cluster router understands on top of :data:`OPS`.
 CLUSTER_OPS = ("cluster_status",)
 
 
+def json_default(value: Any) -> Any:
+    """JSON fallback giving binary-capable payloads an exact NDJSON form.
+
+    Handlers produce wire-format-agnostic payloads (numpy tensors, raw
+    bytes); on an NDJSON connection tensors render as the nested lists
+    they always were and byte blobs as base64, so the NDJSON wire shapes
+    are unchanged by the binary format's existence.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return pack_bytes(bytes(value))
+    raise TypeError(
+        f"payload value of type {type(value).__name__} is not serialisable")
+
+
 def encode(payload: Mapping[str, Any]) -> bytes:
     """One protocol frame: compact JSON plus the line terminator."""
-    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+    return json.dumps(payload, separators=(",", ":"),
+                      default=json_default).encode("utf-8") + b"\n"
 
 
 def decode(line: bytes | str) -> dict:
@@ -186,6 +218,18 @@ def unpack_bytes(text: str) -> bytes:
         raise ProtocolError(f"malformed base64 payload: {exc}") from exc
 
 
+def payload_bytes(value: Any) -> bytes:
+    """A binary payload field as raw bytes, whatever wire format carried it.
+
+    Binary frames deliver byte blobs as ``bytes`` already; NDJSON delivers
+    the base64 string :func:`pack_bytes` produced.  Every handler that
+    accepts inline snapshot/WAL data decodes through this single helper.
+    """
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return bytes(value)
+    return unpack_bytes(str(value))
+
+
 def raise_for_response(response: Mapping[str, Any]) -> dict:
     """Client-side check: return the response or raise its typed error."""
     if response.get("ok"):
@@ -198,4 +242,6 @@ def raise_for_response(response: Mapping[str, Any]) -> dict:
         raise DegradedError(message, detail=response.get("detail"))
     if code == "protocol":
         raise ProtocolError(message)
+    if code == "frame_too_large":
+        raise FrameTooLargeError(message)
     raise ServerError(message, code=code)

@@ -34,8 +34,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.errors import ReproError, ServiceError
-from repro.server import protocol
+from repro.errors import ServiceError
+from repro.server import protocol, wire
 from repro.server.coalescer import EstimateCoalescer
 from repro.server.metrics import ServerMetrics
 from repro.service.service import EstimationService
@@ -53,6 +53,7 @@ class ServerConfig:
     max_inflight_per_connection: int = 128
     max_line_bytes: int = protocol.MAX_LINE_BYTES
     executor_workers: int = 4
+    binary_wire: bool = True  # offer the binary frame format on hello
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -61,16 +62,6 @@ class ServerConfig:
             raise ServiceError("max_queue must be positive")
         if self.max_inflight_per_connection < 1:
             raise ServiceError("max_inflight_per_connection must be positive")
-
-
-class _ConnectionState:
-    """Per-connection in-flight accounting shared by reader and writer."""
-
-    __slots__ = ("inflight", "slot_free")
-
-    def __init__(self) -> None:
-        self.inflight = 0
-        self.slot_free = asyncio.Event()
 
 
 class SketchServer:
@@ -167,110 +158,31 @@ class SketchServer:
 
     # -- connection handling ------------------------------------------------------
 
+    @property
+    def wire_formats(self) -> tuple[str, ...]:
+        """Formats this server offers in the ``hello`` handshake."""
+        if self.config.binary_wire:
+            return wire.WIRE_FORMATS
+        return (wire.WIRE_NDJSON,)
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        # The pipelined in-order reader/writer pair (and the binary-frame
+        # negotiation) is shared with the cluster router — see
+        # repro.server.wire.serve_connection.
         self.metrics.connections_opened += 1
         self.metrics.connections_active += 1
         self._connections.add(writer)
-        replies: asyncio.Queue = asyncio.Queue()
-        # In-flight accounting is a plain counter + wakeup event rather than
-        # a semaphore: the common (uncontended) path then costs no awaits.
-        # The slot is freed by the WRITER once the reply has been written
-        # (not when the request task completes), so the cap bounds the
-        # replies queue and the transport buffer too: a client that sends
-        # fast but reads slowly stalls the writer in drain(), slots stay
-        # taken, and the reader stops consuming — true end-to-end
-        # backpressure, at most max_inflight replies buffered.
-        state = _ConnectionState()
-        writer_task = asyncio.create_task(
-            self._write_replies(replies, writer, state))
-        loop = asyncio.get_running_loop()
-
-        def done(payload: dict) -> asyncio.Future:
-            future = loop.create_future()
-            future.set_result(payload)
-            return future
-
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except ValueError:
-                    # Oversized frame: framing is lost, reply and hang up.
-                    replies.put_nowait((done(protocol.error_payload(
-                        f"request line exceeds "
-                        f"{self.config.max_line_bytes} bytes",
-                        code="protocol")), False))
-                    break
-                except (ConnectionError, OSError):
-                    break
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                try:
-                    request = protocol.decode(line)
-                except ReproError as exc:
-                    replies.put_nowait((done(protocol.error_payload_for(exc)),
-                                        False))
-                    continue
-                op = request.get("op")
-                self.metrics.record_request(str(op))
-                if op == "quit":
-                    replies.put_nowait((done(protocol.ok_payload("quit",
-                                                                 request)),
-                                        False))
-                    break
-                while state.inflight >= self.config.max_inflight_per_connection:
-                    state.slot_free.clear()
-                    await state.slot_free.wait()
-                state.inflight += 1
-                task = asyncio.create_task(self._process(request))
-                replies.put_nowait((task, True))
+            await wire.serve_connection(self, reader, writer)
         finally:
-            replies.put_nowait(None)
+            self.metrics.connections_active -= 1
+            self._connections.discard(writer)
+            writer.close()
             try:
-                await writer_task
-            finally:
-                self.metrics.connections_active -= 1
-                self._connections.discard(writer)
-                writer.close()
-                try:
-                    await writer.wait_closed()
-                except (ConnectionError, OSError):
-                    pass
-
-    async def _write_replies(self, replies: asyncio.Queue,
-                             writer: asyncio.StreamWriter,
-                             state: "_ConnectionState") -> None:
-        """Write replies in request order as their tasks complete."""
-        while True:
-            entry = await replies.get()
-            if entry is None:
-                return
-            item, counted = entry
-            try:
-                try:
-                    payload = await item
-                except Exception as exc:  # _process shouldn't leak; be safe
-                    payload = protocol.error_payload_for(exc)
-                if not payload.get("ok"):
-                    self.metrics.record_error(payload.get("error_code",
-                                                          "error"))
-                try:
-                    writer.write(protocol.encode(payload))
-                    if replies.empty():
-                        # Batch kernel writes: drain once per burst of ready
-                        # replies instead of once per reply.
-                        await writer.drain()
-                except (ConnectionError, OSError):
-                    # The client went away mid-reply; keep consuming the
-                    # queue so pending request tasks still get awaited.
-                    pass
-            finally:
-                if counted:
-                    state.inflight -= 1
-                    state.slot_free.set()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     # -- request dispatch ---------------------------------------------------------
 
@@ -325,9 +237,13 @@ class SketchServer:
             # Sketches are linear projections, so a cluster router can
             # reduce the partials of many workers with one vectorised
             # merge and estimate from the reduction bit-identically to a
-            # single-node service over the union of the boxes.
+            # single-node service over the union of the boxes.  With
+            # encoding="arrays" the counters come back as numpy tensors —
+            # on a binary connection they ship as raw little-endian bytes
+            # instead of JSON number lists.
+            arrays = request.get("encoding") == "arrays"
             state = await self._run_blocking(
-                lambda: service.merged_view(name).state_dict())
+                lambda: service.merged_view(name).state_dict(arrays=arrays))
             return protocol.ok_payload("estimate", request, name=name,
                                        partial=True, spec=spec.to_dict(),
                                        state=state)
@@ -366,6 +282,7 @@ class SketchServer:
             "coalesce_factor": coalescer_stats.coalesce_factor,
             "cross_estimator_dispatches": coalescer_stats.cross_dispatches,
             "reloads": self.metrics.reloads,
+            "wire": self.metrics.wire_state(),
         }
         return protocol.ok_payload("stats", request, **description)
 
@@ -387,7 +304,8 @@ class SketchServer:
             requests=dict(self.metrics.requests),
             errors=dict(self.metrics.errors),
             connections_active=self.metrics.connections_active,
-            estimate_qps=self.metrics.estimate_qps())
+            estimate_qps=self.metrics.estimate_qps(),
+            wire=self.metrics.wire_state())
 
     async def _op_snapshot(self, request: dict) -> dict:
         service = self._service
@@ -398,10 +316,12 @@ class SketchServer:
             # fresh worker over the wire.  ``wal_seqno`` names the log
             # position the snapshot covers, so a WAL-synced follower knows
             # where its log-shipped catch-up stream starts.
+            # ``data`` is raw bytes: base64 on NDJSON connections (via the
+            # encoder's json_default hook), a zero-copy body section on
+            # binary ones.
             data, wal_seqno = await self._run_blocking(_snapshot_bytes,
                                                        service)
-            return protocol.ok_payload("snapshot", request,
-                                       data=protocol.pack_bytes(data),
+            return protocol.ok_payload("snapshot", request, data=data,
                                        nbytes=len(data), wal_seqno=wal_seqno)
         path = request.get("path", self._snapshot_path)
         if not path:
@@ -441,12 +361,12 @@ class SketchServer:
                 "wal", request, since=tail.since, count=tail.count,
                 first_seqno=tail.first_seqno, last_seqno=tail.last_seqno,
                 truncated=tail.truncated, nbytes=tail.nbytes,
-                data=protocol.pack_bytes(tail.data))
+                data=tail.data)
         if "apply" in request:
             # Follower side of log shipping: replay a shipped tail through
             # the normal ingest path (so it lands in this server's own WAL
             # when one is attached).
-            raw = protocol.unpack_bytes(str(request["apply"]))
+            raw = protocol.payload_bytes(request["apply"])
 
             def apply() -> tuple[int, int, int]:
                 records = records_from_tail_bytes(raw)
@@ -480,7 +400,7 @@ class SketchServer:
             wal = old.wal
             fields: dict = {}
             if data is not None:
-                raw = protocol.unpack_bytes(str(data))
+                raw = protocol.payload_bytes(data)
                 if wal is None:
                     fresh = await self._run_blocking(_service_from_bytes, raw)
                 else:

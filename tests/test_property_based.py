@@ -84,6 +84,95 @@ class TestDyadicProperties:
         common = set(domain.cover(lo, hi)) & set(domain.point_cover(point))
         assert len(common) == (1 if lo <= point <= hi else 0)
 
+    @given(st.integers(min_value=1, max_value=9),
+           st.lists(st.tuples(st.integers(0, 500), st.integers(0, 500)),
+                    min_size=1, max_size=30),
+           st.integers(min_value=-1, max_value=9))
+    @settings(max_examples=150, deadline=None)
+    def test_batched_covers_equal_scalar_covers(self, height, raw_pairs,
+                                                max_level):
+        """The vectorised level-sweep emits exactly the scalar walk's ids."""
+        size = 2 ** height
+        level = None if max_level < 0 else min(max_level, height)
+        domain = DyadicDomain(size, max_level=level)
+        pairs = [sorted((lo % size, hi % size)) for lo, hi in raw_pairs]
+        lows = np.array([p[0] for p in pairs], dtype=np.int64)
+        highs = np.array([p[1] for p in pairs], dtype=np.int64)
+        ids, lengths = domain.covers(lows, highs)
+        expected_ids: list[int] = []
+        expected_lengths = []
+        for lo, hi in pairs:
+            cover = domain.cover(int(lo), int(hi))
+            expected_ids.extend(cover)
+            expected_lengths.append(len(cover))
+        assert ids.tolist() == expected_ids
+        assert lengths.tolist() == expected_lengths
+
+
+# -- fused letter-sum kernels -----------------------------------------------------------
+
+class TestFusedLetterSumProperties:
+    """The fused sign+reduce paths are bit-identical to the naive reduction.
+
+    The reference below recomputes every letter sum with scalar covers and
+    plain ``signs()`` calls — the shape of the pre-fusion implementation —
+    so these properties pin the fused workspace/table/numba paths (whichever
+    this process resolves to) against first principles.
+    """
+
+    @staticmethod
+    def reference_letter_sums(bank, dim, letter, lows, highs):
+        dyadic = bank.domain.dyadic(dim)
+        xi = bank.xi_banks[dim]
+
+        def point_sums(coords):
+            columns = []
+            for coordinate in coords:
+                cover = np.asarray(dyadic.point_cover(int(coordinate)),
+                                   dtype=np.int64)
+                columns.append(xi.signs(cover).sum(axis=1, dtype=np.float64))
+            return np.stack(columns, axis=1) if columns else \
+                np.zeros((xi.num_families, 0))
+
+        if letter is Letter.INTERVAL:
+            columns = []
+            for lo, hi in zip(lows, highs):
+                cover = np.asarray(dyadic.cover(int(lo), int(hi)),
+                                   dtype=np.int64)
+                columns.append(xi.signs(cover).sum(axis=1, dtype=np.float64))
+            return np.stack(columns, axis=1) if columns else \
+                np.zeros((xi.num_families, 0))
+        if letter is Letter.ENDPOINTS:
+            return point_sums(lows) + point_sums(highs)
+        if letter is Letter.LOWER_POINT:
+            return point_sums(lows)
+        if letter is Letter.UPPER_POINT:
+            return point_sums(highs)
+        if letter is Letter.LOWER_LEAF:
+            leaves = dyadic.size - 1 + np.asarray(lows, dtype=np.int64)
+            return xi.signs(leaves).astype(np.float64)
+        leaves = dyadic.size - 1 + np.asarray(highs, dtype=np.int64)
+        return xi.signs(leaves).astype(np.float64)
+
+    @given(interval_set_strategy(64, max_count=20),
+           st.sampled_from(list(Letter)),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_fused_sums_bit_identical_to_reference(self, pairs, letter, seed):
+        from repro.core.atomic import SketchBank, all_words
+
+        domain = Domain((64,))
+        bank = SketchBank(domain, all_words([letter], 1), 16, seed=seed)
+        lows = np.array([p[0] for p in pairs], dtype=np.int64)
+        highs = np.array([p[1] for p in pairs], dtype=np.int64)
+        fused = bank.letter_sums(0, letter, lows, highs)
+        reference = self.reference_letter_sums(bank, 0, letter, lows, highs)
+        assert np.array_equal(fused, reference)
+        # Repeat once the table is warm (repeated requests flip the bank
+        # from polynomial evaluation to table gathers mid-life).
+        again = bank.letter_sums(0, letter, lows, highs)
+        assert np.array_equal(again, reference)
+
 
 # -- exact join algorithms -------------------------------------------------------------
 

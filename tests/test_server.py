@@ -458,8 +458,8 @@ def test_oversized_frame_is_rejected():
             await server.close()
 
     reply, eof = asyncio.run(main())
-    assert not reply["ok"] and reply["error_code"] == "protocol"
-    assert eof == b""  # framing is unrecoverable: server hangs up
+    assert not reply["ok"] and reply["error_code"] == "frame_too_large"
+    assert eof == b""  # NDJSON framing is unrecoverable: server hangs up
 
 
 class TestCoalescerUnit:

@@ -1,0 +1,355 @@
+"""Tests of the binary wire format: codec, negotiation, and mixed fleets.
+
+Three layers are pinned here:
+
+* the frame codec itself — binary round-trips decode to the same payloads
+  the NDJSON path produces (property-based over box batches), and a frame
+  truncated or corrupted at *any* byte offset is rejected with a typed
+  error instead of garbage;
+* the ``hello`` negotiation — upgrade, auto-fallback, refusal when the
+  server disables binary framing, and the structured ``frame_too_large``
+  error replacing the old silent connection drop;
+* mixed-format serving — a binary client and an NDJSON client against one
+  server see bit-identical estimates and byte-identical snapshots.
+"""
+
+import asyncio
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client import ServiceClient
+from repro.core.domain import Domain
+from repro.errors import (
+    ConnectionLostError,
+    FrameTooLargeError,
+    ProtocolError,
+    ServerError,
+)
+from repro.server import protocol, wire
+from repro.server.runner import ThreadedServer
+from repro.server.server import ServerConfig
+from repro.service import EstimationService, synthetic_boxes
+
+DOMAIN = Domain.square(256, dimension=2)
+
+
+def make_service(*, data: int = 300) -> EstimationService:
+    service = EstimationService(num_shards=2)
+    service.register("ranges", family="range", domain=DOMAIN,
+                     num_instances=32, seed=5)
+    service.ingest("ranges", synthetic_boxes(DOMAIN, data, seed=1),
+                   side="data")
+    service.flush()
+    return service
+
+
+def decode_frame_bytes(frame: bytes) -> dict:
+    """Decode one complete binary frame from its raw bytes."""
+    return wire.read_binary_frame_sync(io.BytesIO(frame))
+
+
+# -- codec round-trips --------------------------------------------------------------
+
+
+def test_plain_payload_round_trips():
+    payload = {"op": "ping", "ok": True, "nested": {"a": [1, 2.5, None, "x"]}}
+    assert decode_frame_bytes(wire.encode_binary(payload)) == payload
+
+
+def test_tensor_and_bytes_sections_round_trip():
+    payload = {
+        "op": "estimate",
+        "boxes": np.arange(12, dtype=np.int64).reshape(3, 4),
+        "state": {"counters": np.linspace(0.0, 1.0, 6).reshape(2, 3),
+                  "xi": np.arange(8, dtype=np.uint64).reshape(2, 4)},
+        "blobs": [b"raw-bytes", {"inner": b"\x00\xff" * 10}],
+    }
+    decoded = decode_frame_bytes(wire.encode_binary(payload))
+    assert np.array_equal(decoded["boxes"], payload["boxes"])
+    assert decoded["boxes"].dtype == np.int64
+    assert np.array_equal(decoded["state"]["counters"],
+                          payload["state"]["counters"])
+    assert np.array_equal(decoded["state"]["xi"], payload["state"]["xi"])
+    assert decoded["state"]["xi"].dtype == np.uint64
+    assert decoded["blobs"][0] == b"raw-bytes"
+    assert decoded["blobs"][1]["inner"] == b"\x00\xff" * 10
+    # Tensors decode as zero-copy views over the receive buffer.
+    assert not decoded["boxes"].flags.writeable
+
+
+def test_exotic_dtypes_fall_back_to_json_lists():
+    payload = {"op": "x", "small": np.arange(4, dtype=np.int32),
+               "flags": np.array([True, False])}
+    decoded = decode_frame_bytes(wire.encode_binary(payload))
+    assert decoded["small"] == [0, 1, 2, 3]
+    assert decoded["flags"] == [True, False]
+
+
+def test_ndjson_encoder_renders_tensors_and_bytes():
+    """json_default keeps NDJSON usable for the same mode-agnostic payloads."""
+    payload = {"rows": np.arange(4, dtype=np.int64).reshape(2, 2),
+               "blob": b"abc", "n": np.int64(7), "f": np.float64(0.5)}
+    decoded = protocol.decode(protocol.encode(payload))
+    assert decoded["rows"] == [[0, 1], [2, 3]]
+    assert protocol.unpack_bytes(decoded["blob"]) == b"abc"
+    assert decoded["n"] == 7 and decoded["f"] == 0.5
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255),
+                          st.integers(0, 255), st.integers(0, 255)),
+                min_size=1, max_size=40))
+def test_binary_boxes_decode_identically_to_ndjson(rows):
+    """Property: for any box batch, both wire formats yield the same BoxSet."""
+    rows = [[min(a, c), min(b, d), max(a, c), max(b, d)]
+            for a, b, c, d in rows]
+    tensor = np.asarray(rows, dtype=np.int64)
+    binary_request = decode_frame_bytes(wire.encode_binary(
+        {"op": "ingest", "boxes": tensor}))
+    ndjson_request = protocol.decode(protocol.encode(
+        {"op": "ingest", "boxes": rows}))
+    from_binary = protocol.boxes_from_rows(binary_request["boxes"], 2)
+    from_ndjson = protocol.boxes_from_rows(ndjson_request["boxes"], 2)
+    assert np.array_equal(from_binary.lows, from_ndjson.lows)
+    assert np.array_equal(from_binary.highs, from_ndjson.highs)
+
+
+# -- rejection of damaged frames ----------------------------------------------------
+
+
+def reference_frame() -> bytes:
+    return wire.encode_binary({
+        "op": "ingest", "name": "ranges",
+        "boxes": np.arange(8, dtype=np.int64).reshape(2, 4),
+        "blob": b"0123456789",
+    })
+
+
+def test_truncated_frame_rejected_at_every_offset():
+    frame = reference_frame()
+    for cut in range(len(frame)):
+        stream = io.BytesIO(frame[:cut])
+        with pytest.raises((ProtocolError, ConnectionLostError)):
+            wire.read_binary_frame_sync(stream)
+
+
+def test_bad_magic_loses_framing():
+    frame = bytearray(reference_frame())
+    frame[0:4] = b"XXXX"
+    with pytest.raises(wire.FramingLostError):
+        decode_frame_bytes(bytes(frame))
+
+
+def test_corrupt_descriptors_rejected():
+    base = {"op": "x", "t": np.arange(4, dtype=np.int64)}
+    frame = wire.encode_binary(base)
+    prefix = frame[:wire.PREFIX_SIZE]
+    header_len = int.from_bytes(prefix[4:8], "little")
+    header = frame[wire.PREFIX_SIZE:wire.PREFIX_SIZE + header_len]
+    body = frame[wire.PREFIX_SIZE + header_len:]
+
+    def rebuilt(header_bytes: bytes, body_bytes: bytes) -> bytes:
+        return (wire.FRAME_PREFIX.pack(wire.MAGIC, len(header_bytes),
+                                       len(body_bytes))
+                + header_bytes + body_bytes)
+
+    # Unsupported dtype kind.
+    bad = header.replace(b'"<i8"', b'"<i4"')
+    with pytest.raises(ProtocolError):
+        decode_frame_bytes(rebuilt(bad, body))
+    # Shape larger than the body.
+    bad = header.replace(b"[4]", b"[400]")
+    with pytest.raises(ProtocolError):
+        decode_frame_bytes(rebuilt(bad, body))
+    # Negative extent.
+    bad = header.replace(b"[4]", b"[-4]")
+    with pytest.raises(ProtocolError):
+        decode_frame_bytes(rebuilt(bad, body))
+    # Path that does not exist in the payload tree.
+    bad = header.replace(b'[["t"]', b'[["missing","deep"]')
+    with pytest.raises(ProtocolError):
+        decode_frame_bytes(rebuilt(bad, body))
+    # Undeclared trailing body bytes.
+    with pytest.raises(ProtocolError):
+        decode_frame_bytes(rebuilt(header, body + b"extra"))
+
+
+def test_oversized_declared_frame_is_typed_and_recoverable():
+    frame = reference_frame()
+    with pytest.raises(FrameTooLargeError) as excinfo:
+        wire.read_binary_frame_sync(io.BytesIO(frame), max_bytes=32)
+    assert excinfo.value.code == "frame_too_large"
+    assert excinfo.value.recoverable
+
+
+# -- negotiation and mixed-format serving -------------------------------------------
+
+
+def test_hello_negotiation_modes():
+    service = make_service()
+    with ThreadedServer(service) as server:
+        with ServiceClient("127.0.0.1", server.port) as plain:
+            assert plain.wire_format == "ndjson"
+            plain.ping()
+        with ServiceClient("127.0.0.1", server.port, wire="binary") as fast:
+            assert fast.wire_format == "binary"
+            fast.ping()
+        with ServiceClient("127.0.0.1", server.port, wire="auto") as auto:
+            assert auto.wire_format == "binary"
+            auto.ping()
+    with pytest.raises(ProtocolError):
+        ServiceClient("127.0.0.1", 1, wire="msgpack")
+
+
+def test_binary_refused_when_disabled():
+    service = make_service()
+    config = ServerConfig(port=0, binary_wire=False)
+    with ThreadedServer(service, config=config) as server:
+        # auto falls back silently...
+        with ServiceClient("127.0.0.1", server.port, wire="auto") as auto:
+            assert auto.wire_format == "ndjson"
+            auto.ping()
+        # ...but an explicit binary request surfaces the refusal.
+        with pytest.raises(ServerError):
+            ServiceClient("127.0.0.1", server.port, wire="binary")
+
+
+def test_mixed_format_clients_bit_identical():
+    service = make_service()
+    rng = np.random.default_rng(11)
+    lows = rng.integers(0, 200, (500, 2))
+    highs = lows + rng.integers(0, 56, (500, 2))
+    rows = np.hstack([lows, highs])
+    queries = [[0, 0, 200, 200], [10, 10, 90, 90]]
+    with ThreadedServer(service) as server:
+        with ServiceClient("127.0.0.1", server.port, wire="binary") as fast, \
+                ServiceClient("127.0.0.1", server.port) as plain:
+            fast.ingest("ranges", rows.tolist(), side="data")
+            fast.flush()
+            for query in queries:
+                assert fast.estimate("ranges", query) == \
+                    plain.estimate("ranges", query)
+            # Pipelined batches agree too.
+            boxes = [[0, 0, 128, 128], [5, 5, 250, 250]]
+            assert fast.estimate_many("ranges", boxes) == \
+                plain.estimate_many("ranges", boxes)
+
+
+def test_binary_snapshot_fetch_is_raw_bytes():
+    import base64
+
+    service = make_service()
+    with ThreadedServer(service) as server:
+        with ServiceClient("127.0.0.1", server.port, wire="binary") as fast, \
+                ServiceClient("127.0.0.1", server.port) as plain:
+            raw = fast.request({"op": "snapshot", "fetch": True})["data"]
+            encoded = plain.request({"op": "snapshot", "fetch": True})["data"]
+            assert isinstance(raw, bytes) and isinstance(encoded, str)
+            assert raw == base64.b64decode(encoded)
+
+
+def test_wire_metrics_and_stats_exposed():
+    service = make_service()
+    with ThreadedServer(service) as server:
+        with ServiceClient("127.0.0.1", server.port, wire="binary") as fast:
+            fast.ping()
+            stats = fast.stats()
+            formats = stats["server"]["wire"]
+            assert {"ndjson", "binary"} <= set(formats)
+            for counters in formats.values():
+                assert set(counters) == {"frames_in", "bytes_in",
+                                         "frames_out", "bytes_out"}
+            text = fast.metrics()
+            assert 'repro_server_wire_frames_total{format="binary",' \
+                   'direction="in"}' in text
+            assert 'repro_server_wire_bytes_total{format="ndjson",' \
+                   'direction="out"}' in text
+
+
+def test_ingest_ships_tensor_and_ragged_rows_still_rejected():
+    service = make_service()
+    with ThreadedServer(service) as server:
+        with ServiceClient("127.0.0.1", server.port, wire="binary") as fast:
+            fast.ingest("ranges", [[0, 0, 10, 10], [1, 1, 5, 5]], side="data")
+            with pytest.raises(ServerError):
+                fast.ingest("ranges", [[0, 0, 10, 10], [1, 1]], side="data")
+
+
+# -- frame_too_large over live connections ------------------------------------------
+
+
+def test_oversized_binary_frame_keeps_connection_usable():
+    service = make_service()
+    config = ServerConfig(port=0, max_line_bytes=4096)
+    with ThreadedServer(service, config=config) as server:
+        with ServiceClient("127.0.0.1", server.port, wire="binary") as fast:
+            big = np.zeros((300, 4), dtype=np.int64)  # ~9.6 KB body
+            with pytest.raises(FrameTooLargeError):
+                fast.request({"op": "ingest", "name": "ranges", "boxes": big,
+                              "side": "data"})
+            # Length-prefixed framing survives an oversized frame: the same
+            # connection keeps serving (no reconnect happened).
+            assert fast.ping()["ok"]
+            assert fast.reconnects == 0
+
+
+def test_oversized_ndjson_line_answers_then_hangs_up():
+    service = make_service()
+
+    async def main():
+        from repro.server.server import SketchServer
+
+        server = SketchServer(service,
+                              config=ServerConfig(port=0,
+                                                  max_line_bytes=2048))
+        await server.start()
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           server.port)
+            writer.write(b"y" * 4096 + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=30)
+            reply = protocol.decode(line)
+            eof = await asyncio.wait_for(reader.readline(), timeout=30)
+            writer.close()
+            return reply, eof
+        finally:
+            await server.close()
+
+    reply, eof = asyncio.run(main())
+    assert not reply["ok"] and reply["error_code"] == "frame_too_large"
+    assert eof == b""  # NDJSON framing is lost: server hangs up after replying
+
+
+# -- cluster links ------------------------------------------------------------------
+
+
+def test_worker_links_negotiate_binary():
+    from repro.cluster import ClusterRouter, RouterConfig
+
+    async def main():
+        worker = ThreadedServer(make_service())
+        worker.start()
+        ndjson_worker = ThreadedServer(
+            make_service(), config=ServerConfig(port=0, binary_wire=False))
+        ndjson_worker.start()
+        router = ClusterRouter(config=RouterConfig(port=0))
+        try:
+            await router.attach("w0", "127.0.0.1", worker.port)
+            await router.attach("w1", "127.0.0.1", ndjson_worker.port)
+            modes = {info.name: info.link.mode
+                     for info in router.manager.workers()}
+            return modes
+        finally:
+            await router.close()
+            worker.stop()
+            ndjson_worker.stop()
+
+    modes = asyncio.run(main())
+    # auto preference: binary against a willing worker, NDJSON fallback
+    # against one that refuses — one fleet, mixed formats, same answers.
+    assert modes == {"w0": "binary", "w1": "ndjson"}
