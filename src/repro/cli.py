@@ -86,10 +86,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default), binary requires the upgrade, ndjson "
                             "stays on the debuggable JSON-lines protocol")
 
+    def add_token_arg(p):
+        p.add_argument("--token", default=None, metavar="TOKEN",
+                       help="API token for --connect against a multi-tenant "
+                            "server: a tenant token scopes every request to "
+                            "that tenant's namespace, the admin token grants "
+                            "the unscoped administrative role")
+
     def add_connect_arg(p):
         p.add_argument("--connect", default=None, metavar="HOST:PORT",
                        help="send the request to a running network server "
                             "instead of restoring --snapshot locally")
+        add_token_arg(p)
         add_wire_arg(p)
 
     def add_format_arg(p):
@@ -155,6 +163,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                "cover sizes, and the reduction plan — "
                                "instead of estimating (offline --snapshot "
                                "path only)")
+    estimate.add_argument("--json", action="store_true",
+                          help="with --connect: print a structured JSON "
+                               "envelope (server address, wire format, "
+                               "result fields) instead of the bare result "
+                               "object")
 
     serve = sub.add_parser(
         "serve", help="serve estimates over stdio JSON-lines, or over TCP "
@@ -183,6 +196,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="admission cap on queued+in-flight estimates; "
                             "beyond it requests get fast 'overloaded' errors "
                             "(default: 1024)")
+    serve.add_argument("--max-frame-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="with --listen: upper bound on one request or "
+                            "response frame, enforced on both the NDJSON "
+                            "and binary wire paths (default: 16 MiB)")
+    serve.add_argument("--admin-token", default=None, metavar="TOKEN",
+                       help="with --listen: enable the authenticated admin "
+                            "role; with a tenant registry present, "
+                            "unauthenticated connections keep only the "
+                            "read-only surface")
     serve.add_argument("--snapshot-on-exit", action="store_true",
                        help="with --listen: on SIGTERM/SIGINT stop accepting, "
                             "drain in-flight requests and flush a final "
@@ -203,6 +226,33 @@ def _build_parser() -> argparse.ArgumentParser:
                             "once N update rows accumulate in the log "
                             "(default: manual checkpoints only)")
     add_format_arg(serve)
+
+    tenant = sub.add_parser(
+        "tenant", help="administer the tenant registry of a running server")
+    tenant.add_argument("action",
+                        choices=("create", "list", "describe", "update",
+                                 "disable", "enable", "remove"),
+                        help="registry action (all but a self-describe "
+                             "require the admin token)")
+    tenant.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="address of the running server or cluster "
+                             "router")
+    add_token_arg(tenant)
+    add_wire_arg(tenant)
+    tenant.add_argument("--tenant", default=None, metavar="ID",
+                        help="tenant id the action applies to (optional for "
+                             "list, and for describe on a tenant-token "
+                             "connection)")
+    tenant.add_argument("--tenant-token", default=None, metavar="TOKEN",
+                        help="API token to install (create, or rotation via "
+                             "update); only its SHA-256 hash is stored")
+    tenant.add_argument("--quota", default=None, metavar="JSON",
+                        help='quota object, e.g. \'{"ingest_boxes_per_sec": '
+                             '50000, "max_estimates_in_flight": 64, '
+                             '"share": 4}\' (create/update)')
+    tenant.add_argument("--json", action="store_true",
+                        help="print one compact machine-readable line "
+                             "instead of indented JSON")
 
     wal = sub.add_parser(
         "wal", help="inspect a write-ahead log directory (segments, durable "
@@ -241,6 +291,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=("auto", "binary", "ndjson"),
                         help="wire format for router->worker links "
                              "(default: auto — binary when workers offer it)")
+    cserve.add_argument("--admin-token", default=None, metavar="TOKEN",
+                        help="multi-tenant fleet: the router's admin token; "
+                             "spawned workers start with the same token and "
+                             "the router authenticates its worker links "
+                             "with it")
 
     croute = csub.add_parser(
         "route", help="route over already-running workers (no spawning)")
@@ -255,12 +310,23 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=("auto", "binary", "ndjson"),
                         help="wire format for router->worker links "
                              "(default: auto — binary when workers offer it)")
+    croute.add_argument("--admin-token", default=None, metavar="TOKEN",
+                        help="multi-tenant fleet: the router's admin token "
+                             "(also presented on worker links unless "
+                             "--worker-token overrides it)")
+    croute.add_argument("--worker-token", default=None, metavar="TOKEN",
+                        help="admin token the router presents on its worker "
+                             "links (default: --admin-token)")
 
     cstatus = csub.add_parser(
         "status", help="print a running router's cluster topology as JSON")
     cstatus.add_argument("--connect", required=True, metavar="HOST:PORT",
                          help="the router's address")
+    add_token_arg(cstatus)
     add_wire_arg(cstatus)
+    cstatus.add_argument("--json", action="store_true",
+                         help="print the topology as one compact JSON line "
+                              "(machine-readable) instead of indented output")
     return parser
 
 
@@ -311,7 +377,8 @@ def _connect_client(args):
 
     host, port = _parse_hostport(args.connect)
     try:
-        return ServiceClient(host, port, wire=getattr(args, "wire", "auto"))
+        return ServiceClient(host, port, wire=getattr(args, "wire", "auto"),
+                             token=getattr(args, "token", None))
     except OSError as exc:
         raise ReproError(f"cannot connect to {host}:{port}: {exc}") from exc
 
@@ -567,7 +634,19 @@ def _run_estimate_remote(args) -> int:
             raise ReproError("--batch-output requires --batch-file")
         query = _parse_query_arg(args.query) if args.query is not None else None
         result = client.estimate(args.name, query)
-        print(json.dumps({"name": args.name, **_estimate_payload(result)}))
+        if getattr(args, "json", False):
+            # Structured envelope for scripting: where the answer came
+            # from alongside the result fields themselves.
+            print(json.dumps({
+                "op": "estimate",
+                "server": f"{client.host}:{client.port}",
+                "wire": client.wire_format,
+                "name": args.name,
+                "query": args.query,
+                "result": _estimate_payload(result),
+            }, sort_keys=True))
+        else:
+            print(json.dumps({"name": args.name, **_estimate_payload(result)}))
     return 0
 
 
@@ -725,10 +804,15 @@ def _run_serve_listen(args, service, *, recovery=None) -> int:
     from repro.server import ServerConfig, serve
 
     host, port = _parse_hostport(args.listen)
+    config_kwargs = {}
+    if getattr(args, "max_frame_bytes", None) is not None:
+        config_kwargs["max_line_bytes"] = args.max_frame_bytes
     config = ServerConfig(host=host, port=port, max_batch=args.max_batch,
                           max_delay=args.max_delay_ms / 1000.0,
                           max_queue=args.max_queue,
-                          binary_wire=not args.no_binary_wire)
+                          binary_wire=not args.no_binary_wire,
+                          admin_token=getattr(args, "admin_token", None),
+                          **config_kwargs)
     # With a WAL the snapshot default falls back to the in-directory
     # checkpoint base, so snapshot/reload verbs and inline bootstraps all
     # share one recovery lineage.
@@ -857,15 +941,24 @@ def _run_cluster_serve(args) -> int:
         raise ReproError("--workers must be at least 1")
     host, port = _parse_hostport(args.listen)
     processes = []
+    extra_args: tuple[str, ...] = ()
+    if args.admin_token:
+        # The whole fleet shares one admin token: spawned workers enforce
+        # it, and the router both offers it to clients and presents it on
+        # its worker links.
+        extra_args = ("--admin-token", args.admin_token)
     try:
         for index in range(args.workers):
             snapshot = args.snapshot if index == 0 else None
             processes.append(spawn_worker(snapshot=snapshot,
                                           max_batch=args.max_batch,
-                                          max_delay_ms=args.max_delay_ms))
+                                          max_delay_ms=args.max_delay_ms,
+                                          extra_args=extra_args))
         router = ClusterRouter(config=RouterConfig(
             host=host, port=port, num_slots=args.slots,
-            worker_wire=args.worker_wire))
+            worker_wire=args.worker_wire,
+            admin_token=args.admin_token,
+            worker_token=args.admin_token))
 
         async def run() -> None:
             await router.attach("w0", processes[0].host, processes[0].port)
@@ -905,9 +998,11 @@ def _run_cluster_route(args) -> int:
 
     host, port = _parse_hostport(args.listen)
     targets = [_parse_hostport(text) for text in args.workers]
-    router = ClusterRouter(config=RouterConfig(host=host, port=port,
-                                               num_slots=args.slots,
-                                               worker_wire=args.worker_wire))
+    router = ClusterRouter(config=RouterConfig(
+        host=host, port=port, num_slots=args.slots,
+        worker_wire=args.worker_wire,
+        admin_token=args.admin_token,
+        worker_token=args.worker_token or args.admin_token))
 
     async def run() -> None:
         for index, (whost, wport) in enumerate(targets):
@@ -930,7 +1025,33 @@ def _run_cluster_route(args) -> int:
 
 def _run_cluster_status(args) -> int:
     with _connect_client(args) as client:
-        print(json.dumps(client.cluster_status(), indent=2, sort_keys=True))
+        status = client.cluster_status()
+        if getattr(args, "json", False):
+            # One compact machine-readable line (for shell pipelines);
+            # the human-facing default stays indented.
+            print(json.dumps(status, separators=(",", ":"), sort_keys=True))
+        else:
+            print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_tenant(args) -> int:
+    fields: dict = {}
+    if args.tenant_token is not None:
+        fields["token"] = args.tenant_token
+    if args.quota is not None:
+        try:
+            fields["quota"] = json.loads(args.quota)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"--quota must be a JSON object: {exc}") from exc
+    with _connect_client(args) as client:
+        reply = client.tenant(args.action, args.tenant, **fields)
+    body = {key: value for key, value in reply.items()
+            if key not in ("ok", "op")}
+    if args.json:
+        print(json.dumps(body, separators=(",", ":"), sort_keys=True))
+    else:
+        print(json.dumps(body, indent=2, sort_keys=True))
     return 0
 
 
@@ -971,6 +1092,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_estimate(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "tenant":
+            return _run_tenant(args)
         if args.command == "wal":
             return _run_wal_inspect(args)
         if args.command == "cluster":

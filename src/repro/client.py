@@ -39,12 +39,13 @@ the server offers binary and silently stays on NDJSON otherwise.
 from __future__ import annotations
 
 import socket
+import time
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ConnectionLostError, ProtocolError
+from repro.errors import ClientTimeoutError, ConnectionLostError, ProtocolError
 from repro.geometry.boxset import BoxSet
 from repro.server import protocol, wire as wire_format
 
@@ -102,14 +103,27 @@ class ServiceClient:
     """A persistent, pipelining connection to one sketch server."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
-                 timeout: float | None = 60.0, wire: str = "ndjson") -> None:
+                 timeout: float | None = 60.0,
+                 connect_timeout: float | None = None,
+                 read_timeout: float | None = None,
+                 wire: str = "ndjson", token: str | None = None) -> None:
         if wire not in ("ndjson", "binary", "auto"):
             raise ProtocolError(
                 f"wire must be 'ndjson', 'binary' or 'auto', got {wire!r}")
         self.host = host
         self.port = port
+        # ``timeout`` is the legacy single knob: it seeds both phases;
+        # ``connect_timeout`` / ``read_timeout`` override per phase.  A
+        # blown deadline surfaces as the typed ClientTimeoutError and is
+        # never healed by the reconnect-and-resend path — the server may
+        # still be processing the first copy.
         self.timeout = timeout
+        self.connect_timeout = (connect_timeout if connect_timeout is not None
+                                else timeout)
+        self.read_timeout = (read_timeout if read_timeout is not None
+                             else timeout)
         self.wire = wire  # the *preference*; see self.wire_format
+        self.token = token
         self.reconnects = 0
         self._connect()
 
@@ -119,16 +133,27 @@ class ServiceClient:
         return self._wire
 
     def _connect(self) -> None:
-        self._sock = socket.create_connection((self.host, self.port),
-                                              timeout=self.timeout)
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout)
+        except socket.timeout as exc:
+            raise ClientTimeoutError(
+                f"connect to {self.host}:{self.port} timed out after "
+                f"{self.connect_timeout:g}s") from exc
+        self._sock.settimeout(self.read_timeout)
         self._reader = self._sock.makefile("rb")
         self._wire = wire_format.WIRE_NDJSON
-        if self.wire != "ndjson":
-            try:
+        try:
+            if self.wire != "ndjson":
                 self._negotiate()
-            except BaseException:
-                self.close()
-                raise
+            if self.token is not None:
+                # Re-binding on every (re)connect keeps the tenant scope
+                # intact across the transparent reconnect path.
+                protocol.raise_for_response(
+                    self._round_trip({"op": "auth", "token": self.token}))
+        except BaseException:
+            self.close()
+            raise
 
     def _negotiate(self) -> None:
         # The handshake itself always travels as NDJSON; only frames after
@@ -172,13 +197,31 @@ class ServiceClient:
         resends; non-idempotent verbs surface the failure so callers can
         decide whether a resend risks double-applying.
         """
+        deadline = (time.monotonic() + self.read_timeout
+                    if self.read_timeout is not None else None)
         try:
             response = self._round_trip(payload)
+        except socket.timeout as exc:
+            # A timed-out request is NOT retried even for idempotent verbs:
+            # the deadline is the caller's latency budget, and a resend
+            # would silently double it.
+            raise ClientTimeoutError(
+                f"request {payload.get('op')!r} exceeded the "
+                f"{self.read_timeout:g}s read deadline") from exc
         except _RETRYABLE_ERRORS:
             if payload.get("op") not in IDEMPOTENT_OPS:
                 raise
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ClientTimeoutError(
+                    f"request {payload.get('op')!r} exceeded the "
+                    f"{self.read_timeout:g}s deadline before its retry")
             self._reconnect()
-            response = self._round_trip(payload)
+            try:
+                response = self._round_trip(payload)
+            except socket.timeout as exc:
+                raise ClientTimeoutError(
+                    f"request {payload.get('op')!r} exceeded the "
+                    f"{self.read_timeout:g}s read deadline") from exc
         return protocol.raise_for_response(response)
 
     def request_many(self, payloads: Sequence[Mapping[str, Any]]
@@ -191,14 +234,42 @@ class ServiceClient:
         """
         if not payloads:
             return []
-        self._sock.sendall(b"".join(wire_format.encode_frame(p, self._wire)
-                                    for p in payloads))
-        return [self._read_response() for _ in payloads]
+        try:
+            self._sock.sendall(b"".join(
+                wire_format.encode_frame(p, self._wire) for p in payloads))
+            return [self._read_response() for _ in payloads]
+        except socket.timeout as exc:
+            raise ClientTimeoutError(
+                f"pipelined batch of {len(payloads)} requests exceeded the "
+                f"{self.read_timeout:g}s read deadline") from exc
 
     # -- verbs --------------------------------------------------------------------
 
     def ping(self) -> dict:
         return self.request({"op": "ping"})
+
+    def auth(self, token: str) -> dict:
+        """Bind this connection to the tenant (or admin role) of ``token``.
+
+        The token is remembered so transparent reconnects re-authenticate.
+        """
+        reply = self.request({"op": "auth", "token": token})
+        self.token = token
+        return reply
+
+    def tenant(self, action: str, tenant: str | None = None,
+               **fields: Any) -> dict:
+        """Tenant-registry administration (``create``/``list``/``describe``/
+        ``update``/``disable``/``enable``/``remove``).
+
+        Requires an admin-authenticated connection, except ``describe``
+        of the connection's own tenant.
+        """
+        payload: dict[str, Any] = {"op": "tenant", "action": action}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        payload.update(fields)
+        return self.request(payload)
 
     def register(self, name: str, *, family: str, sizes: Sequence[int],
                  instances: int = 256, seed: int = 0,
@@ -206,6 +277,9 @@ class ServiceClient:
         return self.request({"op": "register", "name": name, "family": family,
                              "sizes": list(sizes), "instances": instances,
                              "seed": seed, "options": options})
+
+    def unregister(self, name: str) -> dict:
+        return self.request({"op": "unregister", "name": name})
 
     def ingest(self, name: str, boxes, *, side: str = "left",
                kind: str = "insert") -> dict:

@@ -29,7 +29,8 @@ class WorkerLink:
     """A persistent, pipelining connection to one worker server."""
 
     def __init__(self, host: str, port: int, *,
-                 timeout: float = 60.0, wire: str = "auto") -> None:
+                 timeout: float = 60.0, wire: str = "auto",
+                 token: str | None = None) -> None:
         if wire not in ("ndjson", "binary", "auto"):
             raise ProtocolError(
                 f"wire must be 'ndjson', 'binary' or 'auto', got {wire!r}")
@@ -37,6 +38,7 @@ class WorkerLink:
         self.port = int(port)
         self.timeout = timeout
         self.wire = wire  # the preference; self.mode is what negotiation got
+        self.token = token  # admin token binding the link on connect
         self._mode = "ndjson"
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
@@ -64,15 +66,18 @@ class WorkerLink:
             self.host, self.port, limit=protocol.MAX_LINE_BYTES)
         self._closed = False
         self._mode = wire.WIRE_NDJSON
-        if self.wire != "ndjson":
-            # Negotiate inline, before the reader task exists: the hello
-            # reply is the only frame ever read outside the read loop, so
-            # the loop starts already knowing the connection's format.
-            try:
+        # Negotiation and authentication both run inline, before the reader
+        # task exists: their replies are the only frames ever read outside
+        # the read loop, so the loop starts with the connection already in
+        # its final format and (when tenancy is on) already authenticated.
+        try:
+            if self.wire != "ndjson":
                 await self._negotiate()
-            except BaseException:
-                await self.close()
-                raise
+            if self.token is not None:
+                await self._authenticate()
+        except BaseException:
+            await self.close()
+            raise
         self._reader_task = asyncio.create_task(self._read_loop())
         return self
 
@@ -91,6 +96,23 @@ class WorkerLink:
             self._mode = wire.WIRE_BINARY
         elif self.wire == "binary":
             protocol.raise_for_response(reply)
+
+    async def _authenticate(self) -> None:
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(wire.encode_frame(
+            {"op": "auth", "token": self.token}, self._mode))
+        await self._writer.drain()
+        if self._mode == wire.WIRE_BINARY:
+            reply, _ = await wire.read_binary_frame(self._reader,
+                                                    protocol.MAX_LINE_BYTES)
+        else:
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionLostError(
+                    f"worker {self.address} closed the connection during "
+                    "authentication")
+            reply = protocol.decode(line)
+        protocol.raise_for_response(reply)
 
     async def _read_loop(self) -> None:
         assert self._reader is not None

@@ -87,7 +87,8 @@ class ClusterManager:
     def __init__(self, *, vnodes: int = DEFAULT_VNODES,
                  heartbeat: HeartbeatConfig | None = None,
                  request_timeout: float = 60.0,
-                 wire: str = "auto") -> None:
+                 wire: str = "auto",
+                 worker_token: str | None = None) -> None:
         self.ring = HashRing(vnodes=vnodes)
         self.heartbeat = heartbeat or HeartbeatConfig()
         self.request_timeout = request_timeout
@@ -95,6 +96,9 @@ class ClusterManager:
         #: frames where workers offer them — snapshot bootstrap and log
         #: shipping then move raw bytes instead of base64).
         self.wire = wire
+        #: Admin token presented on every worker link when the fleet runs
+        #: with tenancy enforced (workers started with --admin-token).
+        self.worker_token = worker_token
         self._workers: dict[str, WorkerInfo] = {}
         self._round_robin: dict[str, int] = {}
         self._heartbeat_task: asyncio.Task | None = None
@@ -142,7 +146,7 @@ class ClusterManager:
         elif sync != "fanout":
             raise ServiceError("sync modes apply to replica workers only")
         link = WorkerLink(host, port, timeout=self.request_timeout,
-                          wire=self.wire)
+                          wire=self.wire, token=self.worker_token)
         await link.connect()
         await link.request_ok({"op": "ping"}, timeout=self.heartbeat.timeout)
         info = WorkerInfo(name=name, host=host, port=int(port), link=link,
@@ -172,7 +176,7 @@ class ClusterManager:
         """
         old = self.worker(name)
         link = WorkerLink(host, port, timeout=self.request_timeout,
-                          wire=self.wire)
+                          wire=self.wire, token=self.worker_token)
         await link.connect()
         await link.request_ok({"op": "ping"}, timeout=self.heartbeat.timeout)
         if data is not None:

@@ -48,12 +48,14 @@ from repro.cluster.manager import ClusterManager, HeartbeatConfig, WorkerInfo
 from repro.cluster.partial import reduce_partials
 from repro.cluster.ring import DEFAULT_VNODES
 from repro.errors import (
+    AuthenticationError,
     ConnectionLostError,
     ReproError,
     ServiceError,
 )
-from repro.server import protocol, wire
+from repro.server import auth, protocol, wire
 from repro.server.metrics import ServerMetrics, label_value
+from repro.tenancy import TenantAdmission, TenantQuota, hash_token
 from repro.service.specs import EstimatorSpec
 from repro.service.store import shard_ids
 
@@ -72,6 +74,8 @@ class RouterConfig:
     executor_workers: int = 4
     binary_wire: bool = True  # offer binary frames to router clients
     worker_wire: str = "auto"  # wire preference on router -> worker links
+    admin_token: str | None = None  # admin role on the router's client side
+    worker_token: str | None = None  # presented on router -> worker links
 
     def __post_init__(self) -> None:
         if self.num_slots < 1:
@@ -85,12 +89,14 @@ class ClusterRouter:
 
     def __init__(self, *, config: RouterConfig | None = None,
                  manager: ClusterManager | None = None,
-                 heartbeat: HeartbeatConfig | None = None) -> None:
+                 heartbeat: HeartbeatConfig | None = None,
+                 registry=None) -> None:
         self.config = config or RouterConfig()
         self.manager = manager or ClusterManager(
             vnodes=self.config.vnodes, heartbeat=heartbeat,
             request_timeout=self.config.request_timeout,
-            wire=self.config.worker_wire)
+            wire=self.config.worker_wire,
+            worker_token=self.config.worker_token)
         self.metrics = ServerMetrics()
         self._specs: dict[str, EstimatorSpec] = {}
         self._executor: ThreadPoolExecutor | None = None
@@ -98,6 +104,24 @@ class ClusterRouter:
         self._connections: set[asyncio.StreamWriter] = set()
         # (ring membership, slot -> owner list) assignment cache.
         self._assignment_cache: tuple[tuple[str, ...], list[str]] | None = None
+        # Tenancy: the router is the authenticating edge of a fleet — it
+        # holds the registry, charges quotas, and forwards tenant identity
+        # (already-namespaced names + a ``tenant`` label) over its
+        # admin-authenticated worker links.
+        self.tenants = registry
+        self._admin_token_hash = (hash_token(self.config.admin_token)
+                                  if self.config.admin_token else None)
+        self._admissions: dict[str, TenantAdmission] = {}
+
+    def enable_tenancy(self, registry=None):
+        """Attach (or create) the router's tenant registry; idempotent."""
+        from repro.tenancy import TenantRegistry
+
+        if self.tenants is None:
+            self.tenants = registry if registry is not None else TenantRegistry()
+        elif registry is not None and registry is not self.tenants:
+            raise ServiceError("router already has a tenant registry")
+        return self.tenants
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -248,32 +272,98 @@ class ClusterRouter:
             except (ConnectionError, OSError):
                 pass
 
+    # -- authentication and tenant scoping ----------------------------------------
+
+    def authenticate(self, request: dict) -> tuple[dict, str | None]:
+        """Resolve an ``auth`` request: ``(reply, bound principal | None)``."""
+        return auth.authenticate_request(self.tenants,
+                                         self._admin_token_hash, request)
+
+    def _admission(self, record) -> TenantAdmission:
+        now = asyncio.get_running_loop().time()
+        entry = self._admissions.get(record.tenant_id)
+        if entry is None or entry.quota != record.quota:
+            entry = TenantAdmission(record.tenant_id, record.quota, now=now)
+            self._admissions[record.tenant_id] = entry
+        return entry
+
+    async def _admitted(self, handler, request: dict,
+                        scope: auth.Scope) -> dict:
+        """Run a handler under the scope tenant's quota accounting.
+
+        The router is the fleet's authenticating edge: quotas are charged
+        here exactly once, and forwarded worker requests carry
+        ``scoped: true`` so workers never re-charge them.
+        """
+        op = str(request.get("op"))
+        entry = self._admission(scope.record)
+        if op == "ingest":
+            boxes = request.get("boxes")
+            count = len(boxes) if isinstance(boxes, (list, tuple)) else 1
+            entry.admit_ingest(count, asyncio.get_running_loop().time())
+            return await handler(self, request, scope)
+        if op == "estimate":
+            entry.acquire_estimate()
+            try:
+                return await handler(self, request, scope)
+            finally:
+                entry.release_estimate()
+        return await handler(self, request, scope)
+
     # -- request dispatch ---------------------------------------------------------
 
-    async def _process(self, request: dict) -> dict:
+    async def _process(self, request: dict,
+                       principal: str | None = None) -> dict:
         op = str(request.get("op"))
         try:
-            handler = self._HANDLERS.get(op)
-            if handler is None:
-                return protocol.error_payload(f"unknown op {op!r}",
-                                              code="unknown_op", op=op,
-                                              request=request)
-            return await handler(self, request)
+            scope = auth.resolve_scope(self.tenants, principal, request)
+        except ReproError as exc:
+            return protocol.error_payload_for(exc, op=op, request=request)
+        tenant = scope.tenant
+        scoped_request = dict(scope.request)
+        if tenant is not None:
+            self.metrics.record_tenant_request(tenant, op)
+            # Worker links are admin-authenticated; the tenant label rides
+            # in the forwarded payload so workers attribute metrics and
+            # fair-share queueing to the right tenant.
+            scoped_request.setdefault("tenant", tenant)
+        try:
+            if op == "tenant":
+                payload = await self._op_tenant(scoped_request, principal)
+            else:
+                handler = self._HANDLERS.get(op)
+                if handler is None:
+                    payload = protocol.error_payload(
+                        f"unknown op {op!r}", code="unknown_op", op=op,
+                        request=request)
+                elif scope.enforce_quota:
+                    payload = await self._admitted(handler, scoped_request,
+                                                   scope)
+                else:
+                    payload = await handler(self, scoped_request, scope)
         except ConnectionLostError as exc:
             # A worker died mid-request: that is a *cluster* degradation,
             # not a client protocol problem.
-            return protocol.error_payload(
+            payload = protocol.error_payload(
                 f"worker connection lost: {exc}", code="degraded", op=op,
                 request=request, detail={"op": op})
         except Exception as exc:
-            return protocol.error_payload_for(exc, op=op, request=request)
+            payload = protocol.error_payload_for(exc, op=op, request=request)
+        if tenant is not None:
+            if not payload.get("ok"):
+                if payload.get("error_code") == "quota_exceeded":
+                    self.metrics.record_quota_rejection(tenant)
+                else:
+                    self.metrics.record_tenant_error(tenant)
+            payload = auth.unscope_reply(payload, tenant)
+        return payload
 
-    async def _op_ping(self, request: dict) -> dict:
+    async def _op_ping(self, request: dict, scope=None) -> dict:
         return protocol.ok_payload("ping", request,
                                    version=protocol.PROTOCOL_VERSION,
                                    cluster=True)
 
-    async def _op_register(self, request: dict) -> dict:
+    async def _op_register(self, request: dict, scope=None) -> dict:
         spec = EstimatorSpec.create(
             request["family"], request["sizes"],
             int(request.get("instances", 256)),
@@ -286,12 +376,22 @@ class ClusterRouter:
             "op": "register", "name": name, "family": spec.family,
             "sizes": list(spec.sizes),
             "instances": spec.num_instances, "seed": spec.seed,
-            "options": dict(spec.options)})
+            "options": dict(spec.options), **_forward_fields(request)})
         self._specs[name] = spec
         return protocol.ok_payload("register", request, name=name,
                                    spec=spec.to_dict())
 
-    async def _op_ingest(self, request: dict) -> dict:
+    async def _op_unregister(self, request: dict, scope=None) -> dict:
+        name = str(request["name"])
+        if name not in self._specs:
+            raise ServiceError(f"unknown estimator {name!r}; registered: "
+                               f"{sorted(self._specs)}")
+        await self.manager.broadcast({"op": "unregister", "name": name,
+                                      **_forward_fields(request)})
+        del self._specs[name]
+        return protocol.ok_payload("unregister", request, name=name)
+
+    async def _op_ingest(self, request: dict, scope=None) -> dict:
         name = str(request["name"])
         spec = await self._spec_for(name)
         boxes = protocol.boxes_from_rows(request["boxes"], spec.dimension)
@@ -324,7 +424,7 @@ class ClusterRouter:
             # render it to lists via the encoder's json_default hook.
             return await info.link.request_ok({
                 "op": "ingest", "name": name, "boxes": part,
-                "side": side, "kind": kind})
+                "side": side, "kind": kind, **_forward_fields(request)})
 
         sends: list = []
         counted: list[int] = []
@@ -351,7 +451,7 @@ class ClusterRouter:
         return protocol.ok_payload("ingest", request, boxes=applied,
                                    pending=pending)
 
-    async def _op_estimate(self, request: dict) -> dict:
+    async def _op_estimate(self, request: dict, scope=None) -> dict:
         name = str(request["name"])
         spec = await self._spec_for(name)
         row = request.get("query")
@@ -403,7 +503,8 @@ class ClusterRouter:
         # coefficients then cross the wire as raw tensors instead of JSON
         # number lists (the dominant cost of a wide scatter).
         async def gather(info: WorkerInfo) -> Mapping:
-            payload = {"op": "estimate", "name": name, "partial": True}
+            payload = {"op": "estimate", "name": name, "partial": True,
+                       **_forward_fields(request)}
             if info.link.mode == wire.WIRE_BINARY:
                 payload["encoding"] = "arrays"
             reply = await info.link.request_ok(
@@ -418,7 +519,7 @@ class ClusterRouter:
         return protocol.ok_payload("estimate", request, name=name,
                                    **protocol.estimate_fields(result))
 
-    async def _op_flush(self, request: dict) -> dict:
+    async def _op_flush(self, request: dict, scope=None) -> dict:
         replies = await self.manager.broadcast({"op": "flush"})
         return protocol.ok_payload(
             "flush", request,
@@ -426,22 +527,31 @@ class ClusterRouter:
             batches=sum(reply.get("batches", 0)
                         for reply in replies.values()))
 
-    async def _op_stats(self, request: dict) -> dict:
+    async def _op_stats(self, request: dict, scope=None) -> dict:
         await self.refresh_specs()
-        return protocol.ok_payload(
-            "stats", request,
-            num_shards=self.config.num_slots,
-            estimators={name: spec.to_dict()
-                        for name, spec in sorted(self._specs.items())},
-            cluster=self.manager.status(),
-            server={
+        description = {
+            "num_shards": self.config.num_slots,
+            "estimators": {name: spec.to_dict()
+                           for name, spec in sorted(self._specs.items())},
+            "cluster": self.manager.status(),
+            "server": {
                 "connections_active": self.metrics.connections_active,
                 "queue_depth": 0,
                 "reloads": self.metrics.reloads,
                 "wire": self.metrics.wire_state(),
-            })
+            },
+        }
+        if scope is not None and scope.tenant is not None:
+            description = auth.scoped_stats(description, scope.tenant)
+            # Fleet topology is operator-facing, not a tenant's business.
+            description.pop("cluster", None)
+            description["tenant_metrics"] = self.metrics.tenant_state(
+                scope.tenant)
+        else:
+            description["tenant_metrics"] = self.metrics.tenant_state()
+        return protocol.ok_payload("stats", request, **description)
 
-    async def _op_metrics(self, request: dict) -> dict:
+    async def _op_metrics(self, request: dict, scope=None) -> dict:
         fleet: dict[str, dict] = {}
         for info in self.manager.workers():
             if not info.healthy:
@@ -456,17 +566,44 @@ class ClusterRouter:
                 "errors": dict(reply.get("errors", {})),
                 "wire": {format: dict(counters) for format, counters
                          in dict(reply.get("wire", {})).items()},
+                "tenants": dict(reply.get("tenants", {})),
             }
-        text = self._render_metrics(fleet)
+        tenants = self._aggregate_tenants(fleet)
+        text = self._render_metrics(fleet, tenants)
         return protocol.ok_payload(
             "metrics", request, text=text,
             uptime=self.metrics.uptime,
             requests=dict(self.metrics.requests),
             errors=dict(self.metrics.errors),
             wire=self.metrics.wire_state(),
-            workers=fleet)
+            workers=fleet,
+            tenants=tenants)
 
-    def _render_metrics(self, fleet: Mapping[str, Mapping]) -> str:
+    def _aggregate_tenants(self, fleet: Mapping[str, Mapping]) -> dict:
+        """Fleet-wide per-tenant totals: the router's own edge counters
+        (where quotas are charged) plus every worker's labelled series."""
+        totals: dict[str, dict] = {}
+        for tenant, state in self.metrics.tenant_state().items():
+            totals[tenant] = {
+                "requests": int(state.get("requests", 0)),
+                "errors": int(state.get("errors", 0)),
+                "quota_rejections": int(state.get("quota_rejections", 0)),
+                "estimate_qps": float(state.get("estimate_qps", 0.0)),
+                "estimate_p99_ms": float(state.get("estimate_p99_ms", 0.0)),
+            }
+        for entry in fleet.values():
+            for tenant, state in entry.get("tenants", {}).items():
+                slot = totals.setdefault(tenant, {
+                    "requests": 0, "errors": 0, "quota_rejections": 0,
+                    "estimate_qps": 0.0, "estimate_p99_ms": 0.0})
+                slot["worker_requests"] = (slot.get("worker_requests", 0)
+                                           + int(state.get("requests", 0)))
+                slot["worker_errors"] = (slot.get("worker_errors", 0)
+                                         + int(state.get("errors", 0)))
+        return totals
+
+    def _render_metrics(self, fleet: Mapping[str, Mapping],
+                        tenants: Mapping[str, Mapping] | None = None) -> str:
         """Aggregated fleet metrics under the ``repro_cluster_*`` prefix."""
         workers = self.manager.workers()
         lines = ["# repro cluster router metrics",
@@ -527,9 +664,24 @@ class ClusterRouter:
             lines.append("repro_cluster_worker_uptime_seconds"
                          f'{{worker="{label_value(name)}"}} '
                          f"{fleet[name]['uptime']:.3f}")
+        # Per-tenant fleet aggregates, one contiguous family per metric.
+        tenants = tenants or {}
+        for key, metric in (("requests", "repro_cluster_tenant_requests_total"),
+                            ("errors", "repro_cluster_tenant_errors_total"),
+                            ("quota_rejections",
+                             "repro_cluster_tenant_quota_rejected_total")):
+            for tenant in sorted(tenants):
+                lines.append(
+                    f'{metric}{{tenant="{label_value(tenant)}"}} '
+                    f"{int(tenants[tenant].get(key, 0))}")
+        for tenant in sorted(tenants):
+            lines.append(
+                "repro_cluster_tenant_estimate_qps"
+                f'{{tenant="{label_value(tenant)}"}} '
+                f"{float(tenants[tenant].get('estimate_qps', 0.0)):.3f}")
         return "\n".join(lines) + "\n"
 
-    async def _op_snapshot(self, request: dict) -> dict:
+    async def _op_snapshot(self, request: dict, scope=None) -> dict:
         if request.get("fetch"):
             raise ServiceError(
                 "inline snapshot fetch is a worker-level op; fetch from a "
@@ -550,12 +702,97 @@ class ClusterRouter:
             paths[owner] = target
         return protocol.ok_payload("snapshot", request, paths=paths)
 
-    async def _op_reload(self, request: dict) -> dict:
+    async def _op_reload(self, request: dict, scope=None) -> dict:
         raise ServiceError(
             "reload is a worker-level op; bootstrap or replace workers "
             "through the cluster manager instead")
 
-    async def _op_cluster_status(self, request: dict) -> dict:
+    async def _op_tenant(self, request: dict,
+                         principal: str | None = None) -> dict:
+        """Tenant registry administration, mirrored across the fleet.
+
+        Mutations apply to the router's registry (the authenticating
+        edge) and broadcast to every healthy worker, whose services
+        journal them through their WALs and embed them in snapshots —
+        the durable copies a restarted fleet recovers from.
+        """
+        action = str(request.get("action", "list"))
+        if principal is not None and principal != auth.ADMIN:
+            if action != "describe":
+                raise AuthenticationError(
+                    f"tenant action {action!r} requires admin access")
+            target = str(request.get("tenant", principal))
+            if target != principal:
+                raise AuthenticationError("a tenant may only describe itself")
+            record = self.tenants.require(principal)
+            info = record.to_dict()
+            info.pop("token_hash", None)
+            entry = self._admissions.get(principal)
+            fields: dict = {"tenant": principal, "record": info,
+                            "metrics": self.metrics.tenant_state(principal)}
+            if entry is not None and entry.quota == record.quota:
+                fields["admission"] = entry.describe(
+                    asyncio.get_running_loop().time())
+            return protocol.ok_payload("tenant", request, action="describe",
+                                       **fields)
+        registry = self.tenants
+        if action == "create":
+            registry = self.enable_tenancy()
+            quota = (TenantQuota.from_dict(request["quota"])
+                     if request.get("quota") else None)
+            record = registry.create(str(request["tenant"]),
+                                     token=str(request["token"]),
+                                     quota=quota)
+            await self.manager.broadcast(dict(request))
+            return protocol.ok_payload("tenant", request, action="create",
+                                       tenant=record.tenant_id,
+                                       record=record.to_dict())
+        if action == "list":
+            tenants = registry.describe() if registry is not None else {}
+            return protocol.ok_payload("tenant", request, action="list",
+                                       tenants=tenants)
+        if action == "describe":
+            if registry is None:
+                raise ServiceError("router has no tenant registry")
+            record = registry.require(str(request["tenant"]))
+            return protocol.ok_payload(
+                "tenant", request, action="describe",
+                tenant=record.tenant_id, record=record.to_dict(),
+                metrics=self.metrics.tenant_state(record.tenant_id))
+        if action in ("update", "disable", "enable"):
+            if registry is None:
+                raise ServiceError("router has no tenant registry")
+            kwargs: dict = {}
+            if action == "update":
+                if request.get("token") is not None:
+                    kwargs["token"] = str(request["token"])
+                if request.get("quota") is not None:
+                    kwargs["quota"] = TenantQuota.from_dict(request["quota"])
+                if request.get("disabled") is not None:
+                    kwargs["disabled"] = bool(request["disabled"])
+            else:
+                kwargs["disabled"] = action == "disable"
+            record = registry.update(str(request["tenant"]), **kwargs)
+            await self.manager.broadcast(dict(request))
+            return protocol.ok_payload("tenant", request, action=action,
+                                       tenant=record.tenant_id,
+                                       record=record.to_dict())
+        if action == "remove":
+            if registry is None:
+                raise ServiceError("router has no tenant registry")
+            record = registry.remove(str(request["tenant"]))
+            self._admissions.pop(record.tenant_id, None)
+            await self.manager.broadcast(dict(request))
+            # The fleet also dropped the tenant's estimators; forget the
+            # router's cached specs for that namespace.
+            prefix = record.tenant_id + "/"
+            for name in [n for n in self._specs if n.startswith(prefix)]:
+                del self._specs[name]
+            return protocol.ok_payload("tenant", request, action="remove",
+                                       tenant=record.tenant_id)
+        raise ServiceError(f"unknown tenant action {action!r}")
+
+    async def _op_cluster_status(self, request: dict, scope=None) -> dict:
         status = self.manager.status()
         assignments = self._assignments() if len(self.manager.ring) else []
         slots_per_owner: dict[str, int] = {}
@@ -571,6 +808,7 @@ class ClusterRouter:
     _HANDLERS = {
         "ping": _op_ping,
         "register": _op_register,
+        "unregister": _op_unregister,
         "ingest": _op_ingest,
         "estimate": _op_estimate,
         "flush": _op_flush,
@@ -581,6 +819,19 @@ class ClusterRouter:
         "reload": _op_reload,
         "cluster_status": _op_cluster_status,
     }
+
+
+def _forward_fields(request: Mapping) -> dict:
+    """Tenant identity fields a router adds to forwarded worker payloads.
+
+    ``scoped: true`` tells the worker the name is already namespaced and
+    quota was charged at the edge — it labels, but never re-scopes or
+    re-charges.
+    """
+    tenant = request.get("tenant")
+    if tenant is None:
+        return {}
+    return {"tenant": tenant, "scoped": True}
 
 
 async def serve_router(router: ClusterRouter, *, ready=None,
@@ -639,8 +890,10 @@ class ThreadedClusterRouter:
     def __init__(self, workers: Sequence[tuple[str, int]] = (), *,
                  config: RouterConfig | None = None,
                  heartbeat: HeartbeatConfig | None = None,
-                 start_heartbeat: bool = True) -> None:
-        self.router = ClusterRouter(config=config, heartbeat=heartbeat)
+                 start_heartbeat: bool = True,
+                 registry=None) -> None:
+        self.router = ClusterRouter(config=config, heartbeat=heartbeat,
+                                    registry=registry)
         self._workers = list(workers)
         self._start_heartbeat = start_heartbeat
         self._thread: threading.Thread | None = None

@@ -141,3 +141,45 @@ class OverloadedError(ServerError):
     def __init__(self, message: str = "server overloaded: admission queue full"
                  ) -> None:
         super().__init__(message, code="overloaded")
+
+
+class AuthenticationError(ServerError):
+    """A request could not be tied to an authorized principal.
+
+    Two protocol codes share this type: ``auth_required`` (the server is
+    tenant-aware and the connection has not completed the ``auth`` step)
+    and ``auth_failed`` (the presented token is unknown/disabled, or an
+    authenticated tenant asked for an admin-only verb).
+    """
+
+    def __init__(self, message: str, *, code: str = "auth_failed") -> None:
+        super().__init__(message, code=code)
+
+
+class QuotaExceededError(ServerError):
+    """A tenant exhausted an admission quota; retry after a hint interval.
+
+    Unlike :class:`OverloadedError` (the *server* is saturated), this is a
+    per-tenant verdict: the tenant's ingest token bucket ran dry or its
+    estimates-in-flight cap is reached.  :attr:`retry_after` carries the
+    bucket's refill estimate in seconds (0.0 when unknown) so well-behaved
+    clients can back off precisely instead of hammering.
+    """
+
+    def __init__(self, message: str = "tenant quota exceeded",
+                 *, retry_after: float = 0.0) -> None:
+        super().__init__(message, code="quota_exceeded")
+        self.retry_after = float(retry_after)
+
+
+class ClientTimeoutError(ServerError):
+    """A client-side connect or read deadline expired.
+
+    Raised only by :class:`~repro.client.ServiceClient` — never sent on the
+    wire.  Timeouts are deliberately *not* retried by the idempotent-op
+    retry path: the request may still be executing server-side, and the
+    caller asked for a bounded wait, not a doubled one.
+    """
+
+    def __init__(self, message: str = "client deadline expired") -> None:
+        super().__init__(message, code="timeout")

@@ -52,6 +52,19 @@ class WireCounters:
                 "frames_out": self.frames_out, "bytes_out": self.bytes_out}
 
 
+class TenantCounters:
+    """Per-tenant traffic accounting on one server (event-loop thread only)."""
+
+    __slots__ = ("requests", "errors", "quota_rejections", "samples")
+
+    def __init__(self, *, window: int = SAMPLE_WINDOW) -> None:
+        self.requests: Counter[str] = Counter()
+        self.errors = 0
+        self.quota_rejections = 0
+        # (monotonic completion time, latency seconds) of recent estimates.
+        self.samples: deque[tuple[float, float]] = deque(maxlen=window)
+
+
 class ServerMetrics:
     """Counters and latency samples of one running server."""
 
@@ -66,6 +79,9 @@ class ServerMetrics:
         self.wire: dict[str, WireCounters] = {}
         # (monotonic completion time, latency seconds) of recent estimates.
         self._samples: deque[tuple[float, float]] = deque(maxlen=window)
+        self._window = int(window)
+        # Per-tenant request/error/latency accounting ({tenant=...} labels).
+        self.tenants: dict[str, TenantCounters] = {}
 
     # -- recording ----------------------------------------------------------------
 
@@ -93,6 +109,52 @@ class ServerMetrics:
     def record_estimate_latency(self, seconds: float) -> None:
         self._samples.append((time.monotonic(), seconds))
 
+    # -- per-tenant recording -----------------------------------------------------
+
+    def _tenant(self, tenant: str) -> TenantCounters:
+        counters = self.tenants.get(tenant)
+        if counters is None:
+            counters = self.tenants[tenant] = TenantCounters(window=self._window)
+        return counters
+
+    def record_tenant_request(self, tenant: str, op: str) -> None:
+        self._tenant(tenant).requests[op or "unknown"] += 1
+
+    def record_tenant_error(self, tenant: str) -> None:
+        self._tenant(tenant).errors += 1
+
+    def record_quota_rejection(self, tenant: str) -> None:
+        counters = self._tenant(tenant)
+        counters.errors += 1
+        counters.quota_rejections += 1
+
+    def record_tenant_latency(self, tenant: str, seconds: float) -> None:
+        self._tenant(tenant).samples.append((time.monotonic(), seconds))
+
+    def tenant_state(self, tenant: str | None = None) -> dict:
+        """Per-tenant qps/p50/p99/quota-reject block for ``stats``/``metrics``.
+
+        With ``tenant`` given, only that tenant's block is returned (the
+        scoped ``stats`` a tenant connection sees).
+        """
+        names = ([tenant] if tenant is not None else sorted(self.tenants))
+        state: dict[str, dict] = {}
+        for name in names:
+            counters = self.tenants.get(name)
+            if counters is None:
+                counters = TenantCounters(window=1)
+            ordered = sorted(latency for _, latency in counters.samples)
+            state[name] = {
+                "requests": sum(counters.requests.values()),
+                "by_op": dict(sorted(counters.requests.items())),
+                "errors": counters.errors,
+                "quota_rejections": counters.quota_rejections,
+                "estimate_qps": self._sample_qps(counters.samples),
+                "estimate_p50_ms": quantile(ordered, 0.5) * 1000.0,
+                "estimate_p99_ms": quantile(ordered, 0.99) * 1000.0,
+            }
+        return state
+
     # -- derived gauges -----------------------------------------------------------
 
     @property
@@ -112,14 +174,18 @@ class ServerMetrics:
         busy server (more than ``maxlen`` estimates inside the window)
         reports its true rate instead of ``maxlen / window``.
         """
-        if not self._samples:
+        return self._sample_qps(self._samples, window)
+
+    def _sample_qps(self, samples: "deque[tuple[float, float]]",
+                    window: float = 30.0) -> float:
+        if not samples:
             return 0.0
         now = time.monotonic()
         horizon = min(window, max(self.uptime, 1e-9))
-        if len(self._samples) == self._samples.maxlen:
-            oldest_age = now - self._samples[0][0]
+        if len(samples) == samples.maxlen:
+            oldest_age = now - samples[0][0]
             horizon = min(horizon, max(oldest_age, 1e-9))
-        recent = sum(1 for when, _ in self._samples if now - when <= horizon)
+        recent = sum(1 for when, _ in samples if now - when <= horizon)
         return recent / horizon
 
     # -- rendering ----------------------------------------------------------------
@@ -192,6 +258,45 @@ class ServerMetrics:
             lines.append(
                 "repro_server_estimator_coalesce_factor"
                 f'{{name="{label_value(name)}"}} {per.coalesce_factor:.3f}')
+        # Per-tenant families ({tenant=...} labels): again their own metric
+        # names so each family is contiguous and never double-counts the
+        # aggregates above.
+        tenant_names = sorted(self.tenants)
+        for tenant in tenant_names:
+            counters = self.tenants[tenant]
+            for op in sorted(counters.requests):
+                lines.append(
+                    "repro_server_tenant_requests_total"
+                    f'{{tenant="{label_value(tenant)}",op="{label_value(op)}"}} '
+                    f"{counters.requests[op]}")
+        for tenant in tenant_names:
+            lines.append(
+                "repro_server_tenant_errors_total"
+                f'{{tenant="{label_value(tenant)}"}} '
+                f"{self.tenants[tenant].errors}")
+        for tenant in tenant_names:
+            lines.append(
+                "repro_server_tenant_quota_rejected_total"
+                f'{{tenant="{label_value(tenant)}"}} '
+                f"{self.tenants[tenant].quota_rejections}")
+        for tenant in tenant_names:
+            lines.append(
+                "repro_server_tenant_estimate_qps"
+                f'{{tenant="{label_value(tenant)}"}} '
+                f"{self._sample_qps(self.tenants[tenant].samples):.3f}")
+        for tenant in tenant_names:
+            ordered = sorted(latency
+                             for _, latency in self.tenants[tenant].samples)
+            for q in (0.5, 0.99):
+                lines.append(
+                    "repro_server_tenant_estimate_latency_ms"
+                    f'{{tenant="{label_value(tenant)}",quantile="{q}"}} '
+                    f"{quantile(ordered, q) * 1000.0:.3f}")
+        for tenant in sorted(coalescer_stats.per_tenant):
+            per = coalescer_stats.per_tenant[tenant]
+            lines.append(
+                "repro_server_tenant_coalesced_queries_total"
+                f'{{tenant="{label_value(tenant)}"}} {per.queries}')
         cache_reads = service_stats.cache_hits + service_stats.cache_misses
         hit_rate = service_stats.cache_hits / cache_reads if cache_reads else 0.0
         lines.append(f"repro_service_cache_hit_rate {hit_rate:.3f}")

@@ -58,10 +58,12 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.errors import (
+    AuthenticationError,
     DegradedError,
     FrameTooLargeError,
     OverloadedError,
     ProtocolError,
+    QuotaExceededError,
     ReproError,
     ServerError,
 )
@@ -75,13 +77,17 @@ MAX_LINE_BYTES = 16 * 1024 * 1024
 
 #: Machine-readable failure categories.
 ERROR_CODES = ("bad_request", "unknown_op", "overloaded", "degraded",
-               "protocol", "frame_too_large", "internal", "error")
+               "protocol", "frame_too_large", "auth_required", "auth_failed",
+               "quota_exceeded", "internal", "error")
 
 #: Operations the server understands (``save`` is an alias of ``snapshot``;
 #: ``wal`` fetches or applies log-shipping tails, or describes the log;
-#: ``hello`` negotiates the wire format for the rest of the connection).
-OPS = ("hello", "register", "ingest", "estimate", "flush", "stats",
-       "metrics", "snapshot", "save", "reload", "wal", "ping", "quit")
+#: ``hello`` negotiates the wire format for the rest of the connection;
+#: ``auth`` binds the connection to a tenant; ``tenant`` administers the
+#: tenant registry).
+OPS = ("hello", "auth", "register", "unregister", "ingest", "estimate",
+       "flush", "stats", "metrics", "snapshot", "save", "reload", "wal",
+       "tenant", "ping", "quit")
 
 #: Additional operations a cluster router understands on top of :data:`OPS`.
 CLUSTER_OPS = ("cluster_status",)
@@ -168,7 +174,11 @@ def error_payload_for(exc: BaseException, *, op: str | None = None,
     else:
         code = "internal"
     message = f"{type(exc).__name__}: {exc}"
-    return error_payload(message, code=code, op=op, request=request)
+    detail = None
+    if isinstance(exc, QuotaExceededError):
+        detail = {"retry_after": exc.retry_after}
+    return error_payload(message, code=code, op=op, request=request,
+                         detail=detail)
 
 
 def boxes_from_rows(rows, dimension: int | None = None) -> BoxSet:
@@ -244,4 +254,10 @@ def raise_for_response(response: Mapping[str, Any]) -> dict:
         raise ProtocolError(message)
     if code == "frame_too_large":
         raise FrameTooLargeError(message)
+    if code in ("auth_required", "auth_failed"):
+        raise AuthenticationError(message, code=code)
+    if code == "quota_exceeded":
+        detail = response.get("detail") or {}
+        raise QuotaExceededError(
+            message, retry_after=float(detail.get("retry_after", 0.0)))
     raise ServerError(message, code=code)

@@ -34,11 +34,12 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.errors import ServiceError
-from repro.server import protocol, wire
+from repro.errors import AuthenticationError, ReproError, ServiceError
+from repro.server import auth, protocol, wire
 from repro.server.coalescer import EstimateCoalescer
 from repro.server.metrics import ServerMetrics
 from repro.service.service import EstimationService
+from repro.tenancy import TenantAdmission, TenantQuota, hash_token
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,7 @@ class ServerConfig:
     max_line_bytes: int = protocol.MAX_LINE_BYTES
     executor_workers: int = 4
     binary_wire: bool = True  # offer the binary frame format on hello
+    admin_token: str | None = None  # grants the unscoped administrative role
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -91,6 +93,11 @@ class SketchServer:
         self._tcp_server: asyncio.base_events.Server | None = None
         self._reload_lock: asyncio.Lock | None = None
         self._connections: set[asyncio.StreamWriter] = set()
+        self._admin_token_hash = (hash_token(self.config.admin_token)
+                                  if self.config.admin_token else None)
+        # Per-tenant admission state (token buckets, in-flight estimate
+        # counts); entries rebuild lazily when a tenant's quota changes.
+        self._admissions: dict[str, TenantAdmission] = {}
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -184,25 +191,82 @@ class SketchServer:
             except (ConnectionError, OSError):
                 pass
 
+    # -- authentication and tenant scoping ----------------------------------------
+
+    def authenticate(self, request: dict) -> tuple[dict, str | None]:
+        """Resolve an ``auth`` request: ``(reply, bound principal | None)``."""
+        return auth.authenticate_request(self._service.tenants,
+                                         self._admin_token_hash, request)
+
+    def _admission(self, record) -> TenantAdmission:
+        """The (lazily rebuilt) admission state for one tenant record."""
+        now = asyncio.get_running_loop().time()
+        entry = self._admissions.get(record.tenant_id)
+        if entry is None or entry.quota != record.quota:
+            entry = TenantAdmission(record.tenant_id, record.quota, now=now)
+            self._admissions[record.tenant_id] = entry
+        return entry
+
+    async def _admitted(self, handler, scope: auth.Scope) -> dict:
+        """Run a handler under the scope tenant's quota accounting."""
+        request = dict(scope.request)
+        op = str(request.get("op"))
+        entry = self._admission(scope.record)
+        if op == "ingest":
+            boxes = request.get("boxes")
+            count = len(boxes) if isinstance(boxes, (list, tuple)) else 1
+            entry.admit_ingest(count, asyncio.get_running_loop().time())
+            return await handler(self, request, scope)
+        if op == "estimate":
+            entry.acquire_estimate()
+            try:
+                return await handler(self, request, scope)
+            finally:
+                entry.release_estimate()
+        return await handler(self, request, scope)
+
     # -- request dispatch ---------------------------------------------------------
 
-    async def _process(self, request: dict) -> dict:
+    async def _process(self, request: dict,
+                       principal: str | None = None) -> dict:
         op = str(request.get("op"))
         try:
-            handler = self._HANDLERS.get(op)
-            if handler is None:
-                return protocol.error_payload(f"unknown op {op!r}",
-                                              code="unknown_op", op=op,
-                                              request=request)
-            return await handler(self, request)
-        except Exception as exc:
+            scope = auth.resolve_scope(self._service.tenants, principal,
+                                       request)
+        except ReproError as exc:
             return protocol.error_payload_for(exc, op=op, request=request)
+        tenant = scope.tenant
+        if tenant is not None:
+            self.metrics.record_tenant_request(tenant, op)
+        try:
+            if op == "tenant":
+                payload = await self._op_tenant(dict(scope.request), principal)
+            else:
+                handler = self._HANDLERS.get(op)
+                if handler is None:
+                    payload = protocol.error_payload(
+                        f"unknown op {op!r}", code="unknown_op", op=op,
+                        request=request)
+                elif scope.enforce_quota:
+                    payload = await self._admitted(handler, scope)
+                else:
+                    payload = await handler(self, dict(scope.request), scope)
+        except Exception as exc:
+            payload = protocol.error_payload_for(exc, op=op, request=request)
+        if tenant is not None:
+            if not payload.get("ok"):
+                if payload.get("error_code") == "quota_exceeded":
+                    self.metrics.record_quota_rejection(tenant)
+                else:
+                    self.metrics.record_tenant_error(tenant)
+            payload = auth.unscope_reply(payload, tenant)
+        return payload
 
-    async def _op_ping(self, request: dict) -> dict:
+    async def _op_ping(self, request: dict, scope=None) -> dict:
         return protocol.ok_payload("ping", request,
                                    version=protocol.PROTOCOL_VERSION)
 
-    async def _op_register(self, request: dict) -> dict:
+    async def _op_register(self, request: dict, scope=None) -> dict:
         from repro.service.specs import EstimatorSpec
 
         spec = EstimatorSpec.create(
@@ -214,7 +278,12 @@ class SketchServer:
         return protocol.ok_payload("register", request, name=request["name"],
                                    spec=spec.to_dict())
 
-    async def _op_ingest(self, request: dict) -> dict:
+    async def _op_unregister(self, request: dict, scope=None) -> dict:
+        self._service.unregister(request["name"])
+        return protocol.ok_payload("unregister", request,
+                                   name=request["name"])
+
+    async def _op_ingest(self, request: dict, scope=None) -> dict:
         def apply() -> tuple[int, int]:
             service = self._service
             spec = service.spec(request["name"])
@@ -228,7 +297,7 @@ class SketchServer:
         return protocol.ok_payload("ingest", request, boxes=count,
                                    pending=pending)
 
-    async def _op_estimate(self, request: dict) -> dict:
+    async def _op_estimate(self, request: dict, scope=None) -> dict:
         service = self._service
         name = request["name"]
         spec = service.spec(name)
@@ -257,18 +326,25 @@ class SketchServer:
         elif row is not None:
             raise ServiceError(
                 f"family {spec.family!r} does not take a query argument")
+        tenant = scope.tenant if scope is not None else None
+        weight = (scope.record.quota.share
+                  if scope is not None and scope.record is not None else 1)
         start = time.perf_counter()
-        result = await self.coalescer.submit(name, query)
-        self.metrics.record_estimate_latency(time.perf_counter() - start)
+        result = await self.coalescer.submit(name, query, tenant=tenant,
+                                             weight=weight)
+        elapsed = time.perf_counter() - start
+        self.metrics.record_estimate_latency(elapsed)
+        if tenant is not None:
+            self.metrics.record_tenant_latency(tenant, elapsed)
         return protocol.ok_payload("estimate", request, name=name,
                                    **protocol.estimate_fields(result))
 
-    async def _op_flush(self, request: dict) -> dict:
+    async def _op_flush(self, request: dict, scope=None) -> dict:
         report = await self._run_blocking(self._service.flush)
         return protocol.ok_payload("flush", request, boxes=report.boxes,
                                    batches=report.batches)
 
-    async def _op_stats(self, request: dict) -> dict:
+    async def _op_stats(self, request: dict, scope=None) -> dict:
         # describe() takes the service lock, which an executor thread may
         # hold across heavy NumPy work (snapshot save, merge) — so this
         # read runs on the executor too, keeping the event loop responsive.
@@ -284,9 +360,15 @@ class SketchServer:
             "reloads": self.metrics.reloads,
             "wire": self.metrics.wire_state(),
         }
+        if scope is not None and scope.tenant is not None:
+            description = auth.scoped_stats(description, scope.tenant)
+            description["tenant_metrics"] = self.metrics.tenant_state(
+                scope.tenant)
+        else:
+            description["tenant_metrics"] = self.metrics.tenant_state()
         return protocol.ok_payload("stats", request, **description)
 
-    async def _op_metrics(self, request: dict) -> dict:
+    async def _op_metrics(self, request: dict, scope=None) -> dict:
         # service.stats takes the service lock; read it off the loop (see
         # _op_stats).  The server-side counters are loop-owned and safe.
         service_stats = await self._run_blocking(lambda: self._service.stats)
@@ -305,9 +387,10 @@ class SketchServer:
             errors=dict(self.metrics.errors),
             connections_active=self.metrics.connections_active,
             estimate_qps=self.metrics.estimate_qps(),
-            wire=self.metrics.wire_state())
+            wire=self.metrics.wire_state(),
+            tenants=self.metrics.tenant_state())
 
-    async def _op_snapshot(self, request: dict) -> dict:
+    async def _op_snapshot(self, request: dict, scope=None) -> dict:
         service = self._service
         if request.get("fetch"):
             # Ship the binary v2 snapshot inline instead of writing a
@@ -337,7 +420,7 @@ class SketchServer:
         await self._run_blocking(lambda: service.save(path, format=format))
         return protocol.ok_payload("snapshot", request, path=str(path))
 
-    async def _op_wal(self, request: dict) -> dict:
+    async def _op_wal(self, request: dict, scope=None) -> dict:
         from repro.wal.reader import records_from_tail_bytes, wal_records_since
         from repro.wal.recovery import apply_wal_record
         from repro.wal.framing import decode_payload
@@ -385,7 +468,7 @@ class SketchServer:
         return protocol.ok_payload(
             "wal", request, wal=wal.describe() if wal is not None else None)
 
-    async def _op_reload(self, request: dict) -> dict:
+    async def _op_reload(self, request: dict, scope=None) -> dict:
         data = request.get("data")
         path = None
         if data is None:
@@ -424,9 +507,85 @@ class SketchServer:
         return protocol.ok_payload("reload", request,
                                    estimators=fresh.names(), **fields)
 
+    # -- tenant administration ----------------------------------------------------
+
+    def _tenant_info(self, tenant_id: str, *, include_hash: bool) -> dict:
+        registry = self._service.tenants
+        if registry is None:
+            raise ServiceError("server has no tenant registry")
+        record = registry.require(tenant_id)
+        info = record.to_dict()
+        if not include_hash:
+            info.pop("token_hash", None)
+        fields = {"tenant": record.tenant_id, "record": info,
+                  "metrics": self.metrics.tenant_state(record.tenant_id)}
+        entry = self._admissions.get(record.tenant_id)
+        if entry is not None and entry.quota == record.quota:
+            fields["admission"] = entry.describe(
+                asyncio.get_running_loop().time())
+        return fields
+
+    async def _op_tenant(self, request: dict,
+                         principal: str | None = None) -> dict:
+        service = self._service
+        action = str(request.get("action", "list"))
+        if principal is not None and principal != auth.ADMIN:
+            # A tenant principal may only describe itself — never another
+            # tenant, and never mutate the registry.
+            if action != "describe":
+                raise AuthenticationError(
+                    f"tenant action {action!r} requires admin access")
+            target = str(request.get("tenant", principal))
+            if target != principal:
+                raise AuthenticationError("a tenant may only describe itself")
+            return protocol.ok_payload(
+                "tenant", request, action="describe",
+                **self._tenant_info(principal, include_hash=False))
+        if action == "create":
+            quota = (TenantQuota.from_dict(request["quota"])
+                     if request.get("quota") else None)
+            record = service.tenant_create(str(request["tenant"]),
+                                           token=str(request["token"]),
+                                           quota=quota)
+            return protocol.ok_payload("tenant", request, action="create",
+                                       tenant=record.tenant_id,
+                                       record=record.to_dict())
+        if action == "list":
+            registry = service.tenants
+            tenants = registry.describe() if registry is not None else {}
+            return protocol.ok_payload("tenant", request, action="list",
+                                       tenants=tenants)
+        if action == "describe":
+            return protocol.ok_payload(
+                "tenant", request, action="describe",
+                **self._tenant_info(str(request["tenant"]),
+                                    include_hash=True))
+        if action in ("update", "disable", "enable"):
+            kwargs: dict = {}
+            if action == "update":
+                if request.get("token") is not None:
+                    kwargs["token"] = str(request["token"])
+                if request.get("quota") is not None:
+                    kwargs["quota"] = TenantQuota.from_dict(request["quota"])
+                if request.get("disabled") is not None:
+                    kwargs["disabled"] = bool(request["disabled"])
+            else:
+                kwargs["disabled"] = action == "disable"
+            record = service.tenant_update(str(request["tenant"]), **kwargs)
+            return protocol.ok_payload("tenant", request, action=action,
+                                       tenant=record.tenant_id,
+                                       record=record.to_dict())
+        if action == "remove":
+            record = service.tenant_remove(str(request["tenant"]))
+            self._admissions.pop(record.tenant_id, None)
+            return protocol.ok_payload("tenant", request, action="remove",
+                                       tenant=record.tenant_id)
+        raise ServiceError(f"unknown tenant action {action!r}")
+
     _HANDLERS = {
         "ping": _op_ping,
         "register": _op_register,
+        "unregister": _op_unregister,
         "ingest": _op_ingest,
         "estimate": _op_estimate,
         "flush": _op_flush,

@@ -331,13 +331,16 @@ def hello_reply(request: Mapping, formats: tuple[str, ...]
 class _ConnectionState:
     """Per-connection accounting shared by the reader and writer tasks."""
 
-    __slots__ = ("inflight", "slot_free", "in_format", "out_format")
+    __slots__ = ("inflight", "slot_free", "in_format", "out_format", "tenant")
 
     def __init__(self) -> None:
         self.inflight = 0
         self.slot_free = asyncio.Event()
         self.in_format = WIRE_NDJSON
         self.out_format = WIRE_NDJSON
+        # Principal the connection is bound to after an ``auth`` step: a
+        # tenant id, the admin sentinel, or None (unauthenticated).
+        self.tenant: str | None = None
 
 
 async def serve_connection(owner, reader: asyncio.StreamReader,
@@ -430,6 +433,20 @@ async def serve_connection(owner, reader: asyncio.StreamReader,
                 if switch_to is not None:
                     state.in_format = switch_to
                 continue
+            if op == "auth":
+                # Handled inline (like hello): the outcome mutates the
+                # connection's principal binding, which request tasks
+                # running concurrently must never race against.
+                try:
+                    payload, principal = owner.authenticate(request)
+                except Exception as exc:
+                    payload, principal = (
+                        protocol.error_payload_for(exc, op="auth",
+                                                   request=request), None)
+                enqueue(payload)
+                if principal is not None:
+                    state.tenant = principal
+                continue
             if op == "quit":
                 enqueue(protocol.ok_payload("quit", request))
                 break
@@ -437,7 +454,7 @@ async def serve_connection(owner, reader: asyncio.StreamReader,
                 state.slot_free.clear()
                 await state.slot_free.wait()
             state.inflight += 1
-            task = asyncio.create_task(owner._process(request))
+            task = asyncio.create_task(owner._process(request, state.tenant))
             replies.put_nowait((task, True, None))
     finally:
         replies.put_nowait(None)

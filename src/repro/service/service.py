@@ -131,6 +131,89 @@ class EstimationService:
         self._wal: Any = None
         self._checkpoint_path: str | None = None
         self._checkpoint_boxes: int | None = None
+        # Multi-tenancy (repro.tenancy): None until enable_tenancy() — a
+        # service without a registry behaves exactly as before.
+        self._tenants: Any = None
+
+    # -- tenancy ------------------------------------------------------------------
+
+    @property
+    def tenants(self) -> Any:
+        """The attached :class:`~repro.tenancy.TenantRegistry` (or ``None``)."""
+        return self._tenants
+
+    def enable_tenancy(self, registry: Any = None) -> Any:
+        """Attach (or create) a tenant registry; idempotent.
+
+        Once a registry is attached, serving layers built on this service
+        (:class:`~repro.server.SketchServer`,
+        :class:`~repro.cluster.ClusterRouter`) switch to authenticated
+        multi-tenant mode.  The registry is embedded in snapshots and its
+        mutations are journaled through the WAL (when attached), so
+        recovery and replica bootstrap are tenant-aware.
+        """
+        from repro.tenancy import TenantRegistry
+
+        with self._lock:
+            if self._tenants is None:
+                self._tenants = registry if registry is not None else TenantRegistry()
+            elif registry is not None and registry is not self._tenants:
+                raise ServiceError("service already has a tenant registry")
+            return self._tenants
+
+    def tenant_facade(self, tenant_id: str) -> Any:
+        """A namespace-scoped proxy for one tenant (see ``repro.tenancy``)."""
+        from repro.tenancy import TenantFacade
+
+        return TenantFacade(self, tenant_id)
+
+    def tenant_create(self, tenant_id: str, *, token: str, quota: Any = None,
+                      created_at: float | None = None) -> Any:
+        """Register a tenant; journaled through the WAL when attached."""
+        registry = self.enable_tenancy()
+        with self._lock:
+            record = registry.create(tenant_id, token=token, quota=quota,
+                                     created_at=created_at)
+            if self._wal is not None:
+                self._wal.append_tenant("create", tenant_id, record.to_dict())
+        return record
+
+    def tenant_update(self, tenant_id: str, *, token: str | None = None,
+                      quota: Any = None, disabled: bool | None = None) -> Any:
+        if self._tenants is None:
+            raise ServiceError("service has no tenant registry")
+        with self._lock:
+            record = self._tenants.update(tenant_id, token=token, quota=quota,
+                                          disabled=disabled)
+            if self._wal is not None:
+                self._wal.append_tenant("update", tenant_id, record.to_dict())
+        return record
+
+    def tenant_upsert(self, record: Any) -> Any:
+        """Install a tenant record verbatim (WAL replay / log shipping)."""
+        registry = self.enable_tenancy()
+        with self._lock:
+            registry.upsert(record)
+            if self._wal is not None:
+                self._wal.append_tenant("update", record.tenant_id,
+                                        record.to_dict())
+        return record
+
+    def tenant_remove(self, tenant_id: str) -> Any:
+        """Drop a tenant and unregister every estimator in its namespace."""
+        from repro.tenancy import TENANT_SEP
+
+        if self._tenants is None:
+            raise ServiceError("service has no tenant registry")
+        with self._lock:
+            record = self._tenants.remove(tenant_id)
+            prefix = tenant_id + TENANT_SEP
+            for name in list(self.names()):
+                if name.startswith(prefix):
+                    self.unregister(name)
+            if self._wal is not None:
+                self._wal.append_tenant("remove", tenant_id)
+        return record
 
     # -- durability ---------------------------------------------------------------
 
@@ -268,6 +351,8 @@ class EstimationService:
                 wal["checkpoint_boxes"] = self._checkpoint_boxes
             return {
                 "wal": wal,
+                "tenants": (self._tenants.describe()
+                            if self._tenants is not None else None),
                 "num_shards": self.num_shards,
                 "pending": self.pending,
                 "estimators": {name: self._store.spec(name).to_dict()
@@ -542,11 +627,16 @@ class EstimationService:
             if self._pipeline.pending:
                 self.flush()
             with self._lock:
-                return service_snapshot(self, arrays=arrays)
+                state = service_snapshot(self, arrays=arrays)
+                if self._tenants is not None:
+                    state["tenants"] = self._tenants.to_state()
+            return state
         with self._lock:
             if self._pipeline.pending:
                 self.flush()
             state = service_snapshot(self, arrays=arrays)
+            if self._tenants is not None:
+                state["tenants"] = self._tenants.to_state()
             state["wal_seqno"] = self._wal.last_seqno
         return state
 

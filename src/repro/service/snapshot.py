@@ -147,6 +147,10 @@ def restore_service(state: Mapping, *, flush_threshold: int | None = 8192,
                                 flush_threshold=flush_threshold,
                                 cache_size=cache_size, max_workers=max_workers)
     restore_store_state(service.store, state)
+    if state.get("tenants") is not None:
+        from repro.tenancy import TenantRegistry
+
+        service.enable_tenancy(TenantRegistry.from_state(state["tenants"]))
     return service
 
 

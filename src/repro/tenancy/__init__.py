@@ -1,0 +1,36 @@
+"""Multi-tenant serving: tenant registry, quotas, and scoped facades.
+
+See :mod:`repro.tenancy.registry` for the persisted tenant store,
+:mod:`repro.tenancy.quota` for deterministic token-bucket admission, and
+:mod:`repro.tenancy.facade` for the namespace-scoped service proxy.  The
+network-facing enforcement (auth handshake, per-connection scoping,
+fair-share coalescing, metric labels) lives in :mod:`repro.server` and
+:mod:`repro.cluster`, all built on these primitives.
+"""
+
+from repro.tenancy.facade import TenantFacade
+from repro.tenancy.quota import TenantAdmission, TokenBucket
+from repro.tenancy.registry import (
+    TENANT_SEP,
+    TenantQuota,
+    TenantRecord,
+    TenantRegistry,
+    hash_token,
+    namespaced,
+    split_namespace,
+    validate_tenant_id,
+)
+
+__all__ = [
+    "TENANT_SEP",
+    "TenantAdmission",
+    "TenantFacade",
+    "TenantQuota",
+    "TenantRecord",
+    "TenantRegistry",
+    "TokenBucket",
+    "hash_token",
+    "namespaced",
+    "split_namespace",
+    "validate_tenant_id",
+]

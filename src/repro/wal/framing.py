@@ -44,7 +44,10 @@ _PAYLOAD_HEADER = struct.Struct("<I")
 MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
 
 #: Event types a record may carry.
-RECORD_TYPES = ("update", "register", "unregister")
+RECORD_TYPES = ("update", "register", "unregister", "tenant")
+
+#: Actions a ``tenant`` record may carry.
+TENANT_ACTIONS = ("create", "update", "remove")
 
 
 class WalFormatError(SnapshotError):
@@ -130,6 +133,29 @@ def encode_register(name: str, spec_dict: Mapping[str, Any]) -> bytes:
 
 def encode_unregister(name: str) -> bytes:
     return _pack_payload({"type": "unregister", "name": str(name)})
+
+
+def encode_tenant(action: str, tenant_id: str,
+                  record: Mapping[str, Any] | None = None) -> bytes:
+    """A ``tenant`` payload: registry mutation (create/update/remove).
+
+    ``record`` is the full :class:`~repro.tenancy.registry.TenantRecord`
+    dict for create/update (tokens are already hashed there — plaintext
+    tokens never reach the log); ``remove`` carries just the id.  The
+    tenant id doubles as the event's ``name`` so replay tooling that
+    groups records by name keeps working.
+    """
+    if action not in TENANT_ACTIONS:
+        raise WalFormatError(
+            f"tenant action must be one of {TENANT_ACTIONS}, got {action!r}")
+    if action != "remove" and record is None:
+        raise WalFormatError(f"tenant {action!r} record requires the "
+                             "tenant record dict")
+    header: dict[str, Any] = {"type": "tenant", "action": str(action),
+                              "name": str(tenant_id)}
+    if record is not None:
+        header["record"] = dict(record)
+    return _pack_payload(header)
 
 
 def decode_payload(payload: bytes) -> dict:

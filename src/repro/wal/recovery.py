@@ -87,6 +87,19 @@ def apply_wal_record(service: "EstimationService", event: dict) -> int:
 
     record_type = event["type"]
     name = event["name"]
+    if record_type == "tenant":
+        from repro.tenancy import TenantRecord
+
+        if event["action"] == "remove":
+            registry = service.tenants
+            if registry is not None and name in registry:
+                service.tenant_remove(name)
+        else:
+            # create and update both replay as an upsert: idempotent, and a
+            # re-shipped create over an existing tenant converges instead of
+            # failing the whole recovery.
+            service.tenant_upsert(TenantRecord.from_dict(event["record"]))
+        return 0
     if record_type == "register":
         if name not in service:
             service.register(name, EstimatorSpec.from_dict(event["spec"]))

@@ -33,6 +33,7 @@ from repro.wal.framing import (
     WAL_MAGIC,
     encode_record,
     encode_register,
+    encode_tenant,
     encode_unregister,
     encode_update,
 )
@@ -174,6 +175,11 @@ class WalWriter:
 
     def append_unregister(self, name: str) -> int:
         return self._append(lambda _: encode_unregister(name))
+
+    def append_tenant(self, action: str, tenant_id: str,
+                      record: dict | None = None) -> int:
+        """Log one tenant-registry mutation (create/update/remove)."""
+        return self._append(lambda _: encode_tenant(action, tenant_id, record))
 
     # -- checkpoint truncation ----------------------------------------------------
 
