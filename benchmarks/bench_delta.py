@@ -1,0 +1,190 @@
+"""Delta-propagation benchmark: incremental view refresh vs rebuild-on-flush.
+
+This is the perf-regression gate of the delta-propagation fast path: a hot
+mixed ingest+estimate workload — small update batches flushed round after
+round, each flush followed by the same large mixed query batch (the shape
+a serving layer sees from a live feed plus dashboard polling) — answered
+through
+
+* the **rebuild path**: a service with ``delta_propagation=False``, so
+  every flush invalidates the merged-view cache and the next estimate
+  batch pays a full view rebuild — fresh xi bank objects, which orphan
+  every letter-sum cache entry and lazily-built sign table, so the whole
+  query batch recomputes its letter sums from scratch (the pre-delta
+  steady-state serving cost), and
+* the **delta path**: a service with ``delta_propagation=True`` (the
+  default), where each refresh is one fused counter add per bank onto the
+  previous cached view with the xi families *aliased* — so the executor's
+  letter-sum cache and the sign tables stay warm across flushes and the
+  post-flush query batch runs at cached speed,
+
+and the delta path must be **at least 3x** faster over the steady-state
+rounds.  Estimates are asserted bit-identical between the two paths every
+round — counter updates are exact integers in float64, so the fused
+``base + delta`` add reproduces the full re-merge exactly.
+
+Besides the human-readable record under ``benchmarks/results/``, the run
+writes ``BENCH_delta.json`` at the repository root; CI consumes that file
+and fails the perf-smoke job when the speedup drops below 3x.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.core.domain import Domain
+from repro.service import EstimationService, synthetic_boxes, synthetic_queries
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPORT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_delta.json"
+
+DOMAIN = Domain.square(65536, dimension=2)
+NUM_INSTANCES = 192
+SEED_BOXES = 4000          # initial bulk load per side
+DELTA_BOXES = 16           # boxes per ingest batch in the hot loop
+WARMUP_ROUNDS = 1          # first refresh is a rebuild on both paths
+ROUNDS = 8                 # timed steady-state flush+estimate rounds
+RANGE_QUERIES = 1024       # range queries per post-flush batch
+QUERYLESS_REQUESTS = 32    # join estimates per post-flush batch
+MIN_SPEEDUP = 3.0
+
+NAMES = ("ranges", "join")
+
+
+def _make_service(*, delta_propagation: bool) -> EstimationService:
+    service = EstimationService(num_shards=4, flush_threshold=None,
+                                delta_propagation=delta_propagation)
+    service.register("ranges", family="range", domain=DOMAIN,
+                     num_instances=NUM_INSTANCES, seed=11)
+    service.register("join", family="rectangle", domain=DOMAIN,
+                     num_instances=NUM_INSTANCES, seed=12)
+    boxes = synthetic_boxes(DOMAIN, SEED_BOXES, seed=1)
+    service.ingest("ranges", boxes, side="data")
+    service.ingest("join", boxes, side="left")
+    service.ingest("join", synthetic_boxes(DOMAIN, SEED_BOXES, seed=2),
+                   side="right")
+    service.flush()
+    return service
+
+
+def _mixed_requests() -> list:
+    queries = synthetic_queries(DOMAIN, RANGE_QUERIES, seed=7)
+    requests = [("ranges", queries[index:index + 1])
+                for index in range(len(queries))]
+    requests.extend(("join", None) for _ in range(QUERYLESS_REQUESTS))
+    return requests
+
+
+def _one_round(service: EstimationService, round_index: int, requests) -> list:
+    """One hot-loop round: flush small batches, answer the mixed query set."""
+    service.ingest("ranges",
+                   synthetic_boxes(DOMAIN, DELTA_BOXES, seed=100 + round_index),
+                   side="data")
+    service.ingest("join",
+                   synthetic_boxes(DOMAIN, DELTA_BOXES, seed=200 + round_index),
+                   side="left")
+    service.flush()
+    results = service.estimate_multi(requests)
+    return [(r.estimate, r.instance_values.tobytes()) for r in results]
+
+
+def test_delta_refresh_at_least_3x_rebuild(benchmark):
+    """The acceptance gate: delta-applied refresh >= 3x rebuild-on-flush."""
+    requests = _mixed_requests()
+    with_delta = _make_service(delta_propagation=True)
+    without_delta = _make_service(delta_propagation=False)
+
+    # Warm-up: the first refresh after a cold start is a full rebuild on
+    # both paths (and JITs/populates every lazy structure); steady state
+    # starts with the second flush.
+    for round_index in range(WARMUP_ROUNDS):
+        warm_delta = _one_round(with_delta, round_index, requests)
+        warm_rebuild = _one_round(without_delta, round_index, requests)
+        assert warm_delta == warm_rebuild
+
+    def run_rebuild() -> tuple[float, list]:
+        outputs = []
+        start = time.perf_counter()
+        for round_index in range(WARMUP_ROUNDS, WARMUP_ROUNDS + ROUNDS):
+            outputs.append(_one_round(without_delta, round_index, requests))
+        return time.perf_counter() - start, outputs
+
+    def run_delta() -> tuple[float, list]:
+        outputs = []
+        start = time.perf_counter()
+        for round_index in range(WARMUP_ROUNDS, WARMUP_ROUNDS + ROUNDS):
+            outputs.append(_one_round(with_delta, round_index, requests))
+        return time.perf_counter() - start, outputs
+
+    rebuild_seconds, rebuild_outputs = run_rebuild()
+    delta_seconds, delta_outputs = benchmark.pedantic(run_delta, rounds=1,
+                                                      iterations=1)
+
+    identical = delta_outputs == rebuild_outputs
+    assert identical  # bit-for-bit, including the instance-value vectors
+
+    speedup = rebuild_seconds / delta_seconds
+    on_stats = with_delta.stats
+    off_stats = without_delta.stats
+    total_rounds = WARMUP_ROUNDS + ROUNDS
+    total_requests = ROUNDS * len(requests)
+
+    report = {
+        "domain": list(DOMAIN.requested_sizes),
+        "num_instances": NUM_INSTANCES,
+        "hot_workload": {
+            "names": len(NAMES),
+            "rounds": ROUNDS,
+            "delta_boxes_per_round": len(NAMES) * DELTA_BOXES,
+            "requests_per_round": len(requests),
+            "total_requests": total_requests,
+            "rebuild_seconds": rebuild_seconds,
+            "delta_seconds": delta_seconds,
+            "rebuild_qps": total_requests / rebuild_seconds,
+            "delta_qps": total_requests / delta_seconds,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+            "identical": int(identical),
+        },
+        "delta_path": {
+            "delta_applies": on_stats.delta_applies,
+            "rebuilds": on_stats.rebuilds,
+            "cache_misses": on_stats.cache_misses,
+        },
+        "rebuild_path": {
+            "delta_applies": off_stats.delta_applies,
+            "rebuilds": off_stats.rebuilds,
+            "cache_misses": off_stats.cache_misses,
+        },
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+
+    # Steady state must be all delta-applies on the fast path (one rebuild
+    # per name at cold start), all rebuilds on the baseline.
+    assert on_stats.delta_applies == len(NAMES) * (total_rounds - 1)
+    assert on_stats.rebuilds == len(NAMES)
+    assert off_stats.delta_applies == 0
+    assert off_stats.rebuilds == len(NAMES) * total_rounds
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"delta propagation: {ROUNDS} rounds x ({len(NAMES) * DELTA_BOXES} "
+        f"flushed boxes + {len(requests)} mixed estimates) over "
+        f"{len(NAMES)} estimators ({NUM_INSTANCES} instances)",
+        f"rebuild-on-flush: {rebuild_seconds:8.3f} s "
+        f"({total_requests / rebuild_seconds:10.0f} q/s, "
+        f"{off_stats.rebuilds} full re-merges)",
+        f"delta refresh   : {delta_seconds:8.3f} s "
+        f"({total_requests / delta_seconds:10.0f} q/s, "
+        f"{on_stats.delta_applies} delta applies)",
+        f"speedup         : {speedup:8.1f}x (gate: >= {MIN_SPEEDUP}x)",
+        "estimates       : bit-identical across both paths",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    (RESULTS_DIR / "bench_delta.txt").write_text(text + "\n",
+                                                 encoding="utf-8")
+    assert speedup >= MIN_SPEEDUP

@@ -567,6 +567,8 @@ class ClusterRouter:
                 "wire": {format: dict(counters) for format, counters
                          in dict(reply.get("wire", {})).items()},
                 "tenants": dict(reply.get("tenants", {})),
+                "delta": dict(reply.get("delta", {})),
+                "program": dict(reply.get("program", {})),
             }
         tenants = self._aggregate_tenants(fleet)
         text = self._render_metrics(fleet, tenants)
@@ -679,6 +681,26 @@ class ClusterRouter:
                 "repro_cluster_tenant_estimate_qps"
                 f'{{tenant="{label_value(tenant)}"}} '
                 f"{float(tenants[tenant].get('estimate_qps', 0.0)):.3f}")
+        # Fleet-wide delta-propagation and program-executor totals, summed
+        # from each worker's structured metrics payload.  Workers resolve
+        # view refreshes locally, so the cluster-level ratio of applies to
+        # rebuilds is the steady-state health signal for delta propagation.
+        delta_totals: dict[str, int] = {}
+        program_totals: dict[str, int] = {}
+        for entry in fleet.values():
+            for key, count in entry.get("delta", {}).items():
+                delta_totals[key] = delta_totals.get(key, 0) + int(count)
+            for key, count in entry.get("program", {}).items():
+                program_totals[key] = program_totals.get(key, 0) + int(count)
+        for key, metric in (("delta_applies",
+                             "repro_cluster_delta_applies_total"),
+                            ("rebuilds",
+                             "repro_cluster_view_rebuilds_total"),
+                            ("evictions",
+                             "repro_cluster_view_evictions_total")):
+            lines.append(f"{metric} {delta_totals.get(key, 0)}")
+        for key in sorted(program_totals):
+            lines.append(f"repro_cluster_program_{key} {program_totals[key]}")
         return "\n".join(lines) + "\n"
 
     async def _op_snapshot(self, request: dict, scope=None) -> dict:

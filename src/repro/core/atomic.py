@@ -291,6 +291,31 @@ class SketchBank:
         self._matrix += other._matrix
         self._updates += other._updates
 
+    def clone_with_delta(self, delta: "SketchBank") -> "SketchBank":
+        """A new bank equal to ``self + delta``, sharing this bank's xi families.
+
+        This is the counter half of the delta-propagation fast path: instead
+        of re-merging every shard into a fresh bank (which would also redraw
+        the xi families from the seed), the new bank *aliases* this bank's
+        :class:`~repro.core.hashing.FourWiseFamilyBank` objects — keeping
+        their lazily-built sign tables warm and keeping every letter-sum
+        cache entry keyed on them valid — and computes its counter tensor as
+        one fused out-of-place add (:func:`repro.core.kernels.tensor_add`).
+        Neither input is mutated.  Counter updates are exact integers in
+        float64, so the result is bit-identical to a from-scratch merge.
+        """
+        self.check_merge_compatible(delta)
+        clone = object.__new__(SketchBank)
+        clone._domain = self._domain
+        clone._words = self._words
+        clone._num_instances = self._num_instances
+        clone._xi = self._xi
+        clone._word_index = self._word_index
+        clone._matrix = np.empty_like(self._matrix)
+        kernels.tensor_add(self._matrix, delta._matrix, clone._matrix)
+        clone._updates = self._updates + delta._updates
+        return clone
+
     def xi_coefficient_tensor(self) -> np.ndarray:
         """All xi seeds as one ``(dimension, num_instances, 4)`` uint64 tensor."""
         return stack_xi_coefficients(self._xi)

@@ -48,6 +48,12 @@ HAVE_NUMBA = _numba is not None
 if HAVE_NUMBA:
 
     @_numba.njit(cache=True, parallel=True)
+    def _tensor_add_kernel(base, delta, out):  # pragma: no cover - compiled
+        for row in _numba.prange(base.shape[0]):
+            for col in range(base.shape[1]):
+                out[row, col] = base[row, col] + delta[row, col]
+
+    @_numba.njit(cache=True, parallel=True)
     def _segment_sums_kernel(table, ids, starts, lengths, out):  # pragma: no cover - compiled
         for family in _numba.prange(table.shape[0]):
             row = table[family]
@@ -80,6 +86,23 @@ def _check_ids(ids: np.ndarray, universe_size: int) -> None:
             f"ids must be within [0, {universe_size}), "
             f"got range [{ids.min()}, {ids.max()}]"
         )
+
+
+def tensor_add(base: np.ndarray, delta: np.ndarray, out: np.ndarray) -> None:
+    """Out-of-place counter-tensor addition: ``out[:] = base + delta``.
+
+    The delta-propagation fast path refreshes a cached merged view by adding
+    a compact delta tensor to the cached counters in a *single* fused pass —
+    neither input is mutated, so in-flight estimator runs reading the cached
+    view are never torn.  Elementwise float64 addition of exact integers is
+    exact in any path, so the compiled and NumPy variants are bit-identical
+    (and both equal a from-scratch shard re-merge, by linearity).
+    """
+    if HAVE_NUMBA and base.ndim == 2 and base.flags.c_contiguous \
+            and delta.flags.c_contiguous and out.flags.c_contiguous:
+        _tensor_add_kernel(base, delta, out)
+        return
+    np.add(base, delta, out=out)
 
 
 def segment_sums_from_table(table: np.ndarray, ids: np.ndarray,

@@ -23,10 +23,12 @@ Estimator families *lower* their queries into programs (see
 queries, different words and different estimator families — with three levels
 of sharing:
 
-1. identical ``(bank, dim, letter, interval)`` letter-sum requests are
-   computed **once per batch** (and optionally cached across batches in a
-   bounded LRU — letter sums depend only on the bank's xi families and
-   domain, never on its counters, so cache entries never go stale),
+1. identical letter-sum requests — same xi family, dyadic shape, letter
+   and interval — are computed **once per batch** (and optionally cached
+   across batches in a bounded LRU — letter sums depend only on the bank's
+   xi families and domain, never on its counters, so cache entries never go
+   stale, and survive delta-applied merged views that alias those
+   families),
 2. programs with the same term *structure* (same banks, words, letters and
    coefficients — e.g. a batch of range queries against one sketch) are
    evaluated as single ``(instances, programs)`` matrix kernels,
@@ -102,8 +104,21 @@ class LetterSumRef:
 
     @property
     def key(self) -> tuple:
-        """The executor's sharing key: ``(bank, dim, letter, interval)``."""
-        return (self.bank, self.dim, self.letter, self.low, self.high)
+        """The executor's sharing key: xi identity, dyadic shape, letter, interval.
+
+        A letter sum is a pure function of the dimension's xi family, the
+        dyadic domain shape and the interval — the *bank* only carries them.
+        Keying on ``(xi bank, dyadic size, max level, letter, interval)``
+        instead of the bank itself means two banks that alias one xi family
+        over the same dyadic structure share cache entries, which is what
+        keeps the letter-sum cache warm across delta-applied merged views
+        (:meth:`repro.core.atomic.SketchBank.clone_with_delta` aliases the
+        xi families of the view it refreshes).
+        """
+        dyadic = self.bank.domain.dyadic(self.dim)
+        return (self.bank.xi_banks[self.dim], dyadic.size, dyadic.max_level,
+                self.letter, self.low, self.high)
+
 
 
 @dataclass(frozen=True)
@@ -222,7 +237,7 @@ def replicate_estimate(result: EstimateResult, count: int) -> list[EstimateResul
 
 
 def _weak_key(key: tuple) -> tuple:
-    """A cache key that does not keep the bank alive (see _LetterSumCache)."""
+    """A cache key that does not keep the xi bank alive (see _LetterSumCache)."""
     return (weakref.ref(key[0]),) + key[1:]
 
 
@@ -241,16 +256,31 @@ class ExecutorStats:
     def copy(self) -> "ExecutorStats":
         return replace(self)
 
+    def as_dict(self) -> dict:
+        """JSON form for the service ``stats`` op and the metrics verb."""
+        return {
+            "runs": self.runs,
+            "programs": self.programs,
+            "results": self.results,
+            "kernel_calls": self.kernel_calls,
+            "letter_sums_requested": self.letter_sums_requested,
+            "letter_sums_computed": self.letter_sums_computed,
+            "cache_hits": self.cache_hits,
+        }
+
 
 class _LetterSumCache:
     """A bounded LRU of resolved letter-sum vectors (callers lock).
 
-    Keys are ``LetterSumRef.key`` tuples with the bank replaced by a
-    **weak** reference: a live bank hashes/compares by identity (so lookups
-    are exact and id reuse after collection can never alias — a dead
-    weakref only equals itself), while a replaced merged view is *not*
+    Keys are ``LetterSumRef.key`` tuples with the xi family bank replaced
+    by a **weak** reference: a live xi bank hashes/compares by identity (so
+    lookups are exact and id reuse after collection can never alias — a
+    dead weakref only equals itself), while a discarded family is *not*
     pinned by its cached vectors; its entries become unmatchable and age
-    out of the LRU.
+    out of the LRU.  Because delta-applied merged views alias the xi banks
+    of the views they refresh (sketch linearity: letter sums never depend
+    on counters), a flush-and-delta-apply cycle keeps every entry live —
+    only a full rebuild, which redraws the families, orphans them.
     """
 
     def __init__(self, max_entries: int) -> None:
@@ -441,13 +471,19 @@ class ProgramExecutor:
         """Resolve every letter-sum request of a chunk, sharing aggressively.
 
         Identical requests resolve to one vector; cache hits skip the
-        kernel entirely; misses are grouped by ``(bank, dim, letter)`` and
-        computed in **one** vectorised kernel call per group (column ``j``
-        of a batched kernel is bit-identical to a single-interval call).
+        kernel entirely; misses are grouped by ``(xi bank, dyadic shape,
+        letter)`` and computed in **one** vectorised kernel call per group
+        (column ``j`` of a batched kernel is bit-identical to a
+        single-interval call).
         """
         resolved: dict[tuple, np.ndarray] = {}
+        # Misses grouped by the interval-free key prefix (xi bank, dyadic
+        # shape, letter); any member ref's (bank, dim) serves as the kernel
+        # representative — every ref in the group reduces over the same xi
+        # family and dyadic structure, so the results are interchangeable.
         missing: OrderedDict[tuple, OrderedDict[tuple[int, int], None]] = \
             OrderedDict()
+        representatives: dict[tuple, LetterSumRef] = {}
         requested = 0
         hits = 0
         for program in programs:
@@ -464,25 +500,27 @@ class ProgramExecutor:
                             resolved[key] = cached
                             hits += 1
                             continue
-                    group = missing.setdefault(
-                        (ref.bank, ref.dim, ref.letter), OrderedDict())
+                    group_key = key[:-2]
+                    group = missing.setdefault(group_key, OrderedDict())
+                    representatives.setdefault(group_key, ref)
                     group.setdefault((ref.low, ref.high))
                     resolved[key] = None  # type: ignore[assignment]
 
         kernel_calls = 0
         computed = 0
-        for (bank, dim, letter), intervals in missing.items():
+        for group_key, intervals in missing.items():
+            rep = representatives[group_key]
             lows = np.fromiter((low for low, _ in intervals), dtype=np.int64,
                                count=len(intervals))
             highs = np.fromiter((high for _, high in intervals),
                                 dtype=np.int64, count=len(intervals))
-            sums = bank.letter_sums(dim, letter, lows, highs)
+            sums = rep.bank.letter_sums(rep.dim, rep.letter, lows, highs)
             kernel_calls += 1
             computed += len(intervals)
             for index, (low, high) in enumerate(intervals):
                 vector = np.ascontiguousarray(sums[:, index])
                 vector.setflags(write=False)
-                key = (bank, dim, letter, low, high)
+                key = group_key + (low, high)
                 resolved[key] = vector
                 if self._cache is not None:
                     with self._lock:

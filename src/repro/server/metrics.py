@@ -192,8 +192,14 @@ class ServerMetrics:
 
     def render_text(self, *, service_stats: ServiceStats,
                     coalescer_stats: CoalescerStats,
-                    queue_depth: int) -> str:
-        """The plain-text exposition served by the ``metrics`` verb."""
+                    queue_depth: int,
+                    executor_stats: dict | None = None) -> str:
+        """The plain-text exposition served by the ``metrics`` verb.
+
+        ``executor_stats`` is a
+        :meth:`~repro.core.program.ExecutorStats.as_dict` snapshot; when
+        given, it is rendered as the ``repro_server_program_*`` family.
+        """
         lines = ["# repro sketch server metrics",
                  f"repro_server_uptime_seconds {self.uptime:.3f}",
                  f"repro_server_connections_opened_total {self.connections_opened}",
@@ -309,4 +315,14 @@ class ServerMetrics:
                      f"{service_stats.coalesced_queries}")
         lines.append(
             f"repro_service_ingested_boxes_total {service_stats.ingested_boxes}")
+        # Delta propagation: every cache miss is resolved either by an
+        # O(delta) apply onto the previous cached view or by a full shard
+        # re-merge — the two totals below sum to the miss count.
+        lines.append(
+            f"repro_server_delta_applies_total {service_stats.delta_applies}")
+        lines.append(
+            f"repro_server_view_rebuilds_total {service_stats.rebuilds}")
+        if executor_stats is not None:
+            for key in sorted(executor_stats):
+                lines.append(f"repro_server_program_{key} {executor_stats[key]}")
         return "\n".join(lines) + "\n"

@@ -371,12 +371,18 @@ class SketchServer:
     async def _op_metrics(self, request: dict, scope=None) -> dict:
         # service.stats takes the service lock; read it off the loop (see
         # _op_stats).  The server-side counters are loop-owned and safe.
-        service_stats = await self._run_blocking(lambda: self._service.stats)
+        def snapshot():
+            service = self._service
+            return (service.stats,
+                    service.program_executor.stats.as_dict())
+
+        service_stats, executor_stats = await self._run_blocking(snapshot)
         coalescer = self.coalescer
         text = self.metrics.render_text(
             service_stats=service_stats,
             coalescer_stats=coalescer.stats,
-            queue_depth=coalescer.queue_depth)
+            queue_depth=coalescer.queue_depth,
+            executor_stats=executor_stats)
         # Structured fields ride along with the text exposition so a
         # cluster router can aggregate fleet metrics without re-parsing
         # the Prometheus rendering.
@@ -388,7 +394,11 @@ class SketchServer:
             connections_active=self.metrics.connections_active,
             estimate_qps=self.metrics.estimate_qps(),
             wire=self.metrics.wire_state(),
-            tenants=self.metrics.tenant_state())
+            tenants=self.metrics.tenant_state(),
+            delta={"delta_applies": service_stats.delta_applies,
+                   "rebuilds": service_stats.rebuilds,
+                   "evictions": service_stats.evictions},
+            program=executor_stats)
 
     async def _op_snapshot(self, request: dict, scope=None) -> dict:
         service = self._service

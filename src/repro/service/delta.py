@@ -1,0 +1,117 @@
+"""Delta-applied merged views: refresh a cached view in O(delta), not O(state).
+
+Atomic sketches are linear projections, so the merged view of a name is the
+*sum* of its shard counter tensors — and after a flush, the new merged view
+is exactly the old one plus the counter contribution of the flushed boxes.
+:func:`delta_merged_view` exploits that identity: given an immutable cached
+view and a *delta estimator* (a fresh estimator of the same spec that was
+fed only the updates since the view was built, see
+:meth:`repro.service.store.ShardedSketchStore.record_delta`), it produces a
+new view whose banks are :meth:`~repro.core.atomic.SketchBank.clone_with_delta`
+clones — counter tensors computed as one fused add each, xi families
+*aliased* from the cached view.
+
+The aliasing is the load-bearing half.  Letter sums depend only on a bank's
+xi families and dyadic domain, never on its counters, so a delta-applied
+view answers queries through exactly the letter-sum cache entries (and warm
+lazy sign tables) its predecessor populated — the steady-state serving cost
+after a flush becomes one tensor add per bank instead of a full shard
+re-merge plus cold letter-sum recomputation.  Bit-identity with a
+from-scratch merge holds because counter updates are exact integers stored
+in float64: addition is exact and order-independent.
+
+The cached view is never mutated (concurrent estimates read it lock-free);
+the clone is a new object sharing only immutable pieces.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from repro.core.atomic import SketchBank
+from repro.errors import MergeCompatibilityError, ServiceError
+
+__all__ = ["delta_merged_view", "empty_delta_estimator", "DELTA_BOX_BUDGET"]
+
+#: Boxes a delta tracker may accumulate before it is dropped.  The apply
+#: itself is O(tensor) regardless of the box count — the budget bounds how
+#: long a *watched but unqueried* name keeps paying the double-ingest cost
+#: of delta recording before falling back to rebuild-on-next-query.
+DELTA_BOX_BUDGET = 1 << 18
+
+#: Input-cardinality attributes the eight estimator families keep outside
+#: their banks; delta application sums them like the counters they describe.
+_COUNT_ATTRS = ("_left_count", "_right_count", "_outer_count",
+                "_inner_count", "_count")
+
+
+def empty_delta_estimator(template: Any) -> Any:
+    """A zero-counter estimator of ``template``'s spec, aliasing its xi state.
+
+    Delta trackers need an estimator that is merge-compatible with the
+    name's merged views but starts empty.  Building one with
+    ``spec.build()`` would redraw every xi family from the seed — exactly
+    the O(instances x levels) cost delta propagation exists to avoid, paid
+    on every re-armed watch.  Instead the tracker estimator is a shallow
+    clone of an existing estimator (in practice a shard's) whose banks are
+    :meth:`~repro.core.atomic.SketchBank.companion` companions — empty
+    counters, shared xi families and their lazily-built sign tables — and
+    whose input counts are zeroed.  Compatibility is checked by value
+    (domain signature, words, seeded xi coefficients), so deltas recorded
+    here merge cleanly onto views built from any same-spec estimator.
+    """
+    template_state = vars(template)
+    clone = copy.copy(template)
+    for attr, value in template_state.items():
+        if isinstance(value, SketchBank):
+            setattr(clone, attr, value.companion())
+    for attr in _COUNT_ATTRS:
+        if attr in template_state:
+            setattr(clone, attr, 0)
+    if "_compiled_terms" in template_state:
+        clone._compiled_terms = None
+    return clone
+
+
+def delta_merged_view(view: Any, delta: Any) -> Any:
+    """A new estimator equal to ``view + delta``, sharing ``view``'s xi state.
+
+    ``view`` is an immutable cached merged view; ``delta`` is an estimator
+    of the same spec summarising only the updates applied since ``view``
+    was built.  Every :class:`~repro.core.atomic.SketchBank` attribute is
+    replaced by a :meth:`~repro.core.atomic.SketchBank.clone_with_delta`
+    clone (fused counter add, aliased xi families) and every input-count
+    attribute by its sum; everything else — domain, boosting plan, pair
+    terms, transforms — is shared, being immutable configuration.
+
+    Raises :class:`~repro.errors.ServiceError` (or
+    :class:`~repro.errors.MergeCompatibilityError`) when the two estimators
+    do not line up; callers fall back to a full rebuild.
+    """
+    if type(delta) is not type(view):
+        raise MergeCompatibilityError(
+            f"cannot delta-apply {type(delta).__name__} onto "
+            f"{type(view).__name__}")
+    view_state = vars(view)
+    delta_state = vars(delta)
+    bank_attrs = [attr for attr, value in view_state.items()
+                  if isinstance(value, SketchBank)]
+    if not bank_attrs:
+        raise ServiceError(
+            f"{type(view).__name__} holds no sketch banks to delta-apply")
+    clone = copy.copy(view)
+    for attr in bank_attrs:
+        delta_bank = delta_state.get(attr)
+        if not isinstance(delta_bank, SketchBank):
+            raise MergeCompatibilityError(
+                f"delta estimator lacks sketch bank {attr!r}")
+        setattr(clone, attr, view_state[attr].clone_with_delta(delta_bank))
+    for attr in _COUNT_ATTRS:
+        if attr in view_state:
+            setattr(clone, attr, view_state[attr] + delta_state[attr])
+    # The paired-join families cache compiled program terms holding
+    # CounterRefs to *their own* bank objects; the clone's banks are new.
+    if "_compiled_terms" in view_state:
+        clone._compiled_terms = None
+    return clone

@@ -166,6 +166,11 @@ class IngestPipeline:
         work: list[tuple[int, dict[tuple[str, str, str], BoxSet]]] = []
         batches = 0
         names: set[str] = set()
+        # Names under a delta watch additionally get a copy of their flushed
+        # boxes recorded into the store's delta tracker (concatenated across
+        # shards — the tracker estimator is unsharded).  Within one flush
+        # the updates of a destination commute, so shard order is free.
+        watched: dict[tuple[str, str, str], list[BoxSet]] = {}
         for shard_index, shard_deltas in enumerate(deltas):
             if not shard_deltas:
                 continue
@@ -174,6 +179,8 @@ class IngestPipeline:
                 grouped[key] = _concat(shard_deltas[key])
                 names.add(key[0])
                 batches += 1
+                if self._store.is_watching(key[0]):
+                    watched.setdefault(key, []).append(grouped[key])
             work.append((shard_index, grouped))
 
         if parallel is None:
@@ -193,8 +200,12 @@ class IngestPipeline:
             for item in work:
                 self._flush_shard(item)
 
+        for (name, side, kind), parts in sorted(watched.items()):
+            self._store.record_delta(name, side, kind, _concat(parts))
+        # Every box of this flush was offered to the trackers above, so
+        # watches stay live across the version bump.
         for name in names:
-            self._store.mark_updated(name)
+            self._store.mark_updated(name, delta_recorded=True)
         self._stats.flushes += 1 if work else 0
         self._stats.auto_flushes += 1 if (work and auto) else 0
         self._stats.flushed_boxes += flushed_boxes

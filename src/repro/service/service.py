@@ -37,9 +37,10 @@ import numpy as np
 
 from repro.core.program import ProgramExecutor
 from repro.core.result import EstimateResult
-from repro.errors import ServiceError
+from repro.errors import MergeCompatibilityError, ServiceError
 from repro.geometry.boxset import BoxSet
 from repro.geometry.rectangle import Rect
+from repro.service.delta import delta_merged_view
 from repro.service.ingest import FlushReport, IngestPipeline
 from repro.service.specs import (
     UPDATE_KINDS,
@@ -68,6 +69,11 @@ class ServiceStats:
     estimates: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Refinement of ``cache_misses``: every miss is served either by the
+    #: delta fast path (``delta_applies``) or a full shard re-merge
+    #: (``rebuilds``); the two always sum to ``cache_misses``.
+    delta_applies: int = 0
+    rebuilds: int = 0
     evictions: int = 0
     batch_estimates: int = 0
     coalesced_queries: int = 0
@@ -81,6 +87,8 @@ class ServiceStats:
             "estimates": self.estimates,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "delta_applies": self.delta_applies,
+            "rebuilds": self.rebuilds,
             "evictions": self.evictions,
             "batch_estimates": self.batch_estimates,
             "coalesced_queries": self.coalesced_queries,
@@ -101,10 +109,18 @@ class EstimationService:
         Capacity of the LRU cache of merged query views.
     max_workers:
         Thread-pool width for parallel shard flushes (``0``/``1`` = serial).
+    delta_propagation:
+        When ``True`` (the default), cached merged views are refreshed
+        after a flush by applying the accumulated counter delta (one fused
+        tensor add per bank, xi families aliased) instead of re-merging
+        every shard — bit-identical by sketch linearity, O(delta) instead
+        of O(state).  ``False`` restores rebuild-on-any-version-bump
+        (the benchmark baseline).
     """
 
     def __init__(self, *, num_shards: int = 4, flush_threshold: int | None = 8192,
-                 cache_size: int = 16, max_workers: int | None = None) -> None:
+                 cache_size: int = 16, max_workers: int | None = None,
+                 delta_propagation: bool = True) -> None:
         if cache_size < 0:
             raise ServiceError("cache_size must be non-negative")
         if flush_threshold is not None and flush_threshold < 1:
@@ -117,7 +133,11 @@ class EstimationService:
                                         max_workers=max_workers)
         self._flush_threshold = flush_threshold
         self._cache_size = int(cache_size)
-        # name -> (store version at build time, merged estimator)
+        self._delta_propagation = bool(delta_propagation)
+        # name -> (store version at build time, merged estimator).  Stale
+        # entries (version behind the store) are deliberately retained:
+        # they are invisible to lookups but serve as the base of the next
+        # delta-apply.
         self._views: OrderedDict[str, tuple[int, Any]] = OrderedDict()
         self._lock = threading.RLock()
         self._stats = ServiceStats()
@@ -358,7 +378,9 @@ class EstimationService:
                 "estimators": {name: self._store.spec(name).to_dict()
                                for name in self.names()},
                 "cached_views": list(self._views),
+                "delta_watches": self._store.watched_names(),
                 "stats": self._stats.as_dict(),
+                "program_executor": self._executor.stats.as_dict(),
                 "ingest": {
                     "submitted_boxes": self._pipeline.stats.submitted_boxes,
                     "flushed_boxes": self._pipeline.stats.flushed_boxes,
@@ -442,11 +464,19 @@ class EstimationService:
         return self.ingest(name, boxes, side=side, kind="delete")
 
     def flush(self, *, parallel: bool | None = None, auto: bool = False) -> FlushReport:
-        """Apply all buffered updates and invalidate affected cached views."""
+        """Apply all buffered updates; affected cached views go stale.
+
+        With delta propagation on, stale entries stay in the cache — the
+        version check makes them invisible to lookups, but the next fetch
+        of the name refreshes them with the flush's accumulated delta
+        instead of re-merging every shard.  Without it, they are dropped
+        immediately (the historical rebuild-on-flush behaviour).
+        """
         with self._lock:
             report = self._pipeline.flush(parallel=parallel, auto=auto)
-            for name in report.names:
-                self._views.pop(name, None)
+            if not self._delta_propagation:
+                for name in report.names:
+                    self._views.pop(name, None)
         return report
 
     # -- query side ---------------------------------------------------------------
@@ -467,6 +497,17 @@ class EstimationService:
         concurrent flush bumps the version; a stale-view/new-version mix
         would mislabel the snapshot shipped to the worker processes of
         :mod:`repro.service.parallel`.
+
+        Misses take one of two routes.  When the cache still holds the
+        previous view of the name *and* the store accumulated a valid
+        delta for it (every mutation since that view was built went
+        through the flush path), the new view is the old one plus the
+        delta — one fused counter add per bank, xi families aliased, so
+        the executor's letter-sum cache stays warm
+        (:mod:`repro.service.delta`).  Otherwise — cold name, evicted
+        entry, direct store mutation, snapshot reload — the view is fully
+        rebuilt from the shards.  Both routes are bit-identical; they are
+        counted separately as ``delta_applies`` / ``rebuilds``.
         """
         with self._lock:
             if self._pipeline.pending:
@@ -478,12 +519,29 @@ class EstimationService:
                 self._stats.cache_hits += 1
                 return entry[1], version
             self._stats.cache_misses += 1
-            view = self._store.merge_view(name)
+            view = None
+            if self._delta_propagation and entry is not None:
+                delta = self._store.take_delta(name)
+                if delta is not None:
+                    try:
+                        view = delta_merged_view(entry[1], delta)
+                    except (ServiceError, MergeCompatibilityError):
+                        # Spec drift (unregister/re-register races the
+                        # tracker) — fall back to the rebuild path.
+                        view = None
+            if view is None:
+                view = self._store.merge_view(name)
+                self._stats.rebuilds += 1
+            else:
+                self._stats.delta_applies += 1
             if self._cache_size:
+                if self._delta_propagation:
+                    self._store.watch_delta(name)
                 self._views[name] = (version, view)
                 self._views.move_to_end(name)
                 while len(self._views) > self._cache_size:
-                    self._views.popitem(last=False)
+                    evicted, _ = self._views.popitem(last=False)
+                    self._store.unwatch_delta(evicted)
                     self._stats.evictions += 1
         return view, version
 

@@ -145,6 +145,11 @@ class TestScatterGather:
         # fanned to every owner, so workers saw ingests too.
         assert 'repro_cluster_worker_requests_total{op="ingest"}' in text
         assert 'repro_cluster_worker_uptime_seconds{worker="w0"}' in text
+        # Fleet-aggregated delta-propagation and program-executor counters:
+        # the estimate above forced at least one merged-view build somewhere.
+        assert "repro_cluster_delta_applies_total" in text
+        assert "repro_cluster_view_rebuilds_total" in text
+        assert "repro_cluster_program_runs" in text
 
     def test_unknown_estimator_is_a_typed_error(self, cluster):
         with ServiceClient("127.0.0.1", cluster.port) as client:

@@ -231,3 +231,146 @@ class TestSpecs:
         second.insert_left(random_boxes(rng, 10, 256, 2))
         first.merge(second)  # must not raise
         assert first.left_count == 20
+
+
+class TestDeltaPropagation:
+    """Delta-applied merged views: O(delta) refresh, bit-identical results."""
+
+    @staticmethod
+    def _run_rounds(family, sizes, options, *, delta_propagation, seed,
+                    rounds=4, inserts=40, deletions=5):
+        from repro.geometry.rectangle import Rect
+        from repro.service.service import EstimationService
+
+        rng = np.random.default_rng(seed)
+        service = EstimationService(num_shards=3, flush_threshold=None,
+                                    delta_propagation=delta_propagation)
+        spec = _make_spec(family, sizes, options)
+        service.register("est", spec)
+        query = None
+        if spec.info.queryable:
+            box = random_boxes(rng, 1, sizes[0], len(sizes))
+            query = Rect.from_bounds(box.lows[0], box.highs[0])
+        outputs = []
+        for round_index in range(rounds):
+            for side in spec.info.sides:
+                data = _family_data(rng, family, sizes, inserts)
+                service.ingest("est", data, side=side)
+                if round_index % 2 == 1 and deletions:
+                    service.ingest("est", data[:deletions], side=side,
+                                   kind="delete")
+            service.flush()
+            result = service.estimate("est", query)
+            outputs.append((result.estimate,
+                            result.instance_values.tobytes(),
+                            result.left_count, result.right_count))
+        return outputs, service
+
+    @pytest.mark.parametrize("family,sizes,options", ALL_FAMILY_SPECS,
+                             ids=[f[0] for f in ALL_FAMILY_SPECS])
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_delta_applied_views_bit_identical(self, family, sizes, options,
+                                               seed):
+        """Interleaved flushes + deletions: delta on == delta off, bit for bit.
+
+        Counter updates are exact integers in float64, so the fused
+        ``base + delta`` tensor add reproduces the full shard re-merge
+        exactly — including the instance-value vectors, not just the
+        boosted estimates.
+        """
+        with_delta, on = self._run_rounds(family, sizes, options,
+                                          delta_propagation=True, seed=seed)
+        without_delta, off = self._run_rounds(family, sizes, options,
+                                              delta_propagation=False,
+                                              seed=seed)
+        assert with_delta == without_delta
+        # Round 1 rebuilds (cold name); every later refresh delta-applies.
+        assert on.stats.delta_applies == len(with_delta) - 1
+        assert on.stats.rebuilds == 1
+        assert off.stats.delta_applies == 0
+        assert off.stats.rebuilds == len(without_delta)
+        for stats in (on.stats, off.stats):
+            assert stats.delta_applies + stats.rebuilds == stats.cache_misses
+
+    def test_watch_take_roundtrip_and_drop_semantics(self, rng):
+        spec = _make_spec("rectangle", (256, 256), {})
+        store = ShardedSketchStore(2)
+        store.register("est", spec)
+        assert not store.is_watching("est")
+        assert store.take_delta("est") is None
+
+        store.watch_delta("est")
+        assert store.is_watching("est")
+        assert store.watched_names() == ["est"]
+        data = random_boxes(rng, 30, 256, 2)
+        store.record_delta("est", "left", "insert", data)
+        delta = store.take_delta("est")
+        assert delta is not None and delta.left_count == 30
+        assert not store.is_watching("est")  # consuming resets the watch
+
+        # mark_updated without delta_recorded (direct applies, snapshot
+        # restores) invalidates the watch.
+        store.watch_delta("est")
+        store.apply("est", "left", "insert", data)
+        assert not store.is_watching("est")
+        assert store.take_delta("est") is None
+
+        store.watch_delta("est")
+        store.mark_updated("est", delta_recorded=True)
+        assert store.is_watching("est")
+        store.unregister("est")
+        assert not store.is_watching("est")
+
+    def test_budget_overflow_drops_watch(self, rng, monkeypatch):
+        import repro.service.delta as delta_module
+
+        monkeypatch.setattr(delta_module, "DELTA_BOX_BUDGET", 50)
+        spec = _make_spec("rectangle", (256, 256), {})
+        store = ShardedSketchStore(2)
+        store.register("est", spec)
+        store.watch_delta("est")
+        store.record_delta("est", "left", "insert", random_boxes(rng, 40, 256, 2))
+        assert store.is_watching("est")
+        store.record_delta("est", "left", "insert", random_boxes(rng, 40, 256, 2))
+        assert not store.is_watching("est")  # watched-but-unqueried cap hit
+
+    def test_eviction_unwatches_and_falls_back_to_rebuild(self, rng):
+        from repro.service.service import EstimationService
+
+        service = EstimationService(num_shards=2, flush_threshold=None,
+                                    cache_size=1, delta_propagation=True)
+        for name in ("a", "b"):
+            service.register(name, _make_spec("rectangle", (256, 256), {}))
+            service.ingest(name, random_boxes(rng, 20, 256, 2), side="left")
+            service.ingest(name, random_boxes(rng, 20, 256, 2), side="right")
+        service.flush()
+        service.estimate("a")
+        assert service.store.watched_names() == ["a"]
+        service.estimate("b")  # evicts "a" from the single-entry cache
+        assert service.store.watched_names() == ["b"]
+        assert service.stats.evictions == 1
+        # "a" lost both its cached view and its watch: next refresh rebuilds.
+        service.ingest("a", random_boxes(rng, 10, 256, 2), side="left")
+        service.flush()
+        service.estimate("a")
+        assert service.stats.delta_applies == 0
+        assert service.stats.rebuilds == service.stats.cache_misses
+
+    def test_direct_store_mutation_falls_back_to_rebuild(self, rng):
+        """Mutations that bypass the flush path must not poison the cache."""
+        from repro.service.service import EstimationService
+
+        service = EstimationService(num_shards=2, flush_threshold=None,
+                                    delta_propagation=True)
+        service.register("est", _make_spec("rectangle", (256, 256), {}))
+        service.ingest("est", random_boxes(rng, 30, 256, 2), side="left")
+        service.flush()
+        first = service.estimate("est")
+        assert service.stats.rebuilds == 1
+
+        extra = random_boxes(rng, 25, 256, 2)
+        service.store.apply("est", "left", "insert", extra)  # no delta recorded
+        refreshed = service.estimate("est")
+        assert service.stats.rebuilds == 2  # fell back, no stale delta-apply
+        assert service.stats.delta_applies == 0
+        assert refreshed.left_count == first.left_count + len(extra)
